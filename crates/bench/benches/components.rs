@@ -1,0 +1,66 @@
+//! Synthesis + garbling cost of the Table 3 component library.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepsecure_circuit::Builder;
+use deepsecure_fixed::{Fixed, Format};
+use deepsecure_garble::execute_locally;
+use deepsecure_synth::activation::Activation;
+use deepsecure_synth::{mul, word};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_components(c: &mut Criterion) {
+    let q = Format::Q3_12;
+    let mut group = c.benchmark_group("components");
+    group.sample_size(10);
+
+    // Synthesis time of each nonlinearity.
+    for act in [
+        Activation::Relu,
+        Activation::TanhPl,
+        Activation::TanhCordic,
+        Activation::TanhTrunc,
+    ] {
+        group.bench_function(format!("synthesize/{}", act.name()), |bench| {
+            bench.iter(|| {
+                let mut b = Builder::new();
+                let x = word::garbler_word(&mut b, 16);
+                let y = act.build(&mut b, &x);
+                word::output_word(&mut b, &y);
+                b.finish()
+            });
+        });
+    }
+
+    // Garble+evaluate of the MULT element and the CORDIC Tanh.
+    let mult = {
+        let mut b = Builder::new();
+        let x = word::garbler_word(&mut b, 16);
+        let y = word::evaluator_word(&mut b, 16);
+        let p = mul::mul_fixed(&mut b, &x, &y, 12);
+        word::output_word(&mut b, &p);
+        b.finish()
+    };
+    let xin = Fixed::from_f64(1.5, q).to_bits();
+    let yin = Fixed::from_f64(-2.25, q).to_bits();
+    group.bench_function("garble/MULT", |bench| {
+        let mut rng = StdRng::seed_from_u64(3);
+        bench.iter(|| execute_locally(&mult, &xin, &yin, 1, &mut rng));
+    });
+
+    let tanh = {
+        let mut b = Builder::new();
+        let x = word::garbler_word(&mut b, 16);
+        let y = Activation::TanhCordic.build(&mut b, &x);
+        word::output_word(&mut b, &y);
+        b.finish()
+    };
+    group.bench_function("garble/TanhCORDIC", |bench| {
+        let mut rng = StdRng::seed_from_u64(4);
+        bench.iter(|| execute_locally(&tanh, &xin, &[], 1, &mut rng));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Garbling throughput (§4.4): gates per second for XOR-heavy and
+//! AND-heavy circuits, plus the β-coefficient calibration of §4.3.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use deepsecure_circuit::Builder;
+use deepsecure_garble::execute_locally;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn chain_circuit(and_heavy: bool, rounds: usize) -> deepsecure_circuit::Circuit {
+    let mut b = Builder::new();
+    let xs = b.garbler_inputs(64);
+    let ys = b.evaluator_inputs(64);
+    let mut acc = xs.clone();
+    for round in 0..rounds {
+        for i in 0..64 {
+            let other = ys[(i + round) % 64];
+            acc[i] = if and_heavy { b.and(acc[i], other) } else { b.xor(acc[i], other) };
+        }
+        acc.rotate_left(1);
+    }
+    b.outputs(&acc);
+    b.finish()
+}
+
+fn bench_garbling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("garbling");
+    group.sample_size(10);
+    for (name, and_heavy) in [("xor_chain", false), ("and_chain", true)] {
+        let circuit = chain_circuit(and_heavy, 400);
+        let total = circuit.stats().total();
+        group.throughput(Throughput::Elements(total));
+        let g = vec![true; 64];
+        let e: Vec<bool> = (0..64).map(|i| i % 3 != 0).collect();
+        group.bench_function(name, |bench| {
+            let mut rng = StdRng::seed_from_u64(1);
+            bench.iter(|| execute_locally(&circuit, &g, &e, 1, &mut rng));
+        });
+    }
+    group.finish();
+
+    // Report the measured β coefficients once per run.
+    let mut rng = StdRng::seed_from_u64(2);
+    let timings = deepsecure_core::cost::calibrate(3.4e9, &mut rng);
+    println!(
+        "calibrated gate timings @3.4GHz-equivalent: XOR {:.0} clks, non-XOR {:.0} clks (paper: 62 / 164)",
+        timings.xor_clks, timings.non_xor_clks
+    );
+}
+
+criterion_group!(benches, bench_garbling);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! BFV baseline micro-costs: the flat-per-batch economics behind Fig. 6.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepsecure_he::{Bfv, Params};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_he(c: &mut Criterion) {
+    let mut group = c.benchmark_group("he");
+    group.sample_size(10);
+    let bfv = Bfv::new(Params::toy());
+    let mut rng = StdRng::seed_from_u64(1);
+    let sk = bfv.keygen(&mut rng);
+    let evk = bfv.eval_keygen(&sk, &mut rng);
+    let values: Vec<u64> = (0..256).map(|i| i % 100).collect();
+    let pt = bfv.encode(&values);
+    let ct = bfv.encrypt(&sk, &pt, &mut rng);
+
+    group.bench_function("encrypt", |bench| {
+        let mut rng = StdRng::seed_from_u64(2);
+        bench.iter(|| bfv.encrypt(&sk, &pt, &mut rng));
+    });
+    group.bench_function("add", |bench| {
+        bench.iter(|| bfv.add(&ct, &ct));
+    });
+    group.bench_function("mul_plain_scalar", |bench| {
+        bench.iter(|| bfv.mul_plain_scalar(&ct, 7));
+    });
+    group.bench_function("square_relin", |bench| {
+        bench.iter(|| bfv.square(&ct, &evk));
+    });
+    group.bench_function("decrypt", |bench| {
+        bench.iter(|| bfv.decrypt(&sk, &ct));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_he);
+criterion_main!(benches);

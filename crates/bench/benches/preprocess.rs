@@ -1,0 +1,43 @@
+//! Pre-processing costs: Algorithm 1 server-side fitting and the client's
+//! per-sample Algorithm 2 projection (a single matrix-vector product).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepsecure_core::preprocess::{embedding_classifier, fit_projection, ProjectionConfig};
+use deepsecure_nn::data;
+use deepsecure_nn::train::TrainConfig;
+
+fn bench_preprocess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocess");
+    group.sample_size(10);
+
+    let set = data::low_rank(120, 128, 4, 12, 5);
+    let (train_set, val) = set.split_validation(24);
+    let cfg = ProjectionConfig {
+        gamma: 0.3,
+        batch: 32,
+        patience: 400,
+        max_dim: Some(24),
+        retrain: TrainConfig { epochs: 1, lr: 0.05, seed: 1 },
+    };
+    group.bench_function("fit_projection/128d", |bench| {
+        bench.iter(|| fit_projection(&train_set, &val, |l| embedding_classifier(l, 8, 4, 2), &cfg));
+    });
+
+    let out = fit_projection(&train_set, &val, |l| embedding_classifier(l, 8, 4, 2), &cfg);
+    let x: Vec<f64> = train_set.inputs[0].data().iter().map(|&v| f64::from(v)).collect();
+    group.bench_function("project_sample/alg2", |bench| {
+        bench.iter(|| out.model.project(&x));
+    });
+
+    group.bench_function("magnitude_prune/tiny", |bench| {
+        bench.iter(|| {
+            let mut net = deepsecure_nn::zoo::tiny_mlp(4);
+            deepsecure_nn::prune::magnitude_prune(&mut net, 0.8);
+            net
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocess);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! End-to-end secure inference latency on a small MLP (full protocol:
+//! base OT + IKNP + garbling + transfer + evaluation + decode).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepsecure_core::compile::CompileOptions;
+use deepsecure_core::protocol::{run_secure_inference, InferenceConfig};
+use deepsecure_nn::{data, zoo};
+use deepsecure_synth::activation::Activation;
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol");
+    group.sample_size(10);
+    let set = data::digits_small(4, 1);
+    let net = zoo::tiny_mlp(set.num_classes);
+    let cfg = InferenceConfig {
+        options: CompileOptions {
+            tanh: Activation::TanhPl,
+            sigmoid: Activation::SigmoidPlan,
+            ..CompileOptions::default()
+        },
+        ..InferenceConfig::default()
+    };
+    group.bench_function("secure_inference/tiny_mlp", |bench| {
+        bench.iter(|| run_secure_inference(&net, &set.inputs[0], &cfg).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol);
+criterion_main!(benches);

@@ -1,0 +1,176 @@
+//! Regenerates **Table 3**: XOR / non-XOR gate counts and approximation
+//! error for every DL circuit element.
+//!
+//! Gate counts are *our* synthesis results; the paper's counts are printed
+//! alongside for shape comparison (XOR counts differ freely — XORs are
+//! free — while non-XOR counts track the same constructions).
+
+use deepsecure_bench::{row, sci};
+use deepsecure_circuit::Builder;
+use deepsecure_core::cost::{add_stats, max_stats, mult_stats};
+use deepsecure_fixed::{Fixed, Format};
+use deepsecure_synth::activation::{softmax_argmax, Activation};
+use deepsecure_synth::{div, word};
+
+fn activation_error(act: Activation, steps: usize) -> f64 {
+    let mut b = Builder::new();
+    let x = word::garbler_word(&mut b, 16);
+    let y = act.build(&mut b, &x);
+    word::output_word(&mut b, &y);
+    let c = b.finish();
+    let q = Format::Q3_12;
+    let mut max_err: f64 = 0.0;
+    for i in 0..=steps {
+        let xf = -7.5 + 15.0 * i as f64 / steps as f64;
+        let xin = Fixed::from_f64(xf, q);
+        let out = Fixed::from_bits(&c.eval(&xin.to_bits(), &[]), q);
+        max_err = max_err.max((out.to_f64() - act.reference(xin.to_f64())).abs());
+    }
+    max_err
+}
+
+fn main() {
+    let q = Format::Q3_12;
+    println!("Table 3: GC-optimized circuit elements (Q1.3.12, 16-bit words)");
+    println!("(paper counts in parentheses; error = max |circuit - f64| over [-7.5, 7.5],");
+    println!(" minus the representational 2^-13; 'repr' means exact up to representation)");
+    println!();
+    let widths = [16usize, 12, 22, 12];
+    println!(
+        "{}",
+        row(
+            &["Name".into(), "#XOR".into(), "#non-XOR (paper)".into(), "Error".into()],
+            &widths
+        )
+    );
+
+    let acts: &[(Activation, f64, u64)] = &[
+        (Activation::TanhLut, 0.0, 149_745),
+        (Activation::TanhTrunc, 0.0001, 1_746),
+        (Activation::TanhPl, 0.0022, 206),
+        (Activation::TanhCordic, 0.0, 3_900),
+        (Activation::SigmoidLut, 0.0, 142_523),
+        (Activation::SigmoidTrunc, 0.0004, 2_107),
+        (Activation::SigmoidPlan, 0.0059, 73),
+        (Activation::SigmoidCordic, 0.0, 3_932),
+        (Activation::Relu, 0.0, 15),
+    ];
+    for (act, _paper_err, paper_nonxor) in acts {
+        let stats = deepsecure_core::cost::activation_stats(*act, q);
+        let err = activation_error(*act, 600);
+        let err_str = if err <= 2.5 * q.epsilon() {
+            "repr".to_string()
+        } else {
+            format!("{:.2}%", err * 100.0)
+        };
+        println!(
+            "{}",
+            row(
+                &[
+                    act.name().into(),
+                    sci(stats.xor as f64),
+                    format!("{} ({})", sci(stats.non_xor as f64), sci(*paper_nonxor as f64)),
+                    err_str,
+                ],
+                &widths
+            )
+        );
+    }
+
+    // Arithmetic elements (bit-exact against deepsecure-fixed => error 0).
+    let add = add_stats(q);
+    println!(
+        "{}",
+        row(
+            &["ADD".into(), sci(add.xor as f64), format!("{} (16)", add.non_xor), "0".into()],
+            &widths
+        )
+    );
+    let mult = mult_stats(q);
+    println!(
+        "{}",
+        row(
+            &[
+                "MULT".into(),
+                sci(mult.xor as f64),
+                format!("{} (212)", mult.non_xor),
+                "0".into()
+            ],
+            &widths
+        )
+    );
+    let div_stats = {
+        let mut b = Builder::new();
+        let x = word::garbler_word(&mut b, 16);
+        let y = word::evaluator_word(&mut b, 16);
+        let d = div::div_fixed(&mut b, &x, &y, 12);
+        word::output_word(&mut b, &d);
+        b.finish().stats()
+    };
+    println!(
+        "{}",
+        row(
+            &[
+                "DIV".into(),
+                sci(div_stats.xor as f64),
+                format!("{} (361)", div_stats.non_xor),
+                "0".into()
+            ],
+            &widths
+        )
+    );
+    let maxg = max_stats(q);
+    println!(
+        "{}",
+        row(
+            &["Max (pool)".into(), sci(maxg.xor as f64), format!("{}", maxg.non_xor), "0".into()],
+            &widths
+        )
+    );
+
+    // Softmax_n: (n-1) CMP/MUX stages; paper: (n-1)*48 XOR, (n-1)*32 non-XOR.
+    let n = 10usize;
+    let softmax = {
+        let mut b = Builder::new();
+        let logits: Vec<_> = (0..n).map(|_| word::garbler_word(&mut b, 16)).collect();
+        let idx = softmax_argmax(&mut b, &logits);
+        word::output_word(&mut b, &idx);
+        b.finish().stats()
+    };
+    let per_stage = softmax.non_xor as f64 / (n - 1) as f64;
+    println!(
+        "{}",
+        row(
+            &[
+                format!("Softmax_{n}"),
+                sci(softmax.xor as f64),
+                format!("{} = (n-1)*{:.0} ((n-1)*32)", softmax.non_xor, per_stage),
+                "0".into()
+            ],
+            &widths
+        )
+    );
+
+    // Matrix-vector product formula: per-MAC = MULT + ADD.
+    let mac = mult.merge(add);
+    println!(
+        "{}",
+        row(
+            &[
+                "A(1xm)·B(mxn)".into(),
+                format!("{}·m·n (397·m·n)", mac.xor),
+                format!("{}·m·n (228·m·n)", mac.non_xor),
+                "0".into()
+            ],
+            &widths
+        )
+    );
+    println!();
+    println!(
+        "Shape check: non-XOR ordering LUT >> CORDIC > truncated > PL holds: {} > {} > {} > {}",
+        deepsecure_core::cost::activation_stats(Activation::TanhLut, q).non_xor,
+        deepsecure_core::cost::activation_stats(Activation::TanhCordic, q).non_xor,
+        deepsecure_core::cost::activation_stats(Activation::TanhTrunc, q).non_xor,
+        deepsecure_core::cost::activation_stats(Activation::TanhPl, q).non_xor,
+    );
+}

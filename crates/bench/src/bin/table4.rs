@@ -1,0 +1,113 @@
+//! Regenerates **Table 4**: gate counts, communication, computation and
+//! execution time for benchmarks 1–4 *without* pre-processing.
+//!
+//! Counts come from the analytic Table-2 sum over our synthesized
+//! components; times from the cost model at the paper's operating point
+//! (3.4 GHz, 62/164 clk/gate, 102.8 MB/s effective link — see
+//! EXPERIMENTS.md).
+
+use deepsecure_bench::{mb, row, sci};
+use deepsecure_core::compile::CompileOptions;
+use deepsecure_core::cost::{network_stats, CostModel};
+use deepsecure_nn::zoo;
+
+fn main() {
+    let opts = CompileOptions::default(); // CORDIC nonlinearities, as §4.5
+    let model = CostModel::default();
+    println!("Table 4: benchmarks without pre-processing (paper values in parentheses)");
+    println!();
+    let widths = [12usize, 46, 12, 12, 14, 12, 12];
+    println!(
+        "{}",
+        row(
+            &[
+                "Name".into(),
+                "Architecture".into(),
+                "#XOR".into(),
+                "#non-XOR".into(),
+                "Comm (MB)".into(),
+                "Comp (s)".into(),
+                "Exec (s)".into()
+            ],
+            &widths
+        )
+    );
+    let benchmarks = [
+        (
+            "Benchmark 1",
+            "28x28-5C2-ReLu-100FC-ReLu-10FC-Softmax",
+            zoo::benchmark1_cnn(),
+            (4.31e7, 2.47e7, 791.0, 1.98, 9.67),
+        ),
+        (
+            "Benchmark 2",
+            "28x28-300FC-Sig-100FC-Sig-10FC-Softmax",
+            zoo::benchmark2_lenet300(),
+            (1.09e8, 6.23e7, 1990.0, 4.99, 24.37),
+        ),
+        (
+            "Benchmark 3",
+            "617-50FC-Tanh-26FC-Softmax",
+            zoo::benchmark3_audio_dnn(),
+            (1.32e7, 7.54e6, 241.0, 0.60, 2.95),
+        ),
+        (
+            "Benchmark 4",
+            "5625-2000FC-Tanh-500FC-Tanh-19FC-Softmax",
+            zoo::benchmark4_sensing_dnn(),
+            (4.89e9, 2.81e9, 89_800.0, 224.5, 1098.3),
+        ),
+    ];
+    for (name, arch, net, paper) in benchmarks {
+        let stats = network_stats(&net, &opts);
+        let cost = model.cost(stats);
+        println!(
+            "{}",
+            row(
+                &[
+                    name.into(),
+                    arch.into(),
+                    format!("{} ({})", sci(stats.xor as f64), sci(paper.0)),
+                    format!("{} ({})", sci(stats.non_xor as f64), sci(paper.1)),
+                    format!("{} ({})", mb(cost.comm_bytes), paper.2),
+                    format!("{:.2} ({})", cost.comp_s, paper.3),
+                    format!("{:.2} ({})", cost.exec_s, paper.4),
+                ],
+                &widths
+            )
+        );
+    }
+    println!();
+    println!("At the paper's operating point (truncated-array multiplier, Table 3's 212-gate regime):");
+    let paper_opts = deepsecure_core::compile::CompileOptions::paper();
+    for (name, net, paper_nonxor, paper_exec) in [
+        ("Benchmark 1", zoo::benchmark1_cnn(), 2.47e7, 9.67),
+        ("Benchmark 2", zoo::benchmark2_lenet300(), 6.23e7, 24.37),
+        ("Benchmark 3", zoo::benchmark3_audio_dnn(), 7.54e6, 2.95),
+        ("Benchmark 4", zoo::benchmark4_sensing_dnn(), 2.81e9, 1098.3),
+    ] {
+        let stats = network_stats(&net, &paper_opts);
+        let cost = model.cost(stats);
+        println!(
+            "  {name}: non-XOR {} ({}), exec {:.2} s ({paper_exec})",
+            sci(stats.non_xor as f64),
+            sci(paper_nonxor),
+            cost.exec_s
+        );
+    }
+    println!();
+    println!("Shape checks:");
+    let s3 = network_stats(&zoo::benchmark3_audio_dnn(), &opts);
+    let s4 = network_stats(&zoo::benchmark4_sensing_dnn(), &opts);
+    println!(
+        "  B4/B3 non-XOR ratio: {:.0}x (paper: {:.0}x) — driven by the MAC count",
+        s4.non_xor as f64 / s3.non_xor as f64,
+        2.81e9 / 7.54e6
+    );
+    let c4 = model.cost(s4);
+    println!(
+        "  B4 execution dominated by transfer: comm/BW = {:.0}s of {:.0}s total",
+        c4.comm_bytes as f64 / model.bandwidth,
+        c4.exec_s
+    );
+}

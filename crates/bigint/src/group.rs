@@ -1,0 +1,200 @@
+use rand::Rng;
+
+use crate::{Mont, Ubig};
+
+/// RFC 3526 group 5 (1536-bit MODP) prime.
+const MODP_1536: &str = "
+    FFFFFFFF FFFFFFFF C90FDAA2 2168C234 C4C6628B 80DC1CD1
+    29024E08 8A67CC74 020BBEA6 3B139B22 514A0879 8E3404DD
+    EF9519B3 CD3A431B 302B0A6D F25F1437 4FE1356D 6D51C245
+    E485B576 625E7EC6 F44C42E9 A637ED6B 0BFF5CB6 F406B7ED
+    EE386BFB 5A899FA5 AE9F2411 7C4B1FE6 49286651 ECE45B3D
+    C2007CB8 A163BF05 98DA4836 1C55D39A 69163FA8 FD24CF5F
+    83655D23 DCA3AD96 1C62F356 208552BB 9ED52907 7096966D
+    670C354E 4ABC9804 F1746C08 CA237327 FFFFFFFF FFFFFFFF";
+
+/// RFC 3526 group 14 (2048-bit MODP) prime.
+const MODP_2048: &str = "
+    FFFFFFFF FFFFFFFF C90FDAA2 2168C234 C4C6628B 80DC1CD1
+    29024E08 8A67CC74 020BBEA6 3B139B22 514A0879 8E3404DD
+    EF9519B3 CD3A431B 302B0A6D F25F1437 4FE1356D 6D51C245
+    E485B576 625E7EC6 F44C42E9 A637ED6B 0BFF5CB6 F406B7ED
+    EE386BFB 5A899FA5 AE9F2411 7C4B1FE6 49286651 ECE45B3D
+    C2007CB8 A163BF05 98DA4836 1C55D39A 69163FA8 FD24CF5F
+    83655D23 DCA3AD96 1C62F356 208552BB 9ED52907 7096966D
+    670C354E 4ABC9804 F1746C08 CA18217C 32905E46 2E36CE3B
+    E39E772C 180E8603 9B2783A2 EC07A28F B5C55DF0 6F4C52C9
+    DE2BCBF6 95581718 3995497C EA956AE5 15D22618 98FA0510
+    15728E5A 8AACAA68 FFFFFFFF FFFFFFFF";
+
+/// RFC 2409 Oakley group 1 (768-bit MODP) prime — used in tests where the
+/// full-size groups would dominate runtime.
+const MODP_768: &str = "
+    FFFFFFFF FFFFFFFF C90FDAA2 2168C234 C4C6628B 80DC1CD1
+    29024E08 8A67CC74 020BBEA6 3B139B22 514A0879 8E3404DD
+    EF9519B3 CD3A431B 302B0A6D F25F1437 4FE1356D 6D51C245
+    E485B576 625E7EC6 F44C42E9 A63A3620 FFFFFFFF FFFFFFFF";
+
+/// A Diffie-Hellman group `(p, g)` with a Montgomery context for fast
+/// exponentiation; the arithmetic substrate of the Naor-Pinkas base OT.
+///
+/// # Example
+///
+/// ```
+/// use deepsecure_bigint::DhGroup;
+/// use rand::SeedableRng;
+///
+/// let group = DhGroup::modp_768();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let (a, ga) = group.random_keypair(&mut rng);
+/// let (b, gb) = group.random_keypair(&mut rng);
+/// // Diffie-Hellman agreement.
+/// assert_eq!(group.pow(&ga, &b), group.pow(&gb, &a));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DhGroup {
+    mont: Mont,
+    generator: Ubig,
+    name: &'static str,
+}
+
+impl DhGroup {
+    /// The RFC 3526 1536-bit MODP group (generator 2); the default for the
+    /// base OT.
+    pub fn modp_1536() -> DhGroup {
+        DhGroup::from_hex_prime(MODP_1536, "modp-1536")
+    }
+
+    /// The RFC 3526 2048-bit MODP group (generator 2).
+    pub fn modp_2048() -> DhGroup {
+        DhGroup::from_hex_prime(MODP_2048, "modp-2048")
+    }
+
+    /// The RFC 2409 768-bit MODP group (generator 2); intended for tests.
+    pub fn modp_768() -> DhGroup {
+        DhGroup::from_hex_prime(MODP_768, "modp-768")
+    }
+
+    fn from_hex_prime(hex: &str, name: &'static str) -> DhGroup {
+        let p = Ubig::from_hex(hex).expect("baked-in prime parses");
+        DhGroup {
+            mont: Mont::new(p).expect("MODP primes are odd"),
+            generator: Ubig::from(2u64),
+            name,
+        }
+    }
+
+    /// The group prime `p`.
+    pub fn prime(&self) -> &Ubig {
+        self.mont.modulus()
+    }
+
+    /// The generator `g`.
+    pub fn generator(&self) -> &Ubig {
+        &self.generator
+    }
+
+    /// The group's human-readable name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Modular exponentiation `base^exp mod p`.
+    pub fn pow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        self.mont.pow(base, exp)
+    }
+
+    /// Modular multiplication `a*b mod p`.
+    pub fn mul(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        self.mont.mul(a, b)
+    }
+
+    /// Modular division `a * b^{-1} mod p` (via Fermat inversion; `p` prime).
+    pub fn div(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        let p_minus_2 = &(self.prime() - &Ubig::one()) - &Ubig::one();
+        let inv = self.mont.pow(b, &p_minus_2);
+        self.mont.mul(a, &inv)
+    }
+
+    /// Samples a private exponent `x ∈ [2, p-2]` and returns `(x, g^x)`.
+    pub fn random_keypair<R: Rng + ?Sized>(&self, rng: &mut R) -> (Ubig, Ubig) {
+        let low = Ubig::from(2u64);
+        let high = self.prime() - &Ubig::one();
+        let x = Ubig::random_range(rng, &low, &high);
+        let gx = self.pow(&self.generator, &x);
+        (x, gx)
+    }
+
+    /// Serializes a group element as fixed-width big-endian bytes.
+    pub fn element_to_bytes(&self, e: &Ubig) -> Vec<u8> {
+        let width = self.prime().bit_len().div_ceil(8);
+        let mut bytes = e.to_bytes_be();
+        let mut out = vec![0u8; width - bytes.len()];
+        out.append(&mut bytes);
+        out
+    }
+
+    /// Parses a group element from [`DhGroup::element_to_bytes`] output.
+    pub fn element_from_bytes(&self, bytes: &[u8]) -> Ubig {
+        Ubig::from_bytes_be(bytes)
+    }
+
+    /// The serialized element width in bytes.
+    pub fn element_len(&self) -> usize {
+        self.prime().bit_len().div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn primes_parse_and_are_odd() {
+        for g in [DhGroup::modp_768(), DhGroup::modp_1536(), DhGroup::modp_2048()] {
+            assert!(g.prime().is_odd(), "{}", g.name());
+        }
+        assert_eq!(DhGroup::modp_768().prime().bit_len(), 768);
+        assert_eq!(DhGroup::modp_1536().prime().bit_len(), 1536);
+        assert_eq!(DhGroup::modp_2048().prime().bit_len(), 2048);
+    }
+
+    #[test]
+    fn dh_agreement() {
+        let group = DhGroup::modp_768();
+        let mut rng = StdRng::seed_from_u64(11);
+        let (a, ga) = group.random_keypair(&mut rng);
+        let (b, gb) = group.random_keypair(&mut rng);
+        assert_eq!(group.pow(&ga, &b), group.pow(&gb, &a));
+    }
+
+    #[test]
+    fn div_inverts_mul() {
+        let group = DhGroup::modp_768();
+        let mut rng = StdRng::seed_from_u64(12);
+        let (_, x) = group.random_keypair(&mut rng);
+        let (_, y) = group.random_keypair(&mut rng);
+        let prod = group.mul(&x, &y);
+        assert_eq!(group.div(&prod, &y), x);
+    }
+
+    #[test]
+    fn element_bytes_roundtrip() {
+        let group = DhGroup::modp_768();
+        let mut rng = StdRng::seed_from_u64(13);
+        let (_, gx) = group.random_keypair(&mut rng);
+        let bytes = group.element_to_bytes(&gx);
+        assert_eq!(bytes.len(), group.element_len());
+        assert_eq!(group.element_from_bytes(&bytes), gx);
+    }
+
+    #[test]
+    fn fermat_on_small_subgroup() {
+        // g^(p-1) == 1 mod p sanity check (Fermat) on the 768-bit group.
+        let group = DhGroup::modp_768();
+        let exp = group.prime() - &Ubig::one();
+        assert_eq!(group.pow(group.generator(), &exp), Ubig::one());
+    }
+}

@@ -1,0 +1,192 @@
+use crate::Ubig;
+
+/// A Montgomery multiplication context for a fixed odd modulus.
+///
+/// Implements the CIOS (coarsely integrated operand scanning) algorithm so
+/// that [`Mont::pow`] runs the hundreds of 1536-bit exponentiations of the
+/// base-OT phase in milliseconds rather than minutes.
+///
+/// # Example
+///
+/// ```
+/// use deepsecure_bigint::{Mont, Ubig};
+///
+/// let m = Mont::new(Ubig::from(97u64)).unwrap();
+/// let r = m.pow(&Ubig::from(5u64), &Ubig::from(96u64));
+/// assert_eq!(r, Ubig::from(1u64), "Fermat little theorem");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mont {
+    modulus: Ubig,
+    limbs: usize,
+    /// -modulus^{-1} mod 2^64.
+    n0_inv: u64,
+    /// R^2 mod modulus where R = 2^(64*limbs).
+    r2: Vec<u64>,
+}
+
+impl Mont {
+    /// Creates a context for `modulus`.
+    ///
+    /// Returns `None` when the modulus is even or < 3 (Montgomery reduction
+    /// requires an odd modulus).
+    pub fn new(modulus: Ubig) -> Option<Mont> {
+        if !modulus.is_odd() || modulus <= Ubig::one() {
+            return None;
+        }
+        let limbs = modulus.limbs().len();
+        let n0 = modulus.limbs()[0];
+        // Newton iteration for the inverse of n0 modulo 2^64.
+        let mut inv = 1u64;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        let n0_inv = inv.wrapping_neg();
+        let r = Ubig::one().shl(64 * limbs);
+        let r2_big = (&r * &r) % modulus.clone();
+        let mut r2 = r2_big.limbs().to_vec();
+        r2.resize(limbs, 0);
+        Some(Mont {
+            modulus,
+            limbs,
+            n0_inv,
+            r2,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &Ubig {
+        &self.modulus
+    }
+
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let n = self.limbs;
+        let m = self.modulus.limbs();
+        let mut t = vec![0u64; n + 2];
+        for &ai in a.iter().take(n) {
+            // t += ai * b
+            let mut carry = 0u128;
+            for j in 0..n {
+                let v = u128::from(ai) * u128::from(b[j]) + u128::from(t[j]) + carry;
+                t[j] = v as u64;
+                carry = v >> 64;
+            }
+            let v = u128::from(t[n]) + carry;
+            t[n] = v as u64;
+            t[n + 1] = (v >> 64) as u64;
+            // reduce one limb
+            let u = t[0].wrapping_mul(self.n0_inv);
+            let mut carry = (u128::from(u) * u128::from(m[0]) + u128::from(t[0])) >> 64;
+            for j in 1..n {
+                let v = u128::from(u) * u128::from(m[j]) + u128::from(t[j]) + carry;
+                t[j - 1] = v as u64;
+                carry = v >> 64;
+            }
+            let v = u128::from(t[n]) + carry;
+            t[n - 1] = v as u64;
+            t[n] = t[n + 1] + ((v >> 64) as u64);
+            t[n + 1] = 0;
+        }
+        t.truncate(n + 1);
+        // Conditional final subtraction.
+        let val = Ubig::from_limbs(t.clone());
+        let reduced = if val >= self.modulus {
+            &val - &self.modulus
+        } else {
+            val
+        };
+        let mut out = reduced.limbs().to_vec();
+        out.resize(n, 0);
+        out
+    }
+
+    fn to_mont(&self, x: &Ubig) -> Vec<u64> {
+        let reduced = x.clone() % self.modulus.clone();
+        let mut limbs = reduced.limbs().to_vec();
+        limbs.resize(self.limbs, 0);
+        self.mont_mul(&limbs, &self.r2)
+    }
+
+    fn from_mont(&self, x: &[u64]) -> Ubig {
+        let mut one = vec![0u64; self.limbs];
+        one[0] = 1;
+        Ubig::from_limbs(self.mont_mul(x, &one))
+    }
+
+    /// Computes `base^exp mod modulus` by square-and-multiply over the
+    /// Montgomery domain.
+    pub fn pow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        let base_m = self.to_mont(base);
+        let mut acc = self.to_mont(&Ubig::one());
+        for i in (0..exp.bit_len()).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, &base_m);
+            }
+        }
+        self.from_mont(&acc)
+    }
+
+    /// Computes `a * b mod modulus`.
+    pub fn mul(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_even_modulus() {
+        assert!(Mont::new(Ubig::from(100u64)).is_none());
+        assert!(Mont::new(Ubig::from(1u64)).is_none());
+    }
+
+    #[test]
+    fn matches_naive_modpow_small() {
+        let m = Mont::new(Ubig::from(1_000_003u64)).unwrap();
+        for base in [2u64, 3, 65537, 999_999] {
+            for exp in [0u64, 1, 2, 77, 1_000_002] {
+                let got = m.pow(&Ubig::from(base), &Ubig::from(exp));
+                let want = Ubig::from(base).modpow(&Ubig::from(exp), &Ubig::from(1_000_003u64));
+                assert_eq!(got, want, "base={base} exp={exp}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_limb_modulus() {
+        let p = Ubig::from_hex("ffffffffffffffffffffffffffffff61").unwrap(); // 128-bit prime-ish odd
+        let m = Mont::new(p.clone()).unwrap();
+        let base = Ubig::from_hex("123456789abcdef0fedcba9876543210").unwrap();
+        let exp = Ubig::from(12345u64);
+        assert_eq!(m.pow(&base, &exp), base.modpow(&exp, &p));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn mont_mul_matches_naive(a in any::<u128>(), b in any::<u128>(), m in any::<u128>()) {
+            let modulus = Ubig::from(m | 1).clone();
+            prop_assume!(modulus > Ubig::one());
+            let ctx = Mont::new(modulus.clone()).unwrap();
+            let got = ctx.mul(&Ubig::from(a), &Ubig::from(b));
+            let want = (Ubig::from(a) * Ubig::from(b)) % modulus;
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn mont_pow_matches_naive(a in any::<u64>(), e in any::<u16>(), m in any::<u64>()) {
+            let modulus = Ubig::from(u128::from(m) | 1);
+            prop_assume!(modulus > Ubig::one());
+            let ctx = Mont::new(modulus.clone()).unwrap();
+            let got = ctx.pow(&Ubig::from(a), &Ubig::from(u64::from(e)));
+            let want = Ubig::from(a).modpow(&Ubig::from(u64::from(e)), &modulus);
+            prop_assert_eq!(got, want);
+        }
+    }
+}

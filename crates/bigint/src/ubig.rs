@@ -1,0 +1,475 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Rem, Sub};
+
+use rand::Rng;
+
+/// An arbitrary-precision unsigned integer stored as little-endian 64-bit
+/// limbs with no trailing zero limbs.
+///
+/// Operations implemented are the minimum needed by the OT substrate:
+/// comparison, addition, subtraction, schoolbook multiplication, shifting,
+/// binary long division and random sampling below a bound.
+///
+/// # Example
+///
+/// ```
+/// use deepsecure_bigint::Ubig;
+///
+/// let a = Ubig::from_hex("ffffffffffffffffffffffff").unwrap();
+/// let b = Ubig::from(1u64);
+/// assert_eq!((a.clone() + b).bit_len(), 97);
+/// assert_eq!(a.clone() % a, Ubig::ZERO);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Ubig {
+    limbs: Vec<u64>,
+}
+
+impl Ubig {
+    /// The value zero.
+    pub const ZERO: Ubig = Ubig { limbs: Vec::new() };
+
+    /// Creates the value one.
+    pub fn one() -> Ubig {
+        Ubig { limbs: vec![1] }
+    }
+
+    /// Builds from little-endian limbs, trimming trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Ubig {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Ubig { limbs }
+    }
+
+    /// Parses a (whitespace-tolerant) big-endian hexadecimal string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseUbigError`] when a non-hex character is found.
+    pub fn from_hex(s: &str) -> Result<Ubig, ParseUbigError> {
+        let digits: Vec<u8> = s
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .map(|c| c.to_digit(16).map(|d| d as u8).ok_or(ParseUbigError))
+            .collect::<Result<_, _>>()?;
+        let mut limbs = vec![0u64; digits.len().div_ceil(16)];
+        for (i, d) in digits.iter().rev().enumerate() {
+            limbs[i / 16] |= u64::from(*d) << (4 * (i % 16));
+        }
+        Ok(Ubig::from_limbs(limbs))
+    }
+
+    /// Big-endian byte representation without leading zeros (empty for 0).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out: Vec<u8> = self
+            .limbs
+            .iter()
+            .rev()
+            .flat_map(|l| l.to_be_bytes())
+            .skip_while(|&b| b == 0)
+            .collect();
+        if out.is_empty() && !self.is_zero() {
+            out.push(0);
+        }
+        out
+    }
+
+    /// Builds from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Ubig {
+        let mut limbs = vec![0u64; bytes.len().div_ceil(8)];
+        for (i, b) in bytes.iter().rev().enumerate() {
+            limbs[i / 8] |= u64::from(*b) << (8 * (i % 8));
+        }
+        Ubig::from_limbs(limbs)
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Whether the value is odd.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|l| l & 1 == 1)
+    }
+
+    /// Number of significant bits (0 for the value zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Returns bit `i` (LSB order).
+    pub fn bit(&self, i: usize) -> bool {
+        self.limbs
+            .get(i / 64)
+            .is_some_and(|l| (l >> (i % 64)) & 1 == 1)
+    }
+
+    /// The little-endian limb slice.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Left shift by `n` bits.
+    pub fn shl(&self, n: usize) -> Ubig {
+        if self.is_zero() {
+            return Ubig::ZERO;
+        }
+        let (words, bits) = (n / 64, n % 64);
+        let mut limbs = vec![0u64; self.limbs.len() + words + 1];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            limbs[i + words] |= l << bits;
+            if bits > 0 {
+                limbs[i + words + 1] |= l >> (64 - bits);
+            }
+        }
+        Ubig::from_limbs(limbs)
+    }
+
+    /// Right shift by `n` bits.
+    pub fn shr(&self, n: usize) -> Ubig {
+        let (words, bits) = (n / 64, n % 64);
+        if words >= self.limbs.len() {
+            return Ubig::ZERO;
+        }
+        let mut limbs = vec![0u64; self.limbs.len() - words];
+        for i in 0..limbs.len() {
+            limbs[i] = self.limbs[i + words] >> bits;
+            if bits > 0 {
+                if let Some(&next) = self.limbs.get(i + words + 1) {
+                    limbs[i] |= next << (64 - bits);
+                }
+            }
+        }
+        Ubig::from_limbs(limbs)
+    }
+
+    /// Quotient and remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &Ubig) -> (Ubig, Ubig) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (Ubig::ZERO, self.clone());
+        }
+        let shift = self.bit_len() - divisor.bit_len();
+        let mut remainder = self.clone();
+        let mut quotient = vec![0u64; shift / 64 + 1];
+        let mut d = divisor.shl(shift);
+        for i in (0..=shift).rev() {
+            if remainder >= d {
+                remainder = &remainder - &d;
+                quotient[i / 64] |= 1u64 << (i % 64);
+            }
+            d = d.shr(1);
+        }
+        (Ubig::from_limbs(quotient), remainder)
+    }
+
+    /// Modular exponentiation by repeated squaring (non-Montgomery path,
+    /// used for even moduli and as a test oracle for [`crate::Mont`]).
+    pub fn modpow(&self, exp: &Ubig, modulus: &Ubig) -> Ubig {
+        assert!(!modulus.is_zero(), "zero modulus");
+        let mut result = Ubig::one() % modulus.clone();
+        let mut base = self.clone() % modulus.clone();
+        for i in 0..exp.bit_len() {
+            if exp.bit(i) {
+                result = (&result * &base) % modulus.clone();
+            }
+            base = (&base * &base) % modulus.clone();
+        }
+        result
+    }
+
+    /// Samples uniformly from `[low, high)` by rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn random_range<R: Rng + ?Sized>(rng: &mut R, low: &Ubig, high: &Ubig) -> Ubig {
+        assert!(low < high, "empty range");
+        let span = high - low;
+        let bits = span.bit_len();
+        loop {
+            let mut limbs = vec![0u64; bits.div_ceil(64)];
+            for l in &mut limbs {
+                *l = rng.gen();
+            }
+            let top_bits = bits % 64;
+            if top_bits > 0 {
+                *limbs.last_mut().expect("bits > 0") &= (1u64 << top_bits) - 1;
+            }
+            let candidate = Ubig::from_limbs(limbs);
+            if candidate < span {
+                return low + &candidate;
+            }
+        }
+    }
+}
+
+/// Error returned by [`Ubig::from_hex`] on invalid input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseUbigError;
+
+impl fmt::Display for ParseUbigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid hexadecimal digit in big integer literal")
+    }
+}
+
+impl std::error::Error for ParseUbigError {}
+
+impl From<u64> for Ubig {
+    fn from(v: u64) -> Ubig {
+        Ubig::from_limbs(vec![v])
+    }
+}
+
+impl From<u128> for Ubig {
+    fn from(v: u128) -> Ubig {
+        Ubig::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl PartialOrd for Ubig {
+    fn partial_cmp(&self, other: &Ubig) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ubig {
+    fn cmp(&self, other: &Ubig) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            if a != b {
+                return a.cmp(b);
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl Add<&Ubig> for &Ubig {
+    type Output = Ubig;
+    fn add(self, rhs: &Ubig) -> Ubig {
+        let mut out = Vec::with_capacity(self.limbs.len().max(rhs.limbs.len()) + 1);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len().max(rhs.limbs.len()) {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        out.push(carry);
+        Ubig::from_limbs(out)
+    }
+}
+
+impl Add for Ubig {
+    type Output = Ubig;
+    fn add(self, rhs: Ubig) -> Ubig {
+        &self + &rhs
+    }
+}
+
+impl Sub<&Ubig> for &Ubig {
+    type Output = Ubig;
+
+    /// # Panics
+    ///
+    /// Panics on underflow; `Ubig` is unsigned.
+    fn sub(self, rhs: &Ubig) -> Ubig {
+        assert!(self >= rhs, "Ubig subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i];
+            let b = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = a.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        Ubig::from_limbs(out)
+    }
+}
+
+impl Sub for Ubig {
+    type Output = Ubig;
+    fn sub(self, rhs: Ubig) -> Ubig {
+        &self - &rhs
+    }
+}
+
+impl Mul<&Ubig> for &Ubig {
+    type Output = Ubig;
+    fn mul(self, rhs: &Ubig) -> Ubig {
+        if self.is_zero() || rhs.is_zero() {
+            return Ubig::ZERO;
+        }
+        let mut out = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let t = u128::from(a) * u128::from(b) + u128::from(out[i + j]) + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            out[i + rhs.limbs.len()] = carry as u64;
+        }
+        Ubig::from_limbs(out)
+    }
+}
+
+impl Mul for Ubig {
+    type Output = Ubig;
+    fn mul(self, rhs: Ubig) -> Ubig {
+        &self * &rhs
+    }
+}
+
+impl Rem for Ubig {
+    type Output = Ubig;
+    fn rem(self, rhs: Ubig) -> Ubig {
+        self.div_rem(&rhs).1
+    }
+}
+
+impl fmt::Debug for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ubig(0x")?;
+        if self.is_zero() {
+            write!(f, "0")?;
+        } else {
+            for (i, l) in self.limbs.iter().rev().enumerate() {
+                if i == 0 {
+                    write!(f, "{l:x}")?;
+                } else {
+                    write!(f, "{l:016x}")?;
+                }
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0x0");
+        }
+        write!(f, "0x")?;
+        for (i, l) in self.limbs.iter().rev().enumerate() {
+            if i == 0 {
+                write!(f, "{l:x}")?;
+            } else {
+                write!(f, "{l:016x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let x = Ubig::from_hex("deadbeefcafebabe0123456789").unwrap();
+        assert_eq!(format!("{x}"), "0xdeadbeefcafebabe0123456789");
+    }
+
+    #[test]
+    fn hex_rejects_garbage() {
+        assert!(Ubig::from_hex("xyz").is_err());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let x = Ubig::from_hex("0102030405060708090a0b").unwrap();
+        assert_eq!(Ubig::from_bytes_be(&x.to_bytes_be()), x);
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        let a = Ubig::from(u64::MAX);
+        let b = Ubig::from(1u64);
+        let sum = &a + &b;
+        assert_eq!(sum, Ubig::from(1u128 << 64));
+        assert_eq!(&sum - &b, a);
+    }
+
+    #[test]
+    fn div_rem_matches_u128() {
+        for (a, b) in [(12345u128, 17u128), (u128::MAX, 3), (100, 100), (5, 7)] {
+            let (q, r) = Ubig::from(a).div_rem(&Ubig::from(b));
+            assert_eq!(q, Ubig::from(a / b));
+            assert_eq!(r, Ubig::from(a % b));
+        }
+    }
+
+    #[test]
+    fn modpow_small() {
+        // 3^20 mod 1000 = 3486784401 mod 1000 = 401
+        let r = Ubig::from(3u64).modpow(&Ubig::from(20u64), &Ubig::from(1000u64));
+        assert_eq!(r, Ubig::from(401u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = Ubig::from(1u64) - Ubig::from(2u64);
+    }
+
+    proptest! {
+        #[test]
+        fn add_sub_roundtrip(a in any::<u128>(), b in any::<u128>()) {
+            let (x, y) = (Ubig::from(a), Ubig::from(b));
+            prop_assert_eq!(&(&x + &y) - &y, x);
+        }
+
+        #[test]
+        fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert_eq!(
+                &Ubig::from(a) * &Ubig::from(b),
+                Ubig::from(u128::from(a) * u128::from(b))
+            );
+        }
+
+        #[test]
+        fn div_rem_invariant(a in any::<u128>(), b in 1u128..) {
+            let (q, r) = Ubig::from(a).div_rem(&Ubig::from(b));
+            prop_assert!(r < Ubig::from(b));
+            prop_assert_eq!(&(&q * &Ubig::from(b)) + &r, Ubig::from(a));
+        }
+
+        #[test]
+        fn shifts_invert(a in any::<u128>(), s in 0usize..200) {
+            let x = Ubig::from(a);
+            prop_assert_eq!(x.shl(s).shr(s), x);
+        }
+
+        #[test]
+        fn random_range_in_bounds(seed in any::<u64>()) {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let low = Ubig::from(100u64);
+            let high = Ubig::from_hex("ffffffffffffffffffffffff").unwrap();
+            let x = Ubig::random_range(&mut rng, &low, &high);
+            prop_assert!(x >= low && x < high);
+        }
+    }
+}

@@ -1,0 +1,399 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A wire in a circuit, identified by a dense index.
+///
+/// Wire 0 is the constant-false wire and wire 1 the constant-true wire in
+/// every circuit produced by [`crate::Builder`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Wire(pub u32);
+
+/// The constant-false wire.
+pub const CONST_0: Wire = Wire(0);
+/// The constant-true wire.
+pub const CONST_1: Wire = Wire(1);
+
+impl Wire {
+    /// The wire's dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Wire {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// The gate alphabet. Under Free-XOR, `Xor`, `Xnor`, `Not` and `Buf` are
+/// *free* (no garbled table, no communication); all others are *non-XOR*
+/// and cost two 128-bit ciphertexts with half-gates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Exclusive or.
+    Xor,
+    /// Complemented exclusive or.
+    Xnor,
+    /// Conjunction.
+    And,
+    /// Complemented conjunction.
+    Nand,
+    /// Disjunction.
+    Or,
+    /// Complemented disjunction.
+    Nor,
+    /// Inverter (single input, `b` ignored).
+    Not,
+    /// Buffer (single input, `b` ignored).
+    Buf,
+}
+
+impl GateKind {
+    /// Whether the gate garbles for free under Free-XOR.
+    pub fn is_free(self) -> bool {
+        matches!(self, GateKind::Xor | GateKind::Xnor | GateKind::Not | GateKind::Buf)
+    }
+
+    /// Whether the gate takes two inputs.
+    pub fn is_binary(self) -> bool {
+        !matches!(self, GateKind::Not | GateKind::Buf)
+    }
+
+    /// Plaintext truth function.
+    pub fn eval(self, a: bool, b: bool) -> bool {
+        match self {
+            GateKind::Xor => a ^ b,
+            GateKind::Xnor => !(a ^ b),
+            GateKind::And => a & b,
+            GateKind::Nand => !(a & b),
+            GateKind::Or => a | b,
+            GateKind::Nor => !(a | b),
+            GateKind::Not => !a,
+            GateKind::Buf => a,
+        }
+    }
+
+    /// Decomposes a non-free binary gate as `((a⊕α) ∧ (b⊕β)) ⊕ γ`.
+    ///
+    /// Every 2-input gate whose truth table has odd weight 1 or 3 fits this
+    /// form, which is exactly what the half-gates garbler consumes: input
+    /// inversions fold into label bookkeeping and the output inversion into
+    /// the output label, so AND/NAND/OR/NOR all cost two ciphertexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a free gate.
+    pub fn and_form(self) -> (bool, bool, bool) {
+        match self {
+            GateKind::And => (false, false, false),
+            GateKind::Nand => (false, false, true),
+            GateKind::Or => (true, true, true),
+            GateKind::Nor => (true, true, false),
+            _ => panic!("and_form on free gate {self:?}"),
+        }
+    }
+
+    /// Parses the canonical upper-case name used in netlist files.
+    pub fn from_name(s: &str) -> Option<GateKind> {
+        Some(match s {
+            "XOR" => GateKind::Xor,
+            "XNOR" => GateKind::Xnor,
+            "AND" => GateKind::And,
+            "NAND" => GateKind::Nand,
+            "OR" => GateKind::Or,
+            "NOR" => GateKind::Nor,
+            "NOT" | "INV" => GateKind::Not,
+            "BUF" => GateKind::Buf,
+            _ => return None,
+        })
+    }
+
+    /// Canonical upper-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUF",
+        }
+    }
+}
+
+/// A gate: `out = kind(a, b)`. For unary kinds, `b == a` by convention.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Gate {
+    /// The truth function.
+    pub kind: GateKind,
+    /// First input wire.
+    pub a: Wire,
+    /// Second input wire (equal to `a` for unary gates).
+    pub b: Wire,
+    /// Output wire.
+    pub out: Wire,
+}
+
+/// A D-flip-flop register for sequential circuits: at each clock edge the
+/// value on `d` is latched and presented on `q` during the next cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Register {
+    /// Data input (a combinational wire).
+    pub d: Wire,
+    /// Latched output (acts as a source for the next cycle).
+    pub q: Wire,
+    /// Power-on value.
+    pub init: bool,
+}
+
+/// Gate-count statistics; `non_xor` is the quantity that determines GC
+/// communication under Free-XOR (paper Table 2: α = N_non-XOR × 2 × 128).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct GateStats {
+    /// Free gates (XOR, XNOR, NOT, BUF).
+    pub xor: u64,
+    /// Costly gates (AND, NAND, OR, NOR).
+    pub non_xor: u64,
+}
+
+impl GateStats {
+    /// Total gates.
+    pub fn total(&self) -> u64 {
+        self.xor + self.non_xor
+    }
+
+    /// Statistics scaled by `cycles` executions of a sequential core.
+    pub fn scaled(&self, cycles: u64) -> GateStats {
+        GateStats {
+            xor: self.xor * cycles,
+            non_xor: self.non_xor * cycles,
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn merge(&self, other: GateStats) -> GateStats {
+        GateStats {
+            xor: self.xor + other.xor,
+            non_xor: self.non_xor + other.non_xor,
+        }
+    }
+}
+
+impl std::ops::Add for GateStats {
+    type Output = GateStats;
+    fn add(self, rhs: GateStats) -> GateStats {
+        self.merge(rhs)
+    }
+}
+
+impl fmt::Display for GateStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} XOR + {} non-XOR", self.xor, self.non_xor)
+    }
+}
+
+/// A (possibly sequential) Boolean circuit in topological gate order.
+///
+/// Wires `0` and `1` are the constants; then garbler inputs, evaluator
+/// inputs and register outputs act as sources. Use [`crate::Builder`] to
+/// construct circuits and [`crate::Simulator`] to evaluate them in
+/// plaintext.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Circuit {
+    pub(crate) wire_count: u32,
+    pub(crate) garbler_inputs: Vec<Wire>,
+    pub(crate) evaluator_inputs: Vec<Wire>,
+    pub(crate) outputs: Vec<Wire>,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) registers: Vec<Register>,
+}
+
+impl Circuit {
+    /// Total number of wires (including constants and dead wires).
+    pub fn wire_count(&self) -> usize {
+        self.wire_count as usize
+    }
+
+    /// Wires carrying the garbler's (client's) input bits.
+    pub fn garbler_inputs(&self) -> &[Wire] {
+        &self.garbler_inputs
+    }
+
+    /// Wires carrying the evaluator's (server's) input bits.
+    pub fn evaluator_inputs(&self) -> &[Wire] {
+        &self.evaluator_inputs
+    }
+
+    /// Output wires, in declaration order.
+    pub fn outputs(&self) -> &[Wire] {
+        &self.outputs
+    }
+
+    /// Gates in topological order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Registers (empty for combinational circuits).
+    pub fn registers(&self) -> &[Register] {
+        &self.registers
+    }
+
+    /// Whether the circuit contains registers.
+    pub fn is_sequential(&self) -> bool {
+        !self.registers.is_empty()
+    }
+
+    /// Per-execution gate statistics (one clock cycle for sequential
+    /// circuits).
+    pub fn stats(&self) -> GateStats {
+        let mut s = GateStats::default();
+        for g in &self.gates {
+            if g.kind.is_free() {
+                s.xor += 1;
+            } else {
+                s.non_xor += 1;
+            }
+        }
+        s
+    }
+
+    /// Evaluates a combinational circuit on plaintext inputs.
+    ///
+    /// Convenience wrapper over [`crate::Simulator`] for single-step
+    /// circuits; sequential circuits latch registers once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input lengths do not match the declared input wires.
+    pub fn eval(&self, garbler: &[bool], evaluator: &[bool]) -> Vec<bool> {
+        crate::Simulator::new(self).step(garbler, evaluator)
+    }
+
+    /// Checks structural invariants: topological order, wire bounds, unique
+    /// gate outputs, and that sources are not driven.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.wire_count as usize;
+        let mut driven = vec![false; n];
+        driven[CONST_0.index()] = true;
+        driven[CONST_1.index()] = true;
+        for w in self
+            .garbler_inputs
+            .iter()
+            .chain(&self.evaluator_inputs)
+            .chain(self.registers.iter().map(|r| &r.q))
+        {
+            if w.index() >= n {
+                return Err(format!("source {w:?} out of bounds"));
+            }
+            if driven[w.index()] {
+                return Err(format!("source {w:?} declared twice"));
+            }
+            driven[w.index()] = true;
+        }
+        for (i, g) in self.gates.iter().enumerate() {
+            for w in [g.a, g.b] {
+                if w.index() >= n {
+                    return Err(format!("gate {i}: input {w:?} out of bounds"));
+                }
+                if !driven[w.index()] {
+                    return Err(format!("gate {i}: input {w:?} not yet driven"));
+                }
+            }
+            if g.out.index() >= n {
+                return Err(format!("gate {i}: output {:?} out of bounds", g.out));
+            }
+            if driven[g.out.index()] {
+                return Err(format!("gate {i}: output {:?} already driven", g.out));
+            }
+            driven[g.out.index()] = true;
+        }
+        for w in self.outputs.iter().chain(self.registers.iter().map(|r| &r.d)) {
+            if w.index() >= n || !driven[w.index()] {
+                return Err(format!("sink {w:?} not driven"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_kind_truth_tables() {
+        for (kind, table) in [
+            (GateKind::Xor, [false, true, true, false]),
+            (GateKind::Xnor, [true, false, false, true]),
+            (GateKind::And, [false, false, false, true]),
+            (GateKind::Nand, [true, true, true, false]),
+            (GateKind::Or, [false, true, true, true]),
+            (GateKind::Nor, [true, false, false, false]),
+        ] {
+            for (i, want) in table.iter().enumerate() {
+                let (a, b) = (i & 2 != 0, i & 1 != 0);
+                assert_eq!(kind.eval(a, b), *want, "{kind:?}({a},{b})");
+            }
+        }
+        assert!(GateKind::Not.eval(false, false));
+        assert!(GateKind::Buf.eval(true, true));
+    }
+
+    #[test]
+    fn and_form_matches_truth_tables() {
+        for kind in [GateKind::And, GateKind::Nand, GateKind::Or, GateKind::Nor] {
+            let (alpha, beta, gamma) = kind.and_form();
+            for a in [false, true] {
+                for b in [false, true] {
+                    let via_form = ((a ^ alpha) & (b ^ beta)) ^ gamma;
+                    assert_eq!(via_form, kind.eval(a, b), "{kind:?}({a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for kind in [
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Not,
+            GateKind::Buf,
+        ] {
+            assert_eq!(GateKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(GateKind::from_name("FROB"), None);
+    }
+
+    #[test]
+    fn free_classification() {
+        assert!(GateKind::Xor.is_free());
+        assert!(GateKind::Not.is_free());
+        assert!(!GateKind::And.is_free());
+        assert!(!GateKind::Nor.is_free());
+    }
+
+    #[test]
+    fn stats_scale_and_merge() {
+        let s = GateStats { xor: 3, non_xor: 2 };
+        assert_eq!(s.scaled(10), GateStats { xor: 30, non_xor: 20 });
+        assert_eq!(
+            s + GateStats { xor: 1, non_xor: 1 },
+            GateStats { xor: 4, non_xor: 3 }
+        );
+        assert_eq!(s.total(), 5);
+    }
+}

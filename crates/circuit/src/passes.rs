@@ -1,0 +1,161 @@
+//! Netlist optimization passes.
+//!
+//! Circuits built through [`Builder`] are optimized online; these passes
+//! bring *imported* netlists (e.g. parsed from [`crate::netlist`] text) to
+//! the same quality by replaying them through a fresh builder, which applies
+//! constant folding, complement cancellation, common-subexpression
+//! elimination and dead-gate removal in one sweep.
+
+use std::collections::HashMap;
+
+use crate::ir::{Circuit, GateKind, Wire, CONST_0, CONST_1};
+use crate::Builder;
+
+/// Re-optimizes a circuit by replaying it through a fresh [`Builder`].
+///
+/// The result computes the same function (same input/output ordering) with
+/// a gate count no larger than the original.
+///
+/// # Example
+///
+/// ```
+/// use deepsecure_circuit::{Builder, passes};
+///
+/// let mut b = Builder::new();
+/// let x = b.garbler_input();
+/// let y = b.garbler_input();
+/// let t = b.xor(x, y);
+/// b.output(t);
+/// let c = b.finish();
+/// let opt = passes::optimize(&c);
+/// assert_eq!(opt.stats(), c.stats());
+/// ```
+pub fn optimize(circuit: &Circuit) -> Circuit {
+    let mut b = Builder::new();
+    let mut map: HashMap<Wire, Wire> = HashMap::new();
+    map.insert(CONST_0, CONST_0);
+    map.insert(CONST_1, CONST_1);
+    for w in circuit.garbler_inputs() {
+        map.insert(*w, b.garbler_input());
+    }
+    for w in circuit.evaluator_inputs() {
+        map.insert(*w, b.evaluator_input());
+    }
+    for r in circuit.registers() {
+        map.insert(r.q, b.register(r.init));
+    }
+    for g in circuit.gates() {
+        let a = map[&g.a];
+        let bw = map[&g.b];
+        let out = match g.kind {
+            GateKind::Xor => b.xor(a, bw),
+            GateKind::Xnor => b.xnor(a, bw),
+            GateKind::And => b.and(a, bw),
+            GateKind::Nand => b.nand(a, bw),
+            GateKind::Or => b.or(a, bw),
+            GateKind::Nor => b.nor(a, bw),
+            GateKind::Not => b.not(a),
+            GateKind::Buf => b.buf(a),
+        };
+        map.insert(g.out, out);
+    }
+    for w in circuit.outputs() {
+        b.output(map[w]);
+    }
+    for r in circuit.registers() {
+        b.connect_register(map[&r.q], map[&r.d]);
+    }
+    b.finish()
+}
+
+/// Computes the depth (longest gate chain) of the combinational core —
+/// the metric that bounds garbling latency per clock cycle.
+pub fn depth(circuit: &Circuit) -> usize {
+    let mut d = vec![0usize; circuit.wire_count()];
+    let mut max = 0;
+    for g in circuit.gates() {
+        let dd = d[g.a.index()].max(d[g.b.index()]) + 1;
+        d[g.out.index()] = dd;
+        max = max.max(dd);
+    }
+    max
+}
+
+/// Counts non-XOR gates along the critical path (the "multiplicative depth"
+/// analog that governs HE comparisons).
+pub fn non_xor_depth(circuit: &Circuit) -> usize {
+    let mut d = vec![0usize; circuit.wire_count()];
+    let mut max = 0;
+    for g in circuit.gates() {
+        let base = d[g.a.index()].max(d[g.b.index()]);
+        let dd = base + usize::from(!g.kind.is_free());
+        d[g.out.index()] = dd;
+        max = max.max(dd);
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Gate;
+
+    /// Builds a deliberately unoptimized circuit by hand.
+    fn redundant_circuit() -> Circuit {
+        // Wires: 0=c0 1=c1 2=g0 3=g1 | 4 = g0 AND g1, 5 = g1 AND g0 (dup),
+        // 6 = 4 XOR 5 (== 0), 7 = 6 OR g0 (== g0)
+        let gates = vec![
+            Gate { kind: GateKind::And, a: Wire(2), b: Wire(3), out: Wire(4) },
+            Gate { kind: GateKind::And, a: Wire(3), b: Wire(2), out: Wire(5) },
+            Gate { kind: GateKind::Xor, a: Wire(4), b: Wire(5), out: Wire(6) },
+            Gate { kind: GateKind::Or, a: Wire(6), b: Wire(2), out: Wire(7) },
+        ];
+        Circuit {
+            wire_count: 8,
+            garbler_inputs: vec![Wire(2), Wire(3)],
+            evaluator_inputs: vec![],
+            outputs: vec![Wire(7)],
+            gates,
+            registers: vec![],
+        }
+    }
+
+    #[test]
+    fn optimize_collapses_redundancy() {
+        let c = redundant_circuit();
+        c.validate().unwrap();
+        assert_eq!(c.stats().total(), 4);
+        let opt = optimize(&c);
+        // g0 AND g1 == g1 AND g0; their XOR folds to 0; 0 OR g0 folds to g0.
+        assert_eq!(opt.stats().total(), 0);
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(opt.eval(&[a, b], &[]), c.eval(&[a, b], &[]));
+            }
+        }
+    }
+
+    #[test]
+    fn optimize_preserves_semantics_exhaustively() {
+        let c = redundant_circuit();
+        let opt = optimize(&c);
+        for bits in 0..4u8 {
+            let input = [bits & 1 == 1, bits & 2 == 2];
+            assert_eq!(opt.eval(&input, &[]), c.eval(&input, &[]));
+        }
+    }
+
+    #[test]
+    fn depth_measures() {
+        let mut b = Builder::new();
+        let x = b.garbler_input();
+        let y = b.garbler_input();
+        let t1 = b.and(x, y);
+        let t2 = b.xor(t1, x);
+        let t3 = b.and(t2, y);
+        b.output(t3);
+        let c = b.finish();
+        assert_eq!(depth(&c), 3);
+        assert_eq!(non_xor_depth(&c), 2);
+    }
+}

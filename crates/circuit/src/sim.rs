@@ -1,0 +1,176 @@
+use crate::ir::{Circuit, Wire, CONST_1};
+
+/// A plaintext reference simulator for (sequential) circuits.
+///
+/// This is the oracle every garbled execution is tested against: stepping
+/// the simulator must produce exactly the bits the evaluator decodes.
+///
+/// # Example
+///
+/// ```
+/// use deepsecure_circuit::{Builder, Simulator};
+///
+/// // A 1-bit accumulator: q' = q XOR input.
+/// let mut b = Builder::new();
+/// let x = b.garbler_input();
+/// let q = b.register(false);
+/// let d = b.xor(q, x);
+/// b.connect_register(q, d);
+/// b.output(d);
+/// let c = b.finish();
+///
+/// let mut sim = Simulator::new(&c);
+/// assert_eq!(sim.step(&[true], &[]), vec![true]);
+/// assert_eq!(sim.step(&[true], &[]), vec![false], "toggled back");
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'c> {
+    circuit: &'c Circuit,
+    registers: Vec<bool>,
+    cycle: u64,
+}
+
+impl<'c> Simulator<'c> {
+    /// Creates a simulator with registers at their power-on values.
+    pub fn new(circuit: &'c Circuit) -> Simulator<'c> {
+        Simulator {
+            circuit,
+            registers: circuit.registers().iter().map(|r| r.init).collect(),
+            cycle: 0,
+        }
+    }
+
+    /// The number of clock cycles stepped so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Current register contents (in declaration order).
+    pub fn registers(&self) -> &[bool] {
+        &self.registers
+    }
+
+    /// Runs one clock cycle: evaluates the combinational core on the given
+    /// inputs, latches registers, and returns the output bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if input slice lengths do not match the circuit's declared
+    /// inputs.
+    pub fn step(&mut self, garbler: &[bool], evaluator: &[bool]) -> Vec<bool> {
+        let c = self.circuit;
+        assert_eq!(
+            garbler.len(),
+            c.garbler_inputs().len(),
+            "garbler input arity mismatch"
+        );
+        assert_eq!(
+            evaluator.len(),
+            c.evaluator_inputs().len(),
+            "evaluator input arity mismatch"
+        );
+        let mut wires = vec![false; c.wire_count()];
+        wires[CONST_1.index()] = true;
+        for (w, v) in c.garbler_inputs().iter().zip(garbler) {
+            wires[w.index()] = *v;
+        }
+        for (w, v) in c.evaluator_inputs().iter().zip(evaluator) {
+            wires[w.index()] = *v;
+        }
+        for (r, v) in c.registers().iter().zip(&self.registers) {
+            wires[r.q.index()] = *v;
+        }
+        for g in c.gates() {
+            wires[g.out.index()] = g.kind.eval(wires[g.a.index()], wires[g.b.index()]);
+        }
+        for (r, slot) in c.registers().iter().zip(self.registers.iter_mut()) {
+            *slot = wires[r.d.index()];
+        }
+        self.cycle += 1;
+        c.outputs().iter().map(|w: &Wire| wires[w.index()]).collect()
+    }
+
+    /// Runs `cycles` steps with the same inputs each cycle and returns the
+    /// outputs of the final cycle.
+    pub fn run(&mut self, garbler: &[bool], evaluator: &[bool], cycles: usize) -> Vec<bool> {
+        let mut out = Vec::new();
+        for _ in 0..cycles {
+            out = self.step(garbler, evaluator);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Builder;
+
+    use super::*;
+
+    #[test]
+    fn combinational_full_adder() {
+        let mut b = Builder::new();
+        let a = b.garbler_input();
+        let x = b.evaluator_input();
+        let cin = b.garbler_input();
+        let t1 = b.xor(a, cin);
+        let t2 = b.xor(x, cin);
+        let sum = b.xor(t1, x);
+        let t3 = b.and(t1, t2);
+        let cout = b.xor(cin, t3);
+        b.output(sum);
+        b.output(cout);
+        let c = b.finish();
+        for av in [false, true] {
+            for xv in [false, true] {
+                for cv in [false, true] {
+                    let out = c.eval(&[av, cv], &[xv]);
+                    let total = u8::from(av) + u8::from(xv) + u8::from(cv);
+                    assert_eq!(out[0], total & 1 == 1);
+                    assert_eq!(out[1], total >= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_counter() {
+        // 2-bit counter made of toggling registers.
+        let mut b = Builder::new();
+        let q0 = b.register(false);
+        let q1 = b.register(false);
+        let n0 = b.not(q0);
+        let d1 = b.xor(q1, q0);
+        b.connect_register(q0, n0);
+        b.connect_register(q1, d1);
+        b.output(q0);
+        b.output(q1);
+        let c = b.finish();
+        let mut sim = Simulator::new(&c);
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            let out = sim.step(&[], &[]);
+            seen.push((out[0], out[1]));
+        }
+        assert_eq!(
+            seen,
+            vec![
+                (false, false),
+                (true, false),
+                (false, true),
+                (true, true),
+            ]
+        );
+        assert_eq!(sim.cycle(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn input_arity_checked() {
+        let mut b = Builder::new();
+        let x = b.garbler_input();
+        b.output(x);
+        let c = b.finish();
+        let _ = c.eval(&[], &[]);
+    }
+}

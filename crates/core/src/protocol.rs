@@ -1,0 +1,431 @@
+//! The two-party secure inference protocol of Fig. 3.
+//!
+//! Roles follow the paper: the **client (Alice) garbles** — she owns the
+//! data sample — and the **cloud server (Bob) evaluates** with his DL
+//! parameters entering through OT. The result travels back to the client
+//! as output-label color bits, which only she can decode (the decode bits
+//! never leave her side), matching GC step (iv).
+//!
+//! The runner supports sequential circuits: each clock cycle ships one
+//! table bundle while register labels carry over, and the client garbles
+//! cycle `c+1` while the server is still evaluating cycle `c` — the
+//! pipelining of Fig. 5, whose timeline this module records.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use deepsecure_bigint::DhGroup;
+use deepsecure_circuit::Circuit;
+use deepsecure_garble::{Evaluator, Garbler};
+use deepsecure_nn::{Network, Tensor};
+use deepsecure_ot::channel::{mem_pair, Channel};
+use deepsecure_ot::ext::{ExtReceiver, ExtSender};
+use deepsecure_ot::{ChannelError, OtError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::compile::{compile, Compiled, CompileOptions};
+
+/// Errors surfaced by protocol executions.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// OT subprotocol failure.
+    Ot(OtError),
+    /// Raw channel failure.
+    Channel(ChannelError),
+    /// A party thread panicked.
+    PartyPanic(&'static str),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Ot(e) => write!(f, "protocol ot failure: {e}"),
+            ProtocolError::Channel(e) => write!(f, "protocol channel failure: {e}"),
+            ProtocolError::PartyPanic(who) => write!(f, "{who} thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<OtError> for ProtocolError {
+    fn from(e: OtError) -> ProtocolError {
+        ProtocolError::Ot(e)
+    }
+}
+
+impl From<ChannelError> for ProtocolError {
+    fn from(e: ChannelError) -> ProtocolError {
+        ProtocolError::Channel(e)
+    }
+}
+
+/// Configuration for a secure inference run.
+#[derive(Clone, Debug)]
+pub struct InferenceConfig {
+    /// Compiler options (nonlinearity realizations, format).
+    pub options: CompileOptions,
+    /// DH group for the base OTs. The 768-bit test group keeps unit tests
+    /// fast; production should use [`DhGroup::modp_2048`].
+    pub group: DhGroup,
+    /// Garbler randomness seed.
+    pub seed: u64,
+}
+
+impl Default for InferenceConfig {
+    fn default() -> InferenceConfig {
+        InferenceConfig {
+            options: CompileOptions::default(),
+            group: DhGroup::modp_768(),
+            seed: 0,
+        }
+    }
+}
+
+/// Wall-clock timeline of one protocol phase, relative to protocol start.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseSpan {
+    /// Phase start (seconds since protocol start).
+    pub start_s: f64,
+    /// Phase end.
+    pub end_s: f64,
+}
+
+impl PhaseSpan {
+    /// Phase duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// Per-cycle timings recorded on both sides (the Fig. 5 timeline).
+#[derive(Clone, Debug)]
+pub struct CycleTimeline {
+    /// Client garbling span.
+    pub garble: PhaseSpan,
+    /// Client OT span (includes the transfer of tables/labels).
+    pub ot: PhaseSpan,
+    /// Server evaluation span.
+    pub eval: PhaseSpan,
+}
+
+/// The outcome of a secure inference.
+#[derive(Clone, Debug)]
+pub struct InferenceReport {
+    /// The decoded inference label (client side; final cycle).
+    pub label: usize,
+    /// Decoded output value of every cycle (sequential circuits expose
+    /// per-neuron results through these; combinational runs have one).
+    pub cycle_labels: Vec<usize>,
+    /// Bytes the client sent (tables + labels + OT).
+    pub client_sent: u64,
+    /// Bytes the server sent (OT matrix + result colors).
+    pub server_sent: u64,
+    /// Garbled-table bytes alone (the `α` term).
+    pub material_bytes: u64,
+    /// Total wall-clock time.
+    pub total_s: f64,
+    /// OT setup (base OTs) span.
+    pub ot_setup: PhaseSpan,
+    /// Per-cycle phase spans.
+    pub cycles: Vec<CycleTimeline>,
+}
+
+/// Runs a full two-party secure inference for one sample.
+///
+/// Both parties run in-process over byte-counted channels; the `net` value
+/// stands for the public architecture on the client side and the private
+/// parameters on the server side (see DESIGN.md on this in-process
+/// convention).
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] on channel/OT failure.
+pub fn run_secure_inference(
+    net: &Network,
+    sample: &Tensor,
+    cfg: &InferenceConfig,
+) -> Result<InferenceReport, ProtocolError> {
+    let compiled = Arc::new(compile(net, &cfg.options));
+    let weight_bits = compiled.weight_bits(net);
+    let input_bits = compiled.input_bits(sample);
+    let report = run_compiled(
+        Arc::clone(&compiled),
+        vec![input_bits],
+        vec![weight_bits],
+        cfg,
+    )?;
+    Ok(report)
+}
+
+/// Runs the protocol over an already compiled circuit with explicit
+/// per-cycle input streams (one entry per clock cycle; combinational
+/// circuits take exactly one).
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] on channel/OT failure.
+///
+/// # Panics
+///
+/// Panics if the streams are empty or have mismatched lengths.
+pub fn run_compiled(
+    compiled: Arc<Compiled>,
+    garbler_bits_per_cycle: Vec<Vec<bool>>,
+    evaluator_bits_per_cycle: Vec<Vec<bool>>,
+    cfg: &InferenceConfig,
+) -> Result<InferenceReport, ProtocolError> {
+    assert!(!garbler_bits_per_cycle.is_empty(), "need at least one cycle");
+    assert_eq!(
+        garbler_bits_per_cycle.len(),
+        evaluator_bits_per_cycle.len(),
+        "cycle count mismatch"
+    );
+    let cycles = garbler_bits_per_cycle.len();
+    let (mut chan_client, mut chan_server) = mem_pair();
+    let epoch = Instant::now();
+    let group = cfg.group.clone();
+    let circuit: Arc<Compiled> = Arc::clone(&compiled);
+
+    // ---- Server (Bob): evaluator. ----
+    let server = std::thread::spawn(move || -> Result<ServerOutcome, ProtocolError> {
+        let c = &circuit.circuit;
+        let mut rng = StdRng::seed_from_u64(0xb0b);
+        let mut ot = ExtReceiver::setup(&mut chan_server, &group, &mut rng)?;
+        let const0 = chan_server.recv_block()?;
+        let const1 = chan_server.recv_block()?;
+        let init_regs = chan_server.recv_blocks(c.registers().len())?;
+        let mut evaluator = Evaluator::new(c);
+        evaluator.set_constant_labels(const0, const1);
+        evaluator.set_initial_registers(init_regs);
+        let n_tables = 2 * c.stats().non_xor as usize;
+        let no_decode = vec![false; c.outputs().len()];
+        let mut evals = Vec::with_capacity(cycles);
+        for choice_bits in &evaluator_bits_per_cycle {
+            let tables = chan_server.recv_blocks(n_tables)?;
+            let g_labels = chan_server.recv_blocks(c.garbler_inputs().len())?;
+            let e_labels = ot.receive(&mut chan_server, choice_bits)?;
+            let t0 = epoch.elapsed().as_secs_f64();
+            let colors = evaluator.eval_cycle(&tables, &g_labels, &e_labels, &no_decode);
+            let t1 = epoch.elapsed().as_secs_f64();
+            chan_server.send_bits(&colors)?;
+            evals.push(PhaseSpan { start_s: t0, end_s: t1 });
+        }
+        Ok(ServerOutcome { sent: chan_server.bytes_sent(), evals })
+    });
+
+    // ---- Client (Alice): garbler. ----
+    let c = &compiled.circuit;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xa11ce);
+    let ot_setup_start = epoch.elapsed().as_secs_f64();
+    let mut ot = ExtSender::setup(&mut chan_client, &cfg.group, &mut rng)?;
+    let ot_setup = PhaseSpan { start_s: ot_setup_start, end_s: epoch.elapsed().as_secs_f64() };
+    let mut garbler = Garbler::new(c, &mut rng);
+    // Must be read before the first garble_cycle: garbling latches the
+    // register labels forward to the next cycle.
+    let initial_registers = garbler.initial_register_labels();
+    let mut material = 0u64;
+    let mut client_cycles: Vec<(PhaseSpan, PhaseSpan)> = Vec::with_capacity(cycles);
+    let mut first = true;
+    let mut cycle_labels: Vec<usize> = Vec::with_capacity(cycles);
+    for g_bits in &garbler_bits_per_cycle {
+        let t0 = epoch.elapsed().as_secs_f64();
+        let cycle = garbler.garble_cycle(&mut rng);
+        let t1 = epoch.elapsed().as_secs_f64();
+        if first {
+            chan_client.send_block(cycle.constant_labels[0])?;
+            chan_client.send_block(cycle.constant_labels[1])?;
+            chan_client.send_blocks(&initial_registers)?;
+            first = false;
+        }
+        material += (cycle.tables.len() * 16) as u64;
+        chan_client.send_blocks(&cycle.tables)?;
+        chan_client.send_blocks(&cycle.garbler_active(g_bits))?;
+        ot.send(&mut chan_client, &cycle.evaluator_input_labels)?;
+        let t2 = epoch.elapsed().as_secs_f64();
+        let colors = chan_client.recv_bits()?;
+        let label_bits: Vec<bool> = colors
+            .iter()
+            .zip(&cycle.output_decode)
+            .map(|(&c, &d)| c ^ d)
+            .collect();
+        cycle_labels.push(compiled.decode_label(&label_bits));
+        client_cycles.push((
+            PhaseSpan { start_s: t0, end_s: t1 },
+            PhaseSpan { start_s: t1, end_s: t2 },
+        ));
+    }
+    let label = *cycle_labels.last().expect("at least one cycle");
+
+    let outcome = server
+        .join()
+        .map_err(|_| ProtocolError::PartyPanic("server"))??;
+    let total_s = epoch.elapsed().as_secs_f64();
+    let cycles_out = client_cycles
+        .into_iter()
+        .zip(outcome.evals)
+        .map(|((garble, ot), eval)| CycleTimeline { garble, ot, eval })
+        .collect();
+    Ok(InferenceReport {
+        label,
+        cycle_labels,
+        client_sent: chan_client.bytes_sent(),
+        server_sent: outcome.sent,
+        material_bytes: material,
+        total_s,
+        ot_setup,
+        cycles: cycles_out,
+    })
+}
+
+struct ServerOutcome {
+    sent: u64,
+    evals: Vec<PhaseSpan>,
+}
+
+/// Convenience: secure inference over a raw circuit with single-cycle
+/// inputs (used by tests and calibration probes).
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] on channel/OT failure.
+pub fn run_circuit(
+    circuit: &Circuit,
+    garbler_bits: &[bool],
+    evaluator_bits: &[bool],
+    cfg: &InferenceConfig,
+) -> Result<(Vec<bool>, InferenceReport), ProtocolError> {
+    let compiled = Arc::new(Compiled {
+        circuit: circuit.clone(),
+        weight_order: Vec::new(),
+        format: cfg.options.format,
+    });
+    let report = run_compiled(
+        Arc::clone(&compiled),
+        vec![garbler_bits.to_vec()],
+        vec![evaluator_bits.to_vec()],
+        cfg,
+    )?;
+    // Recover raw output bits from the label integer.
+    let n_out = circuit.outputs().len();
+    let bits = (0..n_out).map(|i| (report.label >> i) & 1 == 1).collect();
+    Ok((bits, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use deepsecure_circuit::Builder;
+    use deepsecure_nn::{data, train, zoo};
+    use deepsecure_synth::activation::Activation;
+
+    use crate::compile::plain_label;
+
+    use super::*;
+
+    fn fast_cfg() -> InferenceConfig {
+        InferenceConfig {
+            options: CompileOptions {
+                tanh: Activation::TanhPl,
+                sigmoid: Activation::SigmoidPlan,
+                ..CompileOptions::default()
+            },
+            ..InferenceConfig::default()
+        }
+    }
+
+    #[test]
+    fn secure_inference_matches_plain_circuit() {
+        let set = data::digits_small(32, 31);
+        let mut net = zoo::tiny_mlp(set.num_classes);
+        train::train(&mut net, &set, &train::TrainConfig { epochs: 20, lr: 0.1, seed: 5 });
+        let cfg = fast_cfg();
+        let compiled = compile(&net, &cfg.options);
+        for x in set.inputs.iter().take(3) {
+            let report = run_secure_inference(&net, x, &cfg).unwrap();
+            assert_eq!(report.label, plain_label(&compiled, &net, x));
+            assert!(report.material_bytes > 0);
+            assert!(report.client_sent > report.material_bytes);
+        }
+    }
+
+    #[test]
+    fn communication_is_dominated_by_tables() {
+        let set = data::digits_small(8, 37);
+        let net = zoo::tiny_mlp(set.num_classes);
+        let cfg = fast_cfg();
+        let report = run_secure_inference(&net, &set.inputs[0], &cfg).unwrap();
+        // Tables must be the majority of client traffic (the paper's
+        // premise that transfer of garbled tables dominates).
+        assert!(
+            report.material_bytes * 2 > report.client_sent,
+            "tables {} of {}",
+            report.material_bytes,
+            report.client_sent
+        );
+    }
+
+    #[test]
+    fn sequential_protocol_runs_folded_mac() {
+        use deepsecure_fixed::{Fixed, Format};
+        // Dot product over 4 cycles on the folded MAC core (§3.5).
+        let circuit = crate::compile::folded_mac(&CompileOptions::default());
+        let compiled = Arc::new(Compiled {
+            circuit,
+            weight_order: Vec::new(),
+            format: Format::Q3_12,
+        });
+        let xs = [0.5f64, 1.5, -0.75, 2.0];
+        let ws = [1.0f64, 0.5, 2.0, -0.25];
+        let g_bits: Vec<Vec<bool>> = xs
+            .iter()
+            .map(|&x| {
+                let mut b = Fixed::from_f64(x, Format::Q3_12).to_bits();
+                b.push(false); // reset = 0 (single accumulation)
+                b
+            })
+            .collect();
+        let e_bits: Vec<Vec<bool>> =
+            ws.iter().map(|&w| Fixed::from_f64(w, Format::Q3_12).to_bits()).collect();
+        let cfg = fast_cfg();
+        let report = run_compiled(compiled, g_bits, e_bits, &cfg).unwrap();
+        let got = Format::Q3_12.wrap(report.label as i64) as f64 * Format::Q3_12.epsilon();
+        let want: f64 = xs.iter().zip(&ws).map(|(x, w)| x * w).sum();
+        assert!((got - want).abs() < 0.01, "got {got}, want {want}");
+        assert_eq!(report.cycles.len(), 4);
+    }
+
+    #[test]
+    fn pipeline_overlap_is_recorded() {
+        // With several cycles the garbler should start garbling cycle c+1
+        // before the server finishes evaluating cycle c at least once.
+        let circuit = crate::compile::folded_mac(&CompileOptions::default());
+        let compiled = Arc::new(Compiled {
+            circuit,
+            weight_order: Vec::new(),
+            format: deepsecure_fixed::Format::Q3_12,
+        });
+        let n = 6;
+        let g_bits = vec![vec![false; 17]; n];
+        let e_bits = vec![vec![false; 16]; n];
+        let report = run_compiled(compiled, g_bits, e_bits, &fast_cfg()).unwrap();
+        assert_eq!(report.cycles.len(), n);
+        for w in report.cycles.windows(2) {
+            assert!(w[1].garble.start_s >= w[0].garble.start_s);
+        }
+    }
+
+    #[test]
+    fn run_circuit_helper_decodes_bits() {
+        let mut b = Builder::new();
+        let x = b.garbler_input();
+        let y = b.evaluator_input();
+        let z = b.and(x, y);
+        let w = b.xor(x, y);
+        b.output(z);
+        b.output(w);
+        let c = b.finish();
+        let (bits, _) = run_circuit(&c, &[true], &[false], &fast_cfg()).unwrap();
+        assert_eq!(bits, vec![false, true]);
+    }
+}

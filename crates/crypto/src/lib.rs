@@ -1,0 +1,34 @@
+//! Cryptographic primitives for the DeepSecure garbled-circuit engine.
+//!
+//! Everything in this crate is implemented from scratch:
+//!
+//! * [`Block`] — a 128-bit wire label with XOR arithmetic and
+//!   point-and-permute color bits.
+//! * [`aes::Aes128`] — a software AES-128 (encryption direction only), used
+//!   exclusively as a fixed-key public permutation per Bellare et al.,
+//!   *Efficient Garbling from a Fixed-Key Blockcipher* (S&P 2013).
+//! * [`FixedKeyHash`] — the correlation-robust hash
+//!   `H(L, t) = π(2L ⊕ t) ⊕ 2L` used by half-gates garbling and by the
+//!   IKNP OT extension.
+//! * [`Prg`] — an AES-CTR pseudorandom generator for label sampling and OT
+//!   extension matrices.
+//!
+//! # Example
+//!
+//! ```
+//! use deepsecure_crypto::{Block, FixedKeyHash};
+//!
+//! let h = FixedKeyHash::new();
+//! let label = Block::from(0x1234_5678_9abc_def0_u128);
+//! let digest = h.hash(label, 42);
+//! assert_ne!(digest, label);
+//! ```
+
+pub mod aes;
+mod block;
+mod hash;
+mod prg;
+
+pub use block::Block;
+pub use hash::FixedKeyHash;
+pub use prg::Prg;

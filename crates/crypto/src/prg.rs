@@ -1,0 +1,146 @@
+use rand::{CryptoRng, Error, RngCore, SeedableRng};
+
+use crate::aes::Aes128;
+use crate::Block;
+
+/// An AES-128-CTR pseudorandom generator seeded by a [`Block`].
+///
+/// Used wherever the protocol needs expandable randomness bound to a short
+/// seed: IKNP column expansion, garbler label streams, and the XOR-sharing
+/// pads of the outsourcing mode. Implements [`rand::RngCore`] so it plugs
+/// into any `rand`-based sampler.
+///
+/// # Example
+///
+/// ```
+/// use deepsecure_crypto::{Block, Prg};
+/// use rand::RngCore;
+///
+/// let mut prg = Prg::from_seed(Block::from(42u128));
+/// let mut prg2 = Prg::from_seed(Block::from(42u128));
+/// assert_eq!(prg.next_u64(), prg2.next_u64(), "same seed, same stream");
+/// ```
+#[derive(Clone)]
+pub struct Prg {
+    cipher: Aes128,
+    counter: u128,
+    buffer: [u8; 16],
+    used: usize,
+}
+
+impl std::fmt::Debug for Prg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prg").field("counter", &self.counter).finish_non_exhaustive()
+    }
+}
+
+impl Prg {
+    /// Creates a PRG from a 128-bit seed.
+    pub fn from_seed(seed: Block) -> Prg {
+        Prg {
+            cipher: Aes128::new(seed.to_bytes()),
+            counter: 0,
+            buffer: [0; 16],
+            used: 16,
+        }
+    }
+
+    /// Produces the next 128-bit block of the stream.
+    pub fn next_block(&mut self) -> Block {
+        let ct = self.cipher.encrypt_block(self.counter.to_le_bytes());
+        self.counter = self.counter.wrapping_add(1);
+        Block::from_bytes(ct)
+    }
+
+    /// Fills `out` with pseudorandom bytes.
+    pub fn fill(&mut self, out: &mut [u8]) {
+        for byte in out.iter_mut() {
+            if self.used == 16 {
+                self.buffer = self.next_block().to_bytes();
+                self.used = 0;
+            }
+            *byte = self.buffer[self.used];
+            self.used += 1;
+        }
+    }
+
+    /// Produces `n` pseudorandom bits packed LSB-first.
+    pub fn bits(&mut self, n: usize) -> Vec<bool> {
+        let mut bytes = vec![0u8; n.div_ceil(8)];
+        self.fill(&mut bytes);
+        (0..n).map(|i| (bytes[i / 8] >> (i % 8)) & 1 == 1).collect()
+    }
+}
+
+impl RngCore for Prg {
+    fn next_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.fill(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.fill(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.fill(dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill(dest);
+        Ok(())
+    }
+}
+
+impl CryptoRng for Prg {}
+
+impl SeedableRng for Prg {
+    type Seed = [u8; 16];
+
+    fn from_seed(seed: [u8; 16]) -> Prg {
+        Prg::from_seed(Block::from_bytes(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = Prg::from_seed(Block::from(1u128));
+        let mut b = Prg::from_seed(Block::from(1u128));
+        for _ in 0..32 {
+            assert_eq!(a.next_block(), b.next_block());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = Prg::from_seed(Block::from(1u128));
+        let mut b = Prg::from_seed(Block::from(2u128));
+        assert_ne!(a.next_block(), b.next_block());
+    }
+
+    #[test]
+    fn fill_is_prefix_consistent() {
+        let mut a = Prg::from_seed(Block::from(5u128));
+        let mut b = Prg::from_seed(Block::from(5u128));
+        let mut big = [0u8; 40];
+        a.fill(&mut big);
+        let mut small = [0u8; 17];
+        b.fill(&mut small);
+        assert_eq!(&big[..17], &small[..]);
+    }
+
+    #[test]
+    fn bit_balance() {
+        let mut prg = Prg::from_seed(Block::from(99u128));
+        let bits = prg.bits(10_000);
+        let ones = bits.iter().filter(|&&b| b).count();
+        assert!((4_600..5_400).contains(&ones), "ones = {ones}");
+    }
+}

@@ -1,0 +1,131 @@
+use std::fmt;
+
+/// A signed fixed-point format: 1 sign bit, `int_bits` integer bits and
+/// `frac_bits` fractional bits.
+///
+/// # Example
+///
+/// ```
+/// use deepsecure_fixed::Format;
+///
+/// let q = Format::Q3_12;
+/// assert_eq!(q.total_bits(), 16);
+/// assert_eq!(q.max_value(), 8.0 - Format::Q3_12.epsilon());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Format {
+    /// Integer bits (excluding sign).
+    pub int_bits: u32,
+    /// Fractional bits.
+    pub frac_bits: u32,
+}
+
+impl Format {
+    /// The paper's evaluation format: 1 sign + 3 integer + 12 fractional
+    /// bits (§4.2).
+    pub const Q3_12: Format = Format { int_bits: 3, frac_bits: 12 };
+
+    /// A wider format used internally by range-reduction stages.
+    pub const Q7_12: Format = Format { int_bits: 7, frac_bits: 12 };
+
+    /// Creates a format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total width exceeds 63 bits (values are carried in
+    /// `i64`).
+    pub fn new(int_bits: u32, frac_bits: u32) -> Format {
+        let f = Format { int_bits, frac_bits };
+        assert!(f.total_bits() <= 63, "format too wide for i64 backing");
+        f
+    }
+
+    /// Total bit width including the sign bit.
+    pub fn total_bits(&self) -> u32 {
+        1 + self.int_bits + self.frac_bits
+    }
+
+    /// The quantization step `2^-frac_bits`.
+    pub fn epsilon(&self) -> f64 {
+        (2.0f64).powi(-(self.frac_bits as i32))
+    }
+
+    /// Largest representable value.
+    pub fn max_value(&self) -> f64 {
+        ((1i64 << (self.total_bits() - 1)) - 1) as f64 * self.epsilon()
+    }
+
+    /// Smallest (most negative) representable value.
+    pub fn min_value(&self) -> f64 {
+        -((1i64 << (self.total_bits() - 1)) as f64) * self.epsilon()
+    }
+
+    /// Wraps a raw integer into the format's two's-complement range —
+    /// the behaviour of a hardware adder of this width.
+    pub fn wrap(&self, raw: i64) -> i64 {
+        let bits = self.total_bits();
+        let masked = (raw as u64) & (u64::MAX >> (64 - bits));
+        // Sign-extend.
+        let sign = 1u64 << (bits - 1);
+        if masked & sign != 0 {
+            (masked | !(u64::MAX >> (64 - bits))) as i64
+        } else {
+            masked as i64
+        }
+    }
+
+    /// Saturates a raw integer into range instead of wrapping.
+    pub fn saturate(&self, raw: i64) -> i64 {
+        let hi = (1i64 << (self.total_bits() - 1)) - 1;
+        let lo = -(1i64 << (self.total_bits() - 1));
+        raw.clamp(lo, hi)
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q1.{}.{}", self.int_bits, self.frac_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q3_12_shape() {
+        assert_eq!(Format::Q3_12.total_bits(), 16);
+        assert!((Format::Q3_12.epsilon() - 2.44140625e-4).abs() < 1e-12);
+        assert!((Format::Q3_12.max_value() - 7.999755859375).abs() < 1e-9);
+        assert_eq!(Format::Q3_12.min_value(), -8.0);
+    }
+
+    #[test]
+    fn wrap_behaves_like_16_bit_hardware() {
+        let q = Format::Q3_12;
+        assert_eq!(q.wrap(32767), 32767);
+        assert_eq!(q.wrap(32768), -32768);
+        assert_eq!(q.wrap(-32769), 32767);
+        assert_eq!(q.wrap(65536), 0);
+        assert_eq!(q.wrap(-1), -1);
+    }
+
+    #[test]
+    fn saturate_clamps() {
+        let q = Format::Q3_12;
+        assert_eq!(q.saturate(100_000), 32767);
+        assert_eq!(q.saturate(-100_000), -32768);
+        assert_eq!(q.saturate(5), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "too wide")]
+    fn too_wide_panics() {
+        let _ = Format::new(40, 30);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Format::Q3_12.to_string(), "Q1.3.12");
+    }
+}

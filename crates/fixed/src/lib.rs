@@ -1,0 +1,112 @@
+//! Fixed-point arithmetic matching the paper's number format.
+//!
+//! DeepSecure evaluates networks in a 16-bit signed fixed-point format:
+//! 1 sign bit, 3 integer bits and `b = 12` fractional bits (§4.2), giving a
+//! representational error of at most `2^-13`. This crate provides:
+//!
+//! * [`Format`] — a runtime Qm.n descriptor (the paper's Q1.3.12 is
+//!   [`Format::Q3_12`]).
+//! * [`Fixed`] — a value in a given format with *circuit-faithful*
+//!   semantics: two's-complement wrap-around addition, truncating
+//!   multiplication and sign-magnitude truncating division, exactly the
+//!   behaviours of the synthesized netlists in `deepsecure-synth`.
+//! * Bit conversion helpers used to feed garbled circuits
+//!   ([`Fixed::to_bits`] / [`Fixed::from_bits`]).
+//!
+//! # Example
+//!
+//! ```
+//! use deepsecure_fixed::{Fixed, Format};
+//!
+//! let a = Fixed::from_f64(1.5, Format::Q3_12);
+//! let b = Fixed::from_f64(-0.25, Format::Q3_12);
+//! let prod = a.mul(b);
+//! assert!((prod.to_f64() + 0.375).abs() < 1e-3);
+//! ```
+
+mod format;
+mod value;
+
+pub use format::Format;
+pub use value::Fixed;
+
+/// ln(2) — used by the CORDIC range-reduction circuits and their tests.
+pub const LN_2: f64 = std::f64::consts::LN_2;
+
+/// Hyperbolic arctangent table `atanh(2^-i)` for CORDIC iterations
+/// `i = 1..=16`, as `f64` ground truth.
+pub fn atanh_table() -> [f64; 16] {
+    core::array::from_fn(|idx| {
+        let i = idx + 1;
+        (2.0f64).powi(-(i as i32)).atanh()
+    })
+}
+
+/// The hyperbolic CORDIC iteration schedule with the `3i + 1` repetitions
+/// (iterations 4 and 13 run twice) that guarantee convergence; `n` base
+/// iterations yield roughly `n` bits of precision (paper §4.2).
+pub fn cordic_schedule(n: usize) -> Vec<usize> {
+    let mut sched = Vec::new();
+    for i in 1..=n {
+        sched.push(i);
+        if i == 4 || i == 13 || i == 40 {
+            sched.push(i);
+        }
+    }
+    sched
+}
+
+/// The CORDIC scale factor `K = Π sqrt(1 - 2^-2i)` over the schedule;
+/// seeding `x₀ = 1/K` makes the outputs exactly `cosh`/`sinh`.
+pub fn cordic_gain(n: usize) -> f64 {
+    cordic_schedule(n)
+        .iter()
+        .map(|&i| (1.0 - (2.0f64).powi(-2 * i as i32)).sqrt())
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_repeats_four_and_thirteen() {
+        let s = cordic_schedule(14);
+        assert_eq!(s.iter().filter(|&&i| i == 4).count(), 2);
+        assert_eq!(s.iter().filter(|&&i| i == 13).count(), 2);
+        assert_eq!(s.iter().filter(|&&i| i == 5).count(), 1);
+        assert_eq!(s.len(), 16);
+    }
+
+    #[test]
+    fn software_cordic_converges() {
+        // Reference f64 CORDIC: the circuit implements this in fixed point.
+        let n = 14;
+        let sched = cordic_schedule(n);
+        let gain = cordic_gain(n);
+        let table = atanh_table();
+        for &z0 in &[-1.0f64, -0.5, -0.1, 0.0, 0.3, 0.7, 1.1] {
+            let (mut x, mut y, mut z) = (1.0 / gain, 0.0, z0);
+            for &i in &sched {
+                let d = if z >= 0.0 { 1.0 } else { -1.0 };
+                let p = (2.0f64).powi(-(i as i32));
+                let (nx, ny) = (x + d * y * p, y + d * x * p);
+                z -= d * table[i - 1];
+                x = nx;
+                y = ny;
+            }
+            assert!((x - z0.cosh()).abs() < 2e-4, "cosh({z0}): {x}");
+            assert!((y - z0.sinh()).abs() < 2e-4, "sinh({z0}): {y}");
+        }
+    }
+
+    #[test]
+    fn convergence_domain_is_wide_enough_for_range_reduction() {
+        // Range reduction leaves residues in [0, ln 2), well inside the
+        // CORDIC convergence bound Σ atanh(2^-i) ≈ 1.118.
+        let bound: f64 = atanh_table().iter().sum::<f64>()
+            + (2.0f64).powi(-4).atanh()
+            + (2.0f64).powi(-13).atanh();
+        assert!(bound > LN_2);
+    }
+}

@@ -1,0 +1,310 @@
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::Format;
+
+/// A fixed-point value with circuit-faithful arithmetic.
+///
+/// All operations reproduce what the synthesized netlists compute:
+/// two's-complement wrap-around on overflow, truncating multiplication
+/// (keep bits `frac..frac+total` of the double-width product) and
+/// sign-magnitude restoring division.
+///
+/// # Example
+///
+/// ```
+/// use deepsecure_fixed::{Fixed, Format};
+///
+/// let x = Fixed::from_f64(2.5, Format::Q3_12);
+/// let y = Fixed::from_f64(0.5, Format::Q3_12);
+/// assert_eq!(x.add(y).to_f64(), 3.0);
+/// assert_eq!(x.mul(y).to_f64(), 1.25);
+/// assert_eq!(x.div(y).to_f64(), 5.0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Fixed {
+    raw: i64,
+    format: Format,
+}
+
+impl Fixed {
+    /// Zero in the given format.
+    pub fn zero(format: Format) -> Fixed {
+        Fixed { raw: 0, format }
+    }
+
+    /// One in the given format.
+    pub fn one(format: Format) -> Fixed {
+        Fixed { raw: 1i64 << format.frac_bits, format }
+    }
+
+    /// Builds from a raw two's-complement integer (wrapped into range).
+    pub fn from_raw(raw: i64, format: Format) -> Fixed {
+        Fixed { raw: format.wrap(raw), format }
+    }
+
+    /// Quantizes an `f64`, rounding to nearest and saturating at the
+    /// format's range.
+    pub fn from_f64(v: f64, format: Format) -> Fixed {
+        let scaled = (v / format.epsilon()).round();
+        let clamped = scaled.clamp(
+            -(1i64 << (format.total_bits() - 1)) as f64,
+            ((1i64 << (format.total_bits() - 1)) - 1) as f64,
+        );
+        Fixed { raw: clamped as i64, format }
+    }
+
+    /// The exact real value represented.
+    pub fn to_f64(self) -> f64 {
+        self.raw as f64 * self.format.epsilon()
+    }
+
+    /// The raw two's-complement integer.
+    pub fn raw(self) -> i64 {
+        self.raw
+    }
+
+    /// The value's format.
+    pub fn format(self) -> Format {
+        self.format
+    }
+
+    /// Reinterprets in a wider/narrower format with the same fractional
+    /// bits (wrapping if narrower).
+    pub fn resize(self, format: Format) -> Fixed {
+        assert_eq!(
+            self.format.frac_bits, format.frac_bits,
+            "resize cannot change fractional bits"
+        );
+        Fixed::from_raw(self.raw, format)
+    }
+
+    /// Wrapping addition (hardware adder semantics).
+    pub fn add(self, rhs: Fixed) -> Fixed {
+        assert_eq!(self.format, rhs.format, "format mismatch");
+        Fixed::from_raw(self.raw + rhs.raw, self.format)
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(self, rhs: Fixed) -> Fixed {
+        assert_eq!(self.format, rhs.format, "format mismatch");
+        Fixed::from_raw(self.raw - rhs.raw, self.format)
+    }
+
+    /// Two's-complement negation (wrapping; `-MIN == MIN`).
+    pub fn neg(self) -> Fixed {
+        Fixed::from_raw(-self.raw, self.format)
+    }
+
+    /// Truncating multiplication: the double-width product shifted right
+    /// arithmetically by `frac_bits`, wrapped into the format.
+    pub fn mul(self, rhs: Fixed) -> Fixed {
+        assert_eq!(self.format, rhs.format, "format mismatch");
+        let wide = (self.raw as i128) * (rhs.raw as i128);
+        let shifted = (wide >> self.format.frac_bits) as i64;
+        Fixed::from_raw(shifted, self.format)
+    }
+
+    /// Sign-magnitude restoring division: `(|a| << frac) / |b|` truncated
+    /// toward zero, sign restored, wrapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    pub fn div(self, rhs: Fixed) -> Fixed {
+        assert_eq!(self.format, rhs.format, "format mismatch");
+        assert_ne!(rhs.raw, 0, "fixed-point division by zero");
+        let num = (self.raw.unsigned_abs() as u128) << self.format.frac_bits;
+        let den = rhs.raw.unsigned_abs() as u128;
+        let mag = (num / den) as i64;
+        let signed = if (self.raw < 0) != (rhs.raw < 0) { -mag } else { mag };
+        Fixed::from_raw(signed, self.format)
+    }
+
+    /// Arithmetic shift right by `n` bits (floor division by 2^n).
+    pub fn shr(self, n: u32) -> Fixed {
+        Fixed::from_raw(self.raw >> n.min(63), self.format)
+    }
+
+    /// Wrapping shift left by `n` bits.
+    pub fn shl(self, n: u32) -> Fixed {
+        Fixed::from_raw(self.raw << n.min(63), self.format)
+    }
+
+    /// LSB-first bit vector of the two's-complement representation — the
+    /// layout garbled-circuit words use.
+    pub fn to_bits(self) -> Vec<bool> {
+        let bits = self.format.total_bits();
+        let raw = self.raw as u64;
+        (0..bits).map(|i| (raw >> i) & 1 == 1).collect()
+    }
+
+    /// Reassembles a value from an LSB-first bit vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` does not match the format width.
+    pub fn from_bits(bits: &[bool], format: Format) -> Fixed {
+        assert_eq!(bits.len(), format.total_bits() as usize, "bit width mismatch");
+        let mut raw = 0u64;
+        for (i, b) in bits.iter().enumerate() {
+            raw |= u64::from(*b) << i;
+        }
+        Fixed::from_raw(format.wrap(raw as i64), format)
+    }
+}
+
+impl PartialEq for Fixed {
+    fn eq(&self, other: &Fixed) -> bool {
+        self.format == other.format && self.raw == other.raw
+    }
+}
+
+impl Eq for Fixed {}
+
+impl PartialOrd for Fixed {
+    fn partial_cmp(&self, other: &Fixed) -> Option<Ordering> {
+        (self.format == other.format).then(|| self.raw.cmp(&other.raw))
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const Q: Format = Format::Q3_12;
+
+    #[test]
+    fn f64_roundtrip_within_epsilon() {
+        for v in [-7.9, -1.0, -0.000244, 0.0, 0.5, 3.14159, 7.99] {
+            let x = Fixed::from_f64(v, Q);
+            assert!((x.to_f64() - v).abs() <= Q.epsilon() / 2.0 + 1e-12, "{v}");
+        }
+    }
+
+    #[test]
+    fn saturating_quantization() {
+        assert_eq!(Fixed::from_f64(100.0, Q).to_f64(), Q.max_value());
+        assert_eq!(Fixed::from_f64(-100.0, Q).to_f64(), Q.min_value());
+    }
+
+    #[test]
+    fn wrapping_add_overflow() {
+        let max = Fixed::from_f64(Q.max_value(), Q);
+        let eps = Fixed::from_raw(1, Q);
+        assert_eq!(max.add(eps).to_f64(), Q.min_value(), "wraps like hardware");
+    }
+
+    #[test]
+    fn mul_truncates_toward_neg_infinity() {
+        // (-epsilon) * 0.5 = -epsilon/2, truncated (arithmetic shift) = -epsilon.
+        let a = Fixed::from_raw(-1, Q);
+        let b = Fixed::from_f64(0.5, Q);
+        assert_eq!(a.mul(b).raw(), -1);
+    }
+
+    #[test]
+    fn div_truncates_toward_zero() {
+        let a = Fixed::from_f64(-1.0, Q);
+        let b = Fixed::from_f64(3.0, Q);
+        let q = a.div(b);
+        // -1/3 = -0.3333...; sign-magnitude truncation gives -0.333251953125
+        assert_eq!(q.raw(), -(((1i64 << 12) * 4096 / (3 * 4096))));
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        for v in [-8.0, -0.25, 0.0, 1.5, 7.5] {
+            let x = Fixed::from_f64(v, Q);
+            assert_eq!(Fixed::from_bits(&x.to_bits(), Q), x);
+        }
+    }
+
+    #[test]
+    fn sign_bit_is_msb() {
+        let neg = Fixed::from_f64(-1.0, Q);
+        assert!(neg.to_bits()[15], "MSB set for negatives");
+        let pos = Fixed::from_f64(1.0, Q);
+        assert!(!pos.to_bits()[15]);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = Fixed::one(Q).div(Fixed::zero(Q));
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_wrapped_integers(a in -32768i64..32768, b in -32768i64..32768) {
+            let x = Fixed::from_raw(a, Q).add(Fixed::from_raw(b, Q));
+            prop_assert_eq!(x.raw(), Q.wrap(a + b));
+        }
+
+        #[test]
+        fn mul_matches_shifted_product(a in -32768i64..32768, b in -32768i64..32768) {
+            let x = Fixed::from_raw(a, Q).mul(Fixed::from_raw(b, Q));
+            prop_assert_eq!(x.raw(), Q.wrap((a * b) >> 12));
+        }
+
+        #[test]
+        fn neg_involutive_except_min(a in -32767i64..32768) {
+            let x = Fixed::from_raw(a, Q);
+            prop_assert_eq!(x.neg().neg(), x);
+        }
+
+        #[test]
+        fn bits_roundtrip_all(a in -32768i64..32768) {
+            let x = Fixed::from_raw(a, Q);
+            prop_assert_eq!(Fixed::from_bits(&x.to_bits(), Q), x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    const Q: Format = Format::Q3_12;
+
+    proptest! {
+        #[test]
+        fn div_matches_sign_magnitude_reference(a in -32768i64..32768, b in -32768i64..32768) {
+            prop_assume!(b != 0);
+            let got = Fixed::from_raw(a, Q).div(Fixed::from_raw(b, Q));
+            let mag = ((a.unsigned_abs() as u128) << 12) / b.unsigned_abs() as u128;
+            let signed = if (a < 0) != (b < 0) { -(mag as i64) } else { mag as i64 };
+            prop_assert_eq!(got.raw(), Q.wrap(signed));
+        }
+
+        #[test]
+        fn sub_is_add_of_neg(a in -32768i64..32768, b in -32767i64..32768) {
+            let x = Fixed::from_raw(a, Q);
+            let y = Fixed::from_raw(b, Q);
+            prop_assert_eq!(x.sub(y), x.add(y.neg()));
+        }
+
+        #[test]
+        fn shifts_invert_for_small_values(a in -2048i64..2048, n in 0u32..4) {
+            let x = Fixed::from_raw(a, Q);
+            prop_assert_eq!(x.shl(n).shr(n), x, "no overflow in this range");
+        }
+
+        #[test]
+        fn resize_roundtrip(a in -32768i64..32768) {
+            let x = Fixed::from_raw(a, Q);
+            let wide = x.resize(Format::Q7_12);
+            prop_assert_eq!(wide.to_f64(), x.to_f64());
+            prop_assert_eq!(wide.resize(Q), x);
+        }
+    }
+}

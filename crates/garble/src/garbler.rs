@@ -1,0 +1,275 @@
+use deepsecure_circuit::{Circuit, GateKind, Wire, CONST_0, CONST_1};
+use deepsecure_crypto::{Block, FixedKeyHash};
+use rand::Rng;
+
+/// The material and label metadata for one garbled clock cycle.
+#[derive(Debug, Clone)]
+pub struct GarbledCycle {
+    /// Two ciphertexts per non-free gate, in topological gate order.
+    pub tables: Vec<Block>,
+    /// `(label_false, label_true)` for each garbler input wire.
+    pub garbler_input_labels: Vec<(Block, Block)>,
+    /// `(label_false, label_true)` for each evaluator input wire — the OT
+    /// message pairs.
+    pub evaluator_input_labels: Vec<(Block, Block)>,
+    /// Active labels for the two constant wires (fixed across cycles; the
+    /// garbler transmits them with the first cycle).
+    pub constant_labels: [Block; 2],
+    /// Point-and-permute decode bit per output wire.
+    pub output_decode: Vec<bool>,
+}
+
+impl GarbledCycle {
+    /// The active labels for the garbler's own input bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn garbler_active(&self, bits: &[bool]) -> Vec<Block> {
+        assert_eq!(bits.len(), self.garbler_input_labels.len(), "garbler input arity");
+        bits.iter()
+            .zip(&self.garbler_input_labels)
+            .map(|(&b, (l0, l1))| if b { *l1 } else { *l0 })
+            .collect()
+    }
+
+    /// The active labels for given evaluator bits — what OT would deliver
+    /// (used by tests and the local runner; the protocol uses real OT).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn evaluator_active(&self, bits: &[bool]) -> Vec<Block> {
+        assert_eq!(bits.len(), self.evaluator_input_labels.len(), "evaluator input arity");
+        bits.iter()
+            .zip(&self.evaluator_input_labels)
+            .map(|(&b, (l0, l1))| if b { *l1 } else { *l0 })
+            .collect()
+    }
+}
+
+/// The garbling state machine (the client/Alice role in DeepSecure).
+///
+/// Holds the Free-XOR offset Δ, the constant-wire labels, and the carried
+/// false labels of register outputs so that sequential circuits garble one
+/// cycle at a time in constant memory (§3.5).
+pub struct Garbler<'c> {
+    circuit: &'c Circuit,
+    delta: Block,
+    hash: FixedKeyHash,
+    const_labels: [Block; 2],
+    /// False labels of register q wires, carried across cycles.
+    reg_labels: Vec<Block>,
+    /// Monotone per-gate tweak counter (never reused across cycles).
+    tweak: u64,
+}
+
+impl std::fmt::Debug for Garbler<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Garbler").field("tweak", &self.tweak).finish_non_exhaustive()
+    }
+}
+
+impl<'c> Garbler<'c> {
+    /// Creates a garbler with a fresh Δ and register/constant labels.
+    pub fn new<R: Rng + ?Sized>(circuit: &'c Circuit, rng: &mut R) -> Garbler<'c> {
+        let delta = Block::random_delta(rng);
+        Garbler {
+            circuit,
+            delta,
+            hash: FixedKeyHash::new(),
+            const_labels: [Block::random(rng), Block::random(rng)],
+            reg_labels: (0..circuit.registers().len())
+                .map(|_| Block::random(rng))
+                .collect(),
+            tweak: 0,
+        }
+    }
+
+    /// The global Free-XOR offset (exposed for invariant tests; a real
+    /// deployment never reveals it).
+    pub fn delta(&self) -> Block {
+        self.delta
+    }
+
+    /// Active labels encoding each register's initial power-on value; sent
+    /// to the evaluator once before the first cycle.
+    pub fn initial_register_labels(&self) -> Vec<Block> {
+        self.circuit
+            .registers()
+            .iter()
+            .zip(&self.reg_labels)
+            .map(|(r, &l0)| if r.init { l0 ^ self.delta } else { l0 })
+            .collect()
+    }
+
+    /// Garbles one clock cycle, assigning fresh input labels and producing
+    /// the table stream. Register output labels are the ones carried from
+    /// the previous cycle; register input labels are carried forward.
+    pub fn garble_cycle<R: Rng + ?Sized>(&mut self, rng: &mut R) -> GarbledCycle {
+        let c = self.circuit;
+        let mut labels: Vec<Block> = vec![Block::ZERO; c.wire_count()];
+        labels[CONST_0.index()] = self.const_labels[0];
+        // The evaluator's label for const-1 *encodes true*: its false label
+        // is offset by Δ.
+        labels[CONST_1.index()] = self.const_labels[1];
+
+        let mut garbler_inputs = Vec::with_capacity(c.garbler_inputs().len());
+        for w in c.garbler_inputs() {
+            let l0 = Block::random(rng);
+            labels[w.index()] = l0;
+            garbler_inputs.push((l0, l0 ^ self.delta));
+        }
+        let mut evaluator_inputs = Vec::with_capacity(c.evaluator_inputs().len());
+        for w in c.evaluator_inputs() {
+            let l0 = Block::random(rng);
+            labels[w.index()] = l0;
+            evaluator_inputs.push((l0, l0 ^ self.delta));
+        }
+        for (r, &l0) in c.registers().iter().zip(&self.reg_labels) {
+            labels[r.q.index()] = l0;
+        }
+
+        let mut tables = Vec::new();
+        for gate in c.gates() {
+            let a = labels[gate.a.index()];
+            let b = labels[gate.b.index()];
+            let out = match gate.kind {
+                GateKind::Xor => a ^ b,
+                GateKind::Xnor => a ^ b ^ self.delta,
+                GateKind::Not => a ^ self.delta,
+                GateKind::Buf => a,
+                kind => {
+                    let (alpha, beta, gamma) = kind.and_form();
+                    let a_eff = if alpha { a ^ self.delta } else { a };
+                    let b_eff = if beta { b ^ self.delta } else { b };
+                    let w = self.garble_and(a_eff, b_eff, &mut tables);
+                    if gamma {
+                        w ^ self.delta
+                    } else {
+                        w
+                    }
+                }
+            };
+            labels[gate.out.index()] = out;
+        }
+
+        // Latch: next cycle's q false labels are this cycle's d labels.
+        for (slot, r) in self.reg_labels.iter_mut().zip(c.registers()) {
+            *slot = labels[r.d.index()];
+        }
+
+        let output_decode = c.outputs().iter().map(|w| labels[w.index()].color()).collect();
+        GarbledCycle {
+            tables,
+            garbler_input_labels: garbler_inputs,
+            evaluator_input_labels: evaluator_inputs,
+            // Active labels: const-0 encodes false, const-1 encodes true.
+            constant_labels: [self.const_labels[0], self.const_labels[1] ^ self.delta],
+            output_decode,
+        }
+    }
+
+    /// Half-gates AND garbling (Zahur–Rosulek–Evans): two ciphertexts,
+    /// returns the output false label.
+    fn garble_and(&mut self, a0: Block, b0: Block, tables: &mut Vec<Block>) -> Block {
+        let t_g = self.tweak;
+        let t_e = self.tweak + 1;
+        self.tweak += 2;
+        let p_a = a0.color();
+        let p_b = b0.color();
+        let a1 = a0 ^ self.delta;
+        let b1 = b0 ^ self.delta;
+        // Generator half gate.
+        let hg0 = self.hash.hash(a0, t_g);
+        let hg1 = self.hash.hash(a1, t_g);
+        let mut table_g = hg0 ^ hg1;
+        if p_b {
+            table_g ^= self.delta;
+        }
+        let mut w_g = hg0;
+        if p_a {
+            w_g ^= table_g;
+        }
+        // Evaluator half gate.
+        let he0 = self.hash.hash(b0, t_e);
+        let he1 = self.hash.hash(b1, t_e);
+        let table_e = he0 ^ he1 ^ a0;
+        let mut w_e = he0;
+        if p_b {
+            w_e ^= table_e ^ a0;
+        }
+        tables.push(table_g);
+        tables.push(table_e);
+        w_g ^ w_e
+    }
+
+    /// Label sanity helper: every wire pair must differ by exactly Δ.
+    /// (Used by invariant tests.)
+    pub fn labels_differ_by_delta(&self, l0: Block, l1: Block) -> bool {
+        l0 ^ l1 == self.delta
+    }
+
+    /// The wires whose labels an evaluator needs via OT, in order.
+    pub fn evaluator_wires(&self) -> &[Wire] {
+        self.circuit.evaluator_inputs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use deepsecure_circuit::Builder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn label_pairs_differ_by_delta() {
+        let mut b = Builder::new();
+        let x = b.garbler_input();
+        let y = b.evaluator_input();
+        let z = b.and(x, y);
+        b.output(z);
+        let c = b.finish();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = Garbler::new(&c, &mut rng);
+        let cyc = g.garble_cycle(&mut rng);
+        for (l0, l1) in cyc.garbler_input_labels.iter().chain(&cyc.evaluator_input_labels) {
+            assert!(g.labels_differ_by_delta(*l0, *l1));
+            assert_ne!(l0.color(), l1.color(), "point-permute colors differ");
+        }
+    }
+
+    #[test]
+    fn tweaks_never_repeat_across_cycles() {
+        let mut b = Builder::new();
+        let x = b.garbler_input();
+        let q = b.register(false);
+        let d = b.and(q, x);
+        b.connect_register(q, d);
+        b.output(d);
+        let c = b.finish();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = Garbler::new(&c, &mut rng);
+        let before = g.tweak;
+        let _ = g.garble_cycle(&mut rng);
+        let mid = g.tweak;
+        let _ = g.garble_cycle(&mut rng);
+        assert!(mid > before);
+        assert!(g.tweak > mid);
+    }
+
+    #[test]
+    fn fresh_labels_each_cycle() {
+        let mut b = Builder::new();
+        let x = b.garbler_input();
+        b.output(x);
+        let c = b.finish();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut g = Garbler::new(&c, &mut rng);
+        let c1 = g.garble_cycle(&mut rng);
+        let c2 = g.garble_cycle(&mut rng);
+        assert_ne!(c1.garbler_input_labels[0].0, c2.garbler_input_labels[0].0);
+    }
+}

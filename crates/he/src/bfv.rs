@@ -1,0 +1,511 @@
+//! A compact secret-key BFV scheme (Brakerski/Fan–Vercauteren) with SIMD
+//! batching — the cryptographic substrate CryptoNets builds on.
+//!
+//! Design choices for this baseline role:
+//!
+//! * Secret-key encryption suffices (the client encrypts its own data and
+//!   decrypts its own result; no third-party encrypts).
+//! * Exact tensor products for ciphertext multiplication are computed
+//!   schoolbook over `i128` (parameters keep `n·(q/2)² < 2^123`), avoiding
+//!   an RNS tower; this is slow but exact, and speed of the baseline is
+//!   modeled separately (see `cryptonets`).
+//! * Relinearization uses base-`2^16` digit decomposition keys.
+
+use rand::Rng;
+
+use crate::ntt::mul_mod;
+use crate::Params;
+
+/// A plaintext polynomial (coefficients mod `t`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Plaintext(pub Vec<u64>);
+
+/// A BFV ciphertext `(c0, c1)` with coefficients mod `q`.
+#[derive(Clone, Debug)]
+pub struct Ciphertext {
+    pub(crate) c0: Vec<u64>,
+    pub(crate) c1: Vec<u64>,
+}
+
+/// The ternary secret key.
+#[derive(Clone, Debug)]
+pub struct SecretKey {
+    s: Vec<u64>,
+}
+
+/// Relinearization keys: encryptions of `2^{16·i}·s²`.
+#[derive(Clone, Debug)]
+pub struct EvalKey {
+    digits: Vec<(Vec<u64>, Vec<u64>)>, // (b_i, a_i)
+}
+
+/// The scheme context.
+#[derive(Clone, Debug)]
+pub struct Bfv {
+    params: Params,
+}
+
+impl Bfv {
+    /// Creates a context.
+    pub fn new(params: Params) -> Bfv {
+        Bfv { params }
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    fn sample_ternary<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u64> {
+        let q = self.params.q;
+        (0..self.params.n)
+            .map(|_| match rng.gen_range(0..3u8) {
+                0 => 0,
+                1 => 1,
+                _ => q - 1,
+            })
+            .collect()
+    }
+
+    fn sample_error<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u64> {
+        // Centered binomial with support [-4, 4].
+        let q = self.params.q;
+        (0..self.params.n)
+            .map(|_| {
+                let x: i64 = (0..8).map(|_| i64::from(rng.gen::<bool>())).sum::<i64>() - 4;
+                if x >= 0 {
+                    x as u64
+                } else {
+                    q - (-x) as u64
+                }
+            })
+            .collect()
+    }
+
+    fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u64> {
+        (0..self.params.n).map(|_| rng.gen_range(0..self.params.q)).collect()
+    }
+
+    fn add_poly(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        a.iter().zip(b).map(|(&x, &y)| (x + y) % self.params.q).collect()
+    }
+
+    fn sub_poly(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let q = self.params.q;
+        a.iter().zip(b).map(|(&x, &y)| (x + q - y) % q).collect()
+    }
+
+    fn mul_poly(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        self.params.ntt_q.negacyclic_mul(a, b)
+    }
+
+    /// Generates a secret key.
+    pub fn keygen<R: Rng + ?Sized>(&self, rng: &mut R) -> SecretKey {
+        SecretKey { s: self.sample_ternary(rng) }
+    }
+
+    /// Generates relinearization keys for `sk`.
+    pub fn eval_keygen<R: Rng + ?Sized>(&self, sk: &SecretKey, rng: &mut R) -> EvalKey {
+        let w = self.params.relin_base_log;
+        let levels = (64 - self.params.q.leading_zeros()).div_ceil(w);
+        let s2 = self.mul_poly(&sk.s, &sk.s);
+        let mut digits = Vec::with_capacity(levels as usize);
+        for i in 0..levels {
+            let a = self.sample_uniform(rng);
+            let e = self.sample_error(rng);
+            let mut b = self.sub_poly(&e, &self.mul_poly(&a, &sk.s));
+            // b += 2^{w i} * s²  (power may exceed u64 range boundaries;
+            // reduce the scalar mod q first).
+            let scalar = if w * i >= 64 {
+                // 2^{wi} mod q via pow
+                crate::ntt::pow_mod(2, u64::from(w * i), self.params.q)
+            } else {
+                (1u128 << (w * i)).rem_euclid(u128::from(self.params.q)) as u64
+            };
+            for (bc, s2c) in b.iter_mut().zip(&s2) {
+                *bc = (*bc + mul_mod(scalar, *s2c, self.params.q)) % self.params.q;
+            }
+            digits.push((b, a));
+        }
+        EvalKey { digits }
+    }
+
+    /// SIMD-encodes per-slot values (length ≤ `n`; missing slots are zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more values than slots are supplied.
+    pub fn encode(&self, values: &[u64]) -> Plaintext {
+        assert!(values.len() <= self.params.n, "more values than slots");
+        let mut slots: Vec<u64> = values.iter().map(|&v| v % self.params.t).collect();
+        slots.resize(self.params.n, 0);
+        self.params.ntt_t.inverse(&mut slots);
+        Plaintext(slots)
+    }
+
+    /// Encodes signed per-slot values (centered representatives mod `t`).
+    pub fn encode_signed(&self, values: &[i64]) -> Plaintext {
+        let t = self.params.t as i64;
+        let unsigned: Vec<u64> = values.iter().map(|&v| v.rem_euclid(t) as u64).collect();
+        self.encode(&unsigned)
+    }
+
+    /// Decodes a plaintext back to slot values.
+    pub fn decode(&self, pt: &Plaintext) -> Vec<u64> {
+        let mut slots = pt.0.clone();
+        self.params.ntt_t.forward(&mut slots);
+        slots
+    }
+
+    /// Decodes to centered signed representatives.
+    pub fn decode_signed(&self, pt: &Plaintext) -> Vec<i64> {
+        let t = self.params.t;
+        self.decode(pt)
+            .into_iter()
+            .map(|v| if v > t / 2 { v as i64 - t as i64 } else { v as i64 })
+            .collect()
+    }
+
+    /// Encrypts a plaintext.
+    pub fn encrypt<R: Rng + ?Sized>(
+        &self,
+        sk: &SecretKey,
+        pt: &Plaintext,
+        rng: &mut R,
+    ) -> Ciphertext {
+        let a = self.sample_uniform(rng);
+        let e = self.sample_error(rng);
+        let delta = self.params.delta();
+        let mut c0 = self.sub_poly(&e, &self.mul_poly(&a, &sk.s));
+        for (c, &m) in c0.iter_mut().zip(&pt.0) {
+            *c = (*c + mul_mod(delta, m, self.params.q)) % self.params.q;
+        }
+        Ciphertext { c0, c1: a }
+    }
+
+    /// Decrypts a ciphertext.
+    pub fn decrypt(&self, sk: &SecretKey, ct: &Ciphertext) -> Plaintext {
+        let v = self.add_poly(&ct.c0, &self.mul_poly(&ct.c1, &sk.s));
+        let (q, t) = (self.params.q, self.params.t);
+        let coeffs = v
+            .into_iter()
+            .map(|c| {
+                // round(t·c/q) mod t
+                let scaled = (u128::from(c) * u128::from(t) + u128::from(q) / 2)
+                    / u128::from(q);
+                (scaled % u128::from(t)) as u64
+            })
+            .collect();
+        Plaintext(coeffs)
+    }
+
+    /// Homomorphic addition.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        Ciphertext { c0: self.add_poly(&a.c0, &b.c0), c1: self.add_poly(&a.c1, &b.c1) }
+    }
+
+    /// Adds a plaintext into a ciphertext.
+    pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let delta = self.params.delta();
+        let mut c0 = a.c0.clone();
+        for (c, &m) in c0.iter_mut().zip(&pt.0) {
+            *c = (*c + mul_mod(delta, m, self.params.q)) % self.params.q;
+        }
+        Ciphertext { c0, c1: a.c1.clone() }
+    }
+
+    /// Multiplies a ciphertext by a small signed scalar (applied to every
+    /// slot) — the weight multiplication of CryptoNets-style layers.
+    pub fn mul_plain_scalar(&self, a: &Ciphertext, w: i64) -> Ciphertext {
+        let q = self.params.q;
+        let scalar = w.rem_euclid(q as i64) as u64;
+        let scale = |p: &[u64]| p.iter().map(|&c| mul_mod(c, scalar, q)).collect();
+        Ciphertext { c0: scale(&a.c0), c1: scale(&a.c1) }
+    }
+
+    /// Ciphertext-ciphertext multiplication with relinearization.
+    pub fn mul(&self, a: &Ciphertext, b: &Ciphertext, evk: &EvalKey) -> Ciphertext {
+        let (d0, d1, d2) = self.tensor(a, b);
+        self.relinearize(d0, d1, d2, evk)
+    }
+
+    /// Squares a ciphertext.
+    pub fn square(&self, a: &Ciphertext, evk: &EvalKey) -> Ciphertext {
+        self.mul(a, a, evk)
+    }
+
+    /// The exact scaled tensor product `(d0, d1, d2)`.
+    fn tensor(&self, a: &Ciphertext, b: &Ciphertext) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+        let prod00 = self.exact_negacyclic(&a.c0, &b.c0);
+        let prod01 = self.exact_negacyclic(&a.c0, &b.c1);
+        let prod10 = self.exact_negacyclic(&a.c1, &b.c0);
+        let prod11 = self.exact_negacyclic(&a.c1, &b.c1);
+        let cross: Vec<i128> = prod01.iter().zip(&prod10).map(|(&x, &y)| x + y).collect();
+        (
+            self.scale_round(&prod00),
+            self.scale_round(&cross),
+            self.scale_round(&prod11),
+        )
+    }
+
+    /// Exact negacyclic product over the integers with centered inputs.
+    fn exact_negacyclic(&self, a: &[u64], b: &[u64]) -> Vec<i128> {
+        let n = self.params.n;
+        let q = self.params.q;
+        let center = |x: u64| -> i128 {
+            if x > q / 2 {
+                i128::from(x) - i128::from(q)
+            } else {
+                i128::from(x)
+            }
+        };
+        let ac: Vec<i128> = a.iter().map(|&x| center(x)).collect();
+        let bc: Vec<i128> = b.iter().map(|&x| center(x)).collect();
+        let mut out = vec![0i128; n];
+        for (i, &av) in ac.iter().enumerate() {
+            if av == 0 {
+                continue;
+            }
+            for (j, &bv) in bc.iter().enumerate() {
+                let k = i + j;
+                if k < n {
+                    out[k] += av * bv;
+                } else {
+                    out[k - n] -= av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `round(t·x/q) mod q` on centered values.
+    fn scale_round(&self, poly: &[i128]) -> Vec<u64> {
+        let q = i128::from(self.params.q);
+        let t = i128::from(self.params.t);
+        poly.iter()
+            .map(|&x| {
+                let num = x * t;
+                let rounded = if num >= 0 { (num + q / 2) / q } else { (num - q / 2) / q };
+                rounded.rem_euclid(q) as u64
+            })
+            .collect()
+    }
+
+    fn relinearize(
+        &self,
+        d0: Vec<u64>,
+        d1: Vec<u64>,
+        d2: Vec<u64>,
+        evk: &EvalKey,
+    ) -> Ciphertext {
+        let w = self.params.relin_base_log;
+        let mask = (1u64 << w) - 1;
+        let mut c0 = d0;
+        let mut c1 = d1;
+        let mut remaining = d2;
+        for (b_i, a_i) in &evk.digits {
+            let digit: Vec<u64> = remaining.iter().map(|&c| c & mask).collect();
+            for c in remaining.iter_mut() {
+                *c >>= w;
+            }
+            c0 = self.add_poly(&c0, &self.mul_poly(&digit, b_i));
+            c1 = self.add_poly(&c1, &self.mul_poly(&digit, a_i));
+        }
+        Ciphertext { c0, c1 }
+    }
+
+    /// Measures the remaining *invariant* noise budget in bits,
+    /// `log2(Δ / (2·noise)) = log2(q / (2·t·noise))`; decryption fails
+    /// when this reaches zero.
+    pub fn noise_budget(&self, sk: &SecretKey, ct: &Ciphertext) -> f64 {
+        let v = self.add_poly(&ct.c0, &self.mul_poly(&ct.c1, &sk.s));
+        let pt = self.decrypt(sk, ct);
+        let (q, t) = (self.params.q, self.params.t);
+        let delta = self.params.delta();
+        let mut max_noise = 0i128;
+        for (&vc, &mc) in v.iter().zip(&pt.0) {
+            let expected = i128::from(mul_mod(delta, mc, q));
+            let mut noise = i128::from(vc) - expected;
+            // center mod q
+            noise = noise.rem_euclid(i128::from(q));
+            if noise > i128::from(q / 2) {
+                noise -= i128::from(q);
+            }
+            max_noise = max_noise.max(noise.abs());
+        }
+        if max_noise == 0 {
+            return 64.0;
+        }
+        (q as f64 / (2.0 * t as f64 * max_noise as f64)).log2().max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    fn setup() -> (Bfv, SecretKey, StdRng) {
+        let bfv = Bfv::new(Params::toy());
+        let mut rng = StdRng::seed_from_u64(42);
+        let sk = bfv.keygen(&mut rng);
+        (bfv, sk, rng)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (bfv, sk, mut rng) = setup();
+        let values: Vec<u64> = (0..256).map(|i| i * 7 % 1000).collect();
+        let ct = bfv.encrypt(&sk, &bfv.encode(&values), &mut rng);
+        assert_eq!(bfv.decode(&bfv.decrypt(&sk, &ct)), values);
+        assert!(bfv.noise_budget(&sk, &ct) > 20.0);
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let (bfv, sk, mut rng) = setup();
+        let a = [5u64, 10, 100, 8000];
+        let b = [3u64, 7, 50, 100];
+        let ca = bfv.encrypt(&sk, &bfv.encode(&a), &mut rng);
+        let cb = bfv.encrypt(&sk, &bfv.encode(&b), &mut rng);
+        let sum = bfv.add(&ca, &cb);
+        let out = bfv.decode(&bfv.decrypt(&sk, &sum));
+        assert_eq!(&out[..4], &[8, 17, 150, 8100]);
+    }
+
+    #[test]
+    fn plaintext_addition_and_scalar_multiplication() {
+        let (bfv, sk, mut rng) = setup();
+        let ca = bfv.encrypt(&sk, &bfv.encode(&[10, 20]), &mut rng);
+        let with_plain = bfv.add_plain(&ca, &bfv.encode(&[1, 2]));
+        let out = bfv.decode(&bfv.decrypt(&sk, &with_plain));
+        assert_eq!(&out[..2], &[11, 22]);
+
+        let tripled = bfv.mul_plain_scalar(&ca, 3);
+        let out = bfv.decode(&bfv.decrypt(&sk, &tripled));
+        assert_eq!(&out[..2], &[30, 60]);
+
+        // Negative scalars wrap mod t in slot space.
+        let negated = bfv.mul_plain_scalar(&ca, -1);
+        let pt = bfv.decrypt(&sk, &negated);
+        let signed = bfv.decode_signed(&pt);
+        assert_eq!(&signed[..2], &[-10, -20]);
+    }
+
+    #[test]
+    fn ciphertext_multiplication_slotwise() {
+        let (bfv, sk, mut rng) = setup();
+        let evk = bfv.eval_keygen(&sk, &mut rng);
+        let a = [3u64, 5, 7, 11];
+        let b = [2u64, 4, 6, 8];
+        let ca = bfv.encrypt(&sk, &bfv.encode(&a), &mut rng);
+        let cb = bfv.encrypt(&sk, &bfv.encode(&b), &mut rng);
+        let prod = bfv.mul(&ca, &cb, &evk);
+        assert!(bfv.noise_budget(&sk, &prod) > 1.0, "budget exhausted");
+        let out = bfv.decode(&bfv.decrypt(&sk, &prod));
+        assert_eq!(&out[..4], &[6, 20, 42, 88]);
+    }
+
+    #[test]
+    fn squaring_matches_slot_squares() {
+        let (bfv, sk, mut rng) = setup();
+        let evk = bfv.eval_keygen(&sk, &mut rng);
+        let vals = [1u64, 2, 3, 50, 90];
+        let ct = bfv.encrypt(&sk, &bfv.encode(&vals), &mut rng);
+        let sq = bfv.square(&ct, &evk);
+        let out = bfv.decode(&bfv.decrypt(&sk, &sq));
+        for (o, v) in out.iter().zip(&vals) {
+            assert_eq!(*o, v * v);
+        }
+    }
+
+    #[test]
+    fn signed_encoding_roundtrip() {
+        let (bfv, sk, mut rng) = setup();
+        let vals = [-5i64, 17, -100, 0, 1000];
+        let ct = bfv.encrypt(&sk, &bfv.encode_signed(&vals), &mut rng);
+        let out = bfv.decode_signed(&bfv.decrypt(&sk, &ct));
+        assert_eq!(&out[..5], &vals);
+    }
+
+    #[test]
+    fn noise_grows_with_multiplication() {
+        let (bfv, sk, mut rng) = setup();
+        let evk = bfv.eval_keygen(&sk, &mut rng);
+        let ct = bfv.encrypt(&sk, &bfv.encode(&[2, 3]), &mut rng);
+        let fresh = bfv.noise_budget(&sk, &ct);
+        let sq = bfv.square(&ct, &evk);
+        let after = bfv.noise_budget(&sk, &sq);
+        assert!(
+            after < fresh - 5.0,
+            "multiplication must consume budget: {fresh} -> {after}"
+        );
+    }
+
+    #[test]
+    fn batching_is_componentwise() {
+        // The whole point of CryptoNets batching: one HE op acts on all
+        // slots (samples) at once.
+        let (bfv, sk, mut rng) = setup();
+        let a: Vec<u64> = (0..256).map(|i| i % 90).collect();
+        let b: Vec<u64> = (0..256).map(|i| (i * 3 + 1) % 90).collect();
+        let ca = bfv.encrypt(&sk, &bfv.encode(&a), &mut rng);
+        let cb = bfv.encrypt(&sk, &bfv.encode(&b), &mut rng);
+        let sum = bfv.add(&ca, &cb);
+        let out = bfv.decode(&bfv.decrypt(&sk, &sum));
+        for i in 0..256 {
+            assert_eq!(out[i], a[i] + b[i], "slot {i}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::Params;
+
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn encrypt_decrypt_arbitrary_slots(seed in any::<u64>(), vals in proptest::collection::vec(0u64..8000, 1..64)) {
+            let bfv = Bfv::new(Params::toy());
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sk = bfv.keygen(&mut rng);
+            let ct = bfv.encrypt(&sk, &bfv.encode(&vals), &mut rng);
+            let out = bfv.decode(&bfv.decrypt(&sk, &ct));
+            prop_assert_eq!(&out[..vals.len()], &vals[..]);
+        }
+
+        #[test]
+        fn addition_is_slotwise_mod_t(seed in any::<u64>(), a in 0u64..8000, b in 0u64..8000) {
+            let bfv = Bfv::new(Params::toy());
+            let t = bfv.params().t;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sk = bfv.keygen(&mut rng);
+            let ca = bfv.encrypt(&sk, &bfv.encode(&[a]), &mut rng);
+            let cb = bfv.encrypt(&sk, &bfv.encode(&[b]), &mut rng);
+            let sum = bfv.add(&ca, &cb);
+            let out = bfv.decode(&bfv.decrypt(&sk, &sum));
+            prop_assert_eq!(out[0], (a + b) % t);
+        }
+
+        #[test]
+        fn scalar_multiplication_distributes(seed in any::<u64>(), a in 0u64..500, w in -7i64..8) {
+            // keep |a*w| below t/2 so the signed decode is unambiguous
+            let bfv = Bfv::new(Params::toy());
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sk = bfv.keygen(&mut rng);
+            let ct = bfv.encrypt(&sk, &bfv.encode(&[a]), &mut rng);
+            let scaled = bfv.mul_plain_scalar(&ct, w);
+            let out = bfv.decode_signed(&bfv.decrypt(&sk, &scaled));
+            prop_assert_eq!(out[0], a as i64 * w);
+        }
+    }
+}

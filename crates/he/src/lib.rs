@@ -1,0 +1,49 @@
+//! The CryptoNets baseline (paper §4.7, Table 6, Figure 6).
+//!
+//! DeepSecure's headline comparison is against Microsoft's CryptoNets
+//! [Gilad-Bachrach et al., ICML'16], which evaluates networks under
+//! leveled homomorphic encryption with SIMD batching and square
+//! activations. To make the comparison concrete this crate implements a
+//! compact BFV-style RLWE scheme from scratch:
+//!
+//! * [`ntt`] — negacyclic number-theoretic transforms over NTT-friendly
+//!   64-bit primes (with a deterministic Miller-Rabin prime search).
+//! * [`Bfv`] — secret-key BFV: encrypt/decrypt, ciphertext addition,
+//!   plaintext multiplication, ciphertext-ciphertext multiplication with
+//!   relinearization, and SIMD slot batching (the "process 8192 samples
+//!   at once" mechanism that shapes Figure 6).
+//! * [`cryptonets`] — a CryptoNets-style evaluation pipeline (scaled
+//!   integer encoding, conv → square → FC) and the latency model used in
+//!   the comparison figures.
+//!
+//! This is the *functional* baseline: it demonstrates the batching
+//! economics (huge per-batch cost, thousands of samples amortized) and the
+//! precision limits (degree-2 activations, small plaintext moduli) the
+//! paper contrasts with GC. Absolute speed is not the point; the cost
+//! model constants in `deepsecure-core::cost::cryptonets` carry the
+//! paper's published numbers.
+//!
+//! # Example
+//!
+//! ```
+//! use deepsecure_he::{Bfv, Params};
+//! use rand::SeedableRng;
+//!
+//! let params = Params::toy();
+//! let bfv = Bfv::new(params);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let sk = bfv.keygen(&mut rng);
+//! let m = bfv.encode(&[1, 2, 3, 4]);
+//! let ct = bfv.encrypt(&sk, &m, &mut rng);
+//! let two = bfv.add(&ct, &ct);
+//! let out = bfv.decode(&bfv.decrypt(&sk, &two));
+//! assert_eq!(&out[..4], &[2, 4, 6, 8]);
+//! ```
+
+mod bfv;
+pub mod cryptonets;
+pub mod ntt;
+mod params;
+
+pub use bfv::{Bfv, Ciphertext, EvalKey, Plaintext, SecretKey};
+pub use params::Params;

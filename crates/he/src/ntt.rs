@@ -1,0 +1,290 @@
+//! Negacyclic number-theoretic transforms and modular utilities.
+
+/// Modular multiplication via 128-bit intermediate.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64
+}
+
+/// Modular exponentiation.
+pub fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Deterministic Miller-Rabin for `u64` (the standard 12-base set).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Finds the smallest prime `p >= lo` with `p ≡ 1 (mod modulus_step)`.
+pub fn find_ntt_prime(lo: u64, modulus_step: u64) -> u64 {
+    let mut candidate = lo.div_ceil(modulus_step) * modulus_step + 1;
+    while !is_prime(candidate) {
+        candidate += modulus_step;
+    }
+    candidate
+}
+
+/// Finds a primitive `order`-th root of unity modulo prime `p`
+/// (`order` must divide `p - 1`).
+///
+/// # Panics
+///
+/// Panics if `order` does not divide `p - 1`.
+pub fn primitive_root(order: u64, p: u64) -> u64 {
+    assert_eq!((p - 1) % order, 0, "order must divide p-1");
+    let cofactor = (p - 1) / order;
+    // Try small candidates; check x^(order/q) != 1 for prime factors q of
+    // order. Since order is a power of two here, only q = 2 matters.
+    for x in 2..p {
+        let w = pow_mod(x, cofactor, p);
+        if w != 1 && pow_mod(w, order / 2, p) != 1 {
+            return w;
+        }
+    }
+    unreachable!("no primitive root found");
+}
+
+/// Precomputed tables for the negacyclic NTT of length `n` modulo `p`.
+///
+/// Forward/inverse transforms implement multiplication in
+/// `Z_p[x]/(x^n + 1)` via the ψ-twisted cyclic NTT.
+#[derive(Clone, Debug)]
+pub struct NttTable {
+    n: usize,
+    p: u64,
+    /// ψ^i (2n-th root powers) in bit-reversed order for the forward pass.
+    psi_pows: Vec<u64>,
+    /// ψ^{-i} likewise for the inverse pass.
+    psi_inv_pows: Vec<u64>,
+    n_inv: u64,
+}
+
+impl NttTable {
+    /// Builds tables for length `n` (a power of two) modulo prime `p`
+    /// with `p ≡ 1 (mod 2n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are incompatible.
+    pub fn new(n: usize, p: u64) -> NttTable {
+        assert!(n.is_power_of_two(), "NTT length must be a power of two");
+        assert_eq!((p - 1) % (2 * n as u64), 0, "p must be 1 mod 2n");
+        let psi = primitive_root(2 * n as u64, p);
+        let psi_inv = pow_mod(psi, p - 2, p);
+        let log_n = n.trailing_zeros();
+        let bitrev = |i: usize| (i as u64).reverse_bits() >> (64 - log_n);
+        let mut psi_pows = vec![0u64; n];
+        let mut psi_inv_pows = vec![0u64; n];
+        for i in 0..n {
+            let r = bitrev(i) as usize;
+            psi_pows[i] = pow_mod(psi, r as u64, p);
+            psi_inv_pows[i] = pow_mod(psi_inv, r as u64, p);
+        }
+        NttTable {
+            n,
+            p,
+            psi_pows,
+            psi_inv_pows,
+            n_inv: pow_mod(n as u64, p - 2, p),
+        }
+    }
+
+    /// The transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the table is empty (never true; for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// In-place forward negacyclic NTT (Cooley-Tukey, ψ-merged).
+    pub fn forward(&self, a: &mut [u64]) {
+        let (n, p) = (self.n, self.p);
+        debug_assert_eq!(a.len(), n);
+        let mut t = n;
+        let mut m = 1;
+        while m < n {
+            t /= 2;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let s = self.psi_pows[m + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = mul_mod(a[j + t], s, p);
+                    a[j] = (u + v) % p;
+                    a[j + t] = (u + p - v) % p;
+                }
+            }
+            m *= 2;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (Gentleman-Sande, ψ⁻¹-merged).
+    pub fn inverse(&self, a: &mut [u64]) {
+        let (n, p) = (self.n, self.p);
+        debug_assert_eq!(a.len(), n);
+        let mut t = 1;
+        let mut m = n;
+        while m > 1 {
+            let h = m / 2;
+            let mut j1 = 0;
+            for i in 0..h {
+                let s = self.psi_inv_pows[h + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = (u + v) % p;
+                    a[j + t] = mul_mod(u + p - v, s, p);
+                }
+                j1 += 2 * t;
+            }
+            t *= 2;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = mul_mod(*x, self.n_inv, p);
+        }
+    }
+
+    /// Negacyclic polynomial product (convenience; NTT-multiply-NTT⁻¹).
+    pub fn negacyclic_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        self.forward(&mut fa);
+        self.forward(&mut fb);
+        for (x, y) in fa.iter_mut().zip(&fb) {
+            *x = mul_mod(*x, *y, self.p);
+        }
+        self.inverse(&mut fa);
+        fa
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality() {
+        assert!(is_prime(2));
+        assert!(is_prime(40961));
+        assert!(is_prime(0xFFFF_FFFF_FFFF_FFC5)); // largest u64 prime
+        assert!(!is_prime(40963));
+        assert!(!is_prime(1));
+        assert!(!is_prime(3_215_031_751)); // strong pseudoprime to bases 2,3,5,7
+    }
+
+    #[test]
+    fn ntt_prime_search() {
+        let p = find_ntt_prime(1 << 50, 4096);
+        assert!(is_prime(p));
+        assert_eq!((p - 1) % 4096, 0);
+        assert!(p >= 1 << 50);
+    }
+
+    #[test]
+    fn roots_of_unity() {
+        let p = find_ntt_prime(1 << 20, 2048);
+        let w = primitive_root(2048, p);
+        assert_eq!(pow_mod(w, 2048, p), 1);
+        assert_ne!(pow_mod(w, 1024, p), 1);
+    }
+
+    #[test]
+    fn ntt_roundtrip() {
+        let p = find_ntt_prime(1 << 30, 2 * 256);
+        let table = NttTable::new(256, p);
+        let original: Vec<u64> = (0..256u64).map(|i| (i * 37 + 11) % p).collect();
+        let mut a = original.clone();
+        table.forward(&mut a);
+        assert_ne!(a, original);
+        table.inverse(&mut a);
+        assert_eq!(a, original);
+    }
+
+    #[test]
+    fn negacyclic_multiplication_matches_schoolbook() {
+        let n = 16;
+        let p = find_ntt_prime(1 << 20, 2 * n as u64);
+        let table = NttTable::new(n, p);
+        let a: Vec<u64> = (0..n as u64).map(|i| i + 1).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| 2 * i + 3).collect();
+        // Schoolbook negacyclic product.
+        let mut want = vec![0u64; n];
+        for i in 0..n {
+            for j in 0..n {
+                let prod = mul_mod(a[i], b[j], p);
+                let k = i + j;
+                if k < n {
+                    want[k] = (want[k] + prod) % p;
+                } else {
+                    want[k - n] = (want[k - n] + p - prod) % p;
+                }
+            }
+        }
+        assert_eq!(table.negacyclic_mul(&a, &b), want);
+    }
+
+    #[test]
+    fn x_times_x_n_minus_1_wraps_negatively() {
+        // x^(n-1) * x = x^n = -1 in the negacyclic ring.
+        let n = 8;
+        let p = find_ntt_prime(1 << 16, 2 * n as u64);
+        let table = NttTable::new(n, p);
+        let mut x = vec![0u64; n];
+        x[1] = 1;
+        let mut xn1 = vec![0u64; n];
+        xn1[n - 1] = 1;
+        let prod = table.negacyclic_mul(&x, &xn1);
+        let mut want = vec![0u64; n];
+        want[0] = p - 1; // -1
+        assert_eq!(prod, want);
+    }
+}

@@ -1,0 +1,92 @@
+use crate::ntt::{find_ntt_prime, NttTable};
+
+/// BFV parameter set: ring degree `n`, ciphertext modulus `q`, plaintext
+/// modulus `t` (both NTT-friendly primes so coefficients and slots both
+/// transform).
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Ring degree (power of two); also the SIMD slot count.
+    pub n: usize,
+    /// Ciphertext modulus (prime, `≡ 1 mod 2n`).
+    pub q: u64,
+    /// Plaintext modulus (prime, `≡ 1 mod 2n`) — bounds the integer
+    /// precision of encoded values, the "5–10 bit precision" limitation
+    /// the paper cites for CryptoNets.
+    pub t: u64,
+    /// Relinearization decomposition base (log2).
+    pub relin_base_log: u32,
+    pub(crate) ntt_q: NttTable,
+    pub(crate) ntt_t: NttTable,
+}
+
+impl Params {
+    /// Builds a parameter set with `n = 2^log_n` and a `q_bits`-bit
+    /// ciphertext modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no suitable primes exist in range (never happens for the
+    /// supported `log_n ∈ [3, 14]`, `q_bits ∈ [30, 62]`).
+    pub fn new(log_n: u32, q_bits: u32, t_bits: u32) -> Params {
+        let n = 1usize << log_n;
+        let step = 2 * n as u64;
+        let q = find_ntt_prime(1u64 << q_bits, step);
+        let t = find_ntt_prime(1u64 << t_bits, step);
+        assert!(t < q, "plaintext modulus must be far below q");
+        Params {
+            n,
+            q,
+            t,
+            relin_base_log: 16,
+            ntt_q: NttTable::new(n, q),
+            ntt_t: NttTable::new(n, t),
+        }
+    }
+
+    /// A CryptoNets-scale parameter set: `n = 4096`, 55-bit `q`, ~13-bit
+    /// `t` — one squaring level over scaled 8-bit data (the paper's "5–10
+    /// bit precision" regime) and 4096 SIMD slots for batching. The 55-bit
+    /// bound keeps exact tensor products inside `i128`
+    /// (`n·(q/2)² < 2^123`).
+    pub fn cryptonets() -> Params {
+        Params::new(12, 55, 13)
+    }
+
+    /// A fast test-sized set (`n = 256`).
+    pub fn toy() -> Params {
+        Params::new(8, 55, 13)
+    }
+
+    /// Number of SIMD slots (= `n`).
+    pub fn slots(&self) -> usize {
+        self.n
+    }
+
+    /// `Δ = ⌊q / t⌋`, the plaintext scaling factor.
+    pub fn delta(&self) -> u64 {
+        self.q / self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ntt::is_prime;
+
+    use super::*;
+
+    #[test]
+    fn parameter_sets_are_consistent() {
+        for p in [Params::toy(), Params::cryptonets()] {
+            assert!(is_prime(p.q));
+            assert!(is_prime(p.t));
+            assert_eq!((p.q - 1) % (2 * p.n as u64), 0);
+            assert_eq!((p.t - 1) % (2 * p.n as u64), 0);
+            assert!(p.delta() > p.t, "need q >> t for one multiply level");
+        }
+    }
+
+    #[test]
+    fn cryptonets_has_thousands_of_slots() {
+        assert_eq!(Params::cryptonets().slots(), 4096);
+    }
+}

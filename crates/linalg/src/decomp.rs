@@ -1,0 +1,277 @@
+//! Factorizations: Cholesky, thin QR (modified Gram-Schmidt), cyclic
+//! Jacobi eigensolver and an SVD built on it.
+
+use crate::Matrix;
+
+/// Cholesky factorization of a symmetric positive-definite matrix:
+/// returns lower-triangular `L` with `A = L·Lᵀ`, or `None` if `A` is not
+/// (numerically) positive definite.
+pub fn cholesky(a: &Matrix) -> Option<Matrix> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "cholesky needs a square matrix");
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves the SPD system `A x = b` via Cholesky; `None` if `A` is not
+/// positive definite.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    let l = cholesky(a)?;
+    let n = a.rows();
+    // Forward substitution: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * y[k];
+        }
+        y[i] = sum / l[(i, i)];
+    }
+    // Back substitution: Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    Some(x)
+}
+
+/// Thin QR by modified Gram-Schmidt: `A = Q·R` with `Q` having orthonormal
+/// columns. Rank-deficient columns are dropped from `Q` (and their `R` rows
+/// zeroed), so `Q` spans exactly the column space.
+pub fn qr_thin(a: &Matrix) -> (Matrix, Matrix) {
+    let m = a.rows();
+    let n = a.cols();
+    let mut q_cols: Vec<Vec<f64>> = Vec::new();
+    let mut r = Matrix::zeros(n, n);
+    let tol = 1e-10 * a.frobenius_norm().max(1.0);
+    for j in 0..n {
+        let mut v = a.col(j);
+        for (qi, qcol) in q_cols.iter().enumerate() {
+            let dot: f64 = qcol.iter().zip(&v).map(|(x, y)| x * y).sum();
+            r[(qi, j)] = dot;
+            for (vk, qk) in v.iter_mut().zip(qcol) {
+                *vk -= dot * qk;
+            }
+        }
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > tol
+            && q_cols.len() < n.min(m) {
+                r[(q_cols.len(), j)] = norm;
+                q_cols.push(v.iter().map(|x| x / norm).collect());
+            }
+    }
+    if q_cols.is_empty() {
+        return (Matrix::zeros(m, 0), r);
+    }
+    (Matrix::from_columns(&q_cols), r)
+}
+
+/// Cyclic Jacobi eigensolver for a symmetric matrix: returns
+/// `(eigenvalues, V)` with `A = V·diag(λ)·Vᵀ`, eigenvalues sorted
+/// descending.
+pub fn jacobi_eigen_sym(a: &Matrix) -> (Vec<f64>, Matrix) {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "eigensolver needs a square matrix");
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    for _sweep in 0..64 {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() < 1e-12 * (1.0 + m.frobenius_norm()) {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let theta = (m[(q, q)] - m[(p, p)]) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN eigenvalues"));
+    let eigvals: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let cols: Vec<Vec<f64>> = pairs.iter().map(|p| v.col(p.1)).collect();
+    (eigvals, Matrix::from_columns(&cols))
+}
+
+/// Singular value decomposition via the symmetric eigenproblem of `AᵀA`:
+/// returns `(U, σ, V)` with `A ≈ U·diag(σ)·Vᵀ` (thin, rank-truncated at
+/// numerical tolerance).
+pub fn svd(a: &Matrix) -> (Matrix, Vec<f64>, Matrix) {
+    let ata = a.transpose().matmul(a);
+    let (eigvals, v) = jacobi_eigen_sym(&ata);
+    let tol = 1e-10 * a.frobenius_norm().max(1.0);
+    let mut sigmas = Vec::new();
+    let mut u_cols = Vec::new();
+    let mut v_cols = Vec::new();
+    for (k, &lam) in eigvals.iter().enumerate() {
+        let sigma = lam.max(0.0).sqrt();
+        if sigma <= tol {
+            continue;
+        }
+        let vk = v.col(k);
+        let avk = a.matvec(&vk);
+        u_cols.push(avk.iter().map(|x| x / sigma).collect());
+        sigmas.push(sigma);
+        v_cols.push(vk);
+    }
+    (
+        Matrix::from_columns(&u_cols),
+        sigmas,
+        Matrix::from_columns(&v_cols),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // xorshift-based deterministic fill.
+        let state = std::cell::Cell::new(seed | 1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            let mut s = state.get();
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            state.set(s);
+            (s % 1000) as f64 / 500.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let b = random_matrix(4, 4, 3);
+        let a = b.matmul(&b.transpose()).add(&Matrix::identity(4)); // SPD
+        let l = cholesky(&a).unwrap();
+        let llt = l.matmul(&l.transpose());
+        assert!(a.sub(&llt).frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eig -1
+        assert!(cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn solve_spd_solves() {
+        let b = random_matrix(5, 5, 7);
+        let a = b.matmul(&b.transpose()).add(&Matrix::identity(5));
+        let x_true = vec![1.0, -2.0, 0.5, 3.0, -0.25];
+        let rhs = a.matvec(&x_true);
+        let x = solve_spd(&a, &rhs).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn qr_orthonormal_and_reconstructs() {
+        let a = random_matrix(6, 4, 11);
+        let (q, r) = qr_thin(&a);
+        let qtq = q.transpose().matmul(&q);
+        assert!(qtq.sub(&Matrix::identity(q.cols())).frobenius_norm() < 1e-9, "QᵀQ = I");
+        let qr = q.matmul(&r);
+        assert!(a.sub(&qr).frobenius_norm() < 1e-9, "A = QR");
+    }
+
+    #[test]
+    fn qr_handles_rank_deficiency() {
+        // Third column is the sum of the first two.
+        let mut a = random_matrix(5, 3, 13);
+        for i in 0..5 {
+            a[(i, 2)] = a[(i, 0)] + a[(i, 1)];
+        }
+        let (q, _) = qr_thin(&a);
+        assert_eq!(q.cols(), 2, "rank-2 input yields 2 basis vectors");
+    }
+
+    #[test]
+    fn jacobi_diagonalizes() {
+        let b = random_matrix(6, 6, 17);
+        let a = b.add(&b.transpose()); // symmetric
+        let (vals, v) = jacobi_eigen_sym(&a);
+        let mut lam = Matrix::zeros(6, 6);
+        for (i, &l) in vals.iter().enumerate() {
+            lam[(i, i)] = l;
+        }
+        let recon = v.matmul(&lam).matmul(&v.transpose());
+        assert!(a.sub(&recon).frobenius_norm() < 1e-8);
+        // Sorted descending.
+        for w in vals.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs() {
+        let a = random_matrix(7, 4, 23);
+        let (u, s, v) = svd(&a);
+        let mut sig = Matrix::zeros(s.len(), s.len());
+        for (i, &x) in s.iter().enumerate() {
+            sig[(i, i)] = x;
+        }
+        let recon = u.matmul(&sig).matmul(&v.transpose());
+        assert!(a.sub(&recon).frobenius_norm() < 1e-8);
+    }
+
+    #[test]
+    fn svd_projector_equals_qr_projector() {
+        // The heart of Prop 3.1: W = UUᵀ regardless of how the basis is
+        // computed.
+        let a = random_matrix(6, 3, 31);
+        let (u, _, _) = svd(&a);
+        let w_svd = u.matmul(&u.transpose());
+        let w_qr = a.projector();
+        assert!(w_svd.sub(&w_qr).frobenius_norm() < 1e-8);
+    }
+}

@@ -1,0 +1,30 @@
+//! Dense `f64` linear algebra for DeepSecure's data pre-processing.
+//!
+//! Algorithm 1 (streaming dictionary projection) and the security analysis
+//! of Proposition 3.1 need: matrix products, Cholesky solves for
+//! `(DᵀD)⁻¹`, a thin QR / orthonormal basis for the projector
+//! `W = D(DᵀD)⁻¹Dᵀ = UUᵀ`, and a symmetric eigensolver for the SVD
+//! argument. All of it is implemented here from scratch; no BLAS.
+//!
+//! # Example
+//!
+//! ```
+//! use deepsecure_linalg::Matrix;
+//!
+//! let d = Matrix::from_rows(&[
+//!     vec![1.0, 0.0],
+//!     vec![1.0, 1.0],
+//!     vec![0.0, 2.0],
+//! ]);
+//! let w = d.projector();
+//! // A projector is idempotent: W² = W.
+//! let w2 = w.matmul(&w);
+//! assert!(w.sub(&w2).frobenius_norm() < 1e-10);
+//! ```
+
+mod decomp;
+mod matrix;
+pub mod vec_ops;
+
+pub use decomp::{cholesky, jacobi_eigen_sym, qr_thin, solve_spd, svd};
+pub use matrix::Matrix;

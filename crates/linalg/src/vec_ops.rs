@@ -1,0 +1,57 @@
+//! Small vector helpers shared by the projection pipeline.
+
+/// Dot product.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// `x - y` element-wise.
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "sub length mismatch");
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// `x + s·y` element-wise (axpy).
+pub fn axpy(x: &[f64], s: f64, y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    x.iter().zip(y).map(|(a, b)| a + s * b).collect()
+}
+
+/// Normalizes to unit length; returns `None` for (near-)zero vectors.
+pub fn normalized(x: &[f64]) -> Option<Vec<f64>> {
+    let n = norm2(x);
+    if n < 1e-12 {
+        return None;
+    }
+    Some(x.iter().map(|v| v / n).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(sub(&[3.0, 4.0], &[1.0, 1.0]), vec![2.0, 3.0]);
+        assert_eq!(axpy(&[1.0, 1.0], 2.0, &[1.0, 2.0]), vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn normalize() {
+        let v = normalized(&[3.0, 4.0]).unwrap();
+        assert!((norm2(&v) - 1.0).abs() < 1e-12);
+        assert!(normalized(&[0.0, 0.0]).is_none());
+    }
+}

@@ -1,0 +1,416 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::Tensor;
+
+/// Training-time activation kinds (the compiler later maps these to the
+/// GC variants of `deepsecure-synth`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ActKind {
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Tangent hyperbolic.
+    Tanh,
+}
+
+impl ActKind {
+    /// Applies the activation.
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            ActKind::Relu => x.max(0.0),
+            ActKind::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            ActKind::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative expressed in terms of the activation *output* `y`.
+    pub fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            ActKind::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActKind::Sigmoid => y * (1.0 - y),
+            ActKind::Tanh => 1.0 - y * y,
+        }
+    }
+}
+
+/// A fully-connected layer `y = Wx + b` with an optional pruning mask.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dense {
+    /// Row-major `out × in` weights.
+    pub weights: Vec<f32>,
+    /// Per-output bias.
+    pub bias: Vec<f32>,
+    /// Input width.
+    pub n_in: usize,
+    /// Output width.
+    pub n_out: usize,
+    /// Pruning mask (same layout as `weights`); `None` = dense.
+    pub mask: Option<Vec<bool>>,
+}
+
+impl Dense {
+    /// Xavier-style random initialization.
+    pub fn new<R: Rng + ?Sized>(n_in: usize, n_out: usize, rng: &mut R) -> Dense {
+        let bound = (6.0 / (n_in + n_out) as f32).sqrt();
+        Dense {
+            weights: (0..n_in * n_out).map(|_| rng.gen_range(-bound..bound)).collect(),
+            bias: vec![0.0; n_out],
+            n_in,
+            n_out,
+            mask: None,
+        }
+    }
+
+    /// Weight at `(out_idx, in_idx)` honoring the mask.
+    pub fn weight(&self, o: usize, i: usize) -> f32 {
+        let idx = o * self.n_in + i;
+        match &self.mask {
+            Some(m) if !m[idx] => 0.0,
+            _ => self.weights[idx],
+        }
+    }
+
+    /// Count of surviving (unmasked) weights.
+    pub fn live_weights(&self) -> usize {
+        match &self.mask {
+            Some(m) => m.iter().filter(|&&k| k).count(),
+            None => self.weights.len(),
+        }
+    }
+}
+
+/// A 2-D convolution with square kernels and equal stride in both axes.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Conv2d {
+    /// `out_ch × in_ch × k × k` kernel weights (row-major).
+    pub weights: Vec<f32>,
+    /// Per-output-channel bias.
+    pub bias: Vec<f32>,
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels (the paper's "map-count").
+    pub out_ch: usize,
+    /// Kernel side length.
+    pub k: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding on each border.
+    pub pad: usize,
+    /// Pruning mask over `weights`.
+    pub mask: Option<Vec<bool>>,
+}
+
+impl Conv2d {
+    /// Xavier-style random initialization.
+    pub fn new<R: Rng + ?Sized>(
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut R,
+    ) -> Conv2d {
+        let fan = (in_ch * k * k + out_ch * k * k) as f32;
+        let bound = (6.0 / fan).sqrt();
+        Conv2d {
+            weights: (0..out_ch * in_ch * k * k)
+                .map(|_| rng.gen_range(-bound..bound))
+                .collect(),
+            bias: vec![0.0; out_ch],
+            in_ch,
+            out_ch,
+            k,
+            stride,
+            pad,
+            mask: None,
+        }
+    }
+
+    /// Kernel weight at `(out_channel, in_channel, dy, dx)` honoring the
+    /// mask.
+    pub fn weight(&self, oc: usize, ic: usize, dy: usize, dx: usize) -> f32 {
+        let idx = ((oc * self.in_ch + ic) * self.k + dy) * self.k + dx;
+        match &self.mask {
+            Some(m) if !m[idx] => 0.0,
+            _ => self.weights[idx],
+        }
+    }
+
+    /// Output spatial size for an `h × w` input.
+    pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h + 2 * self.pad - self.k) / self.stride + 1,
+            (w + 2 * self.pad - self.k) / self.stride + 1,
+        )
+    }
+
+    /// Count of surviving (unmasked) weights.
+    pub fn live_weights(&self) -> usize {
+        match &self.mask {
+            Some(m) => m.iter().filter(|&&k| k).count(),
+            None => self.weights.len(),
+        }
+    }
+}
+
+/// One network layer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Layer {
+    /// Fully connected.
+    Dense(Dense),
+    /// 2-D convolution.
+    Conv2d(Conv2d),
+    /// Max pooling over `k × k` windows with the given stride.
+    MaxPool2d {
+        /// Window side.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Mean pooling over `k × k` windows with the given stride.
+    MeanPool2d {
+        /// Window side.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Elementwise nonlinearity.
+    Activation(ActKind),
+    /// Collapses any shape to 1-D.
+    Flatten,
+}
+
+impl Layer {
+    /// Forward pass.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        match self {
+            Layer::Dense(d) => {
+                let mut out = vec![0.0f32; d.n_out];
+                let xin = x.data();
+                assert_eq!(xin.len(), d.n_in, "dense input width mismatch");
+                for (o, out_v) in out.iter_mut().enumerate() {
+                    let mut acc = d.bias[o];
+                    for (i, xv) in xin.iter().enumerate() {
+                        acc += d.weight(o, i) * xv;
+                    }
+                    *out_v = acc;
+                }
+                Tensor::from_flat(out)
+            }
+            Layer::Conv2d(c) => {
+                let (in_ch, h, w) = x.dims3();
+                assert_eq!(in_ch, c.in_ch, "conv input channels mismatch");
+                let (oh, ow) = c.out_size(h, w);
+                let mut out = Tensor::zeros(&[c.out_ch, oh, ow]);
+                for oc in 0..c.out_ch {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut acc = c.bias[oc];
+                            for ic in 0..c.in_ch {
+                                for dy in 0..c.k {
+                                    for dx in 0..c.k {
+                                        let iy = (oy * c.stride + dy) as isize - c.pad as isize;
+                                        let ix = (ox * c.stride + dx) as isize - c.pad as isize;
+                                        if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize
+                                        {
+                                            continue;
+                                        }
+                                        acc += c.weight(oc, ic, dy, dx)
+                                            * x.at3(ic, iy as usize, ix as usize);
+                                    }
+                                }
+                            }
+                            *out.at3_mut(oc, oy, ox) = acc;
+                        }
+                    }
+                }
+                out
+            }
+            Layer::MaxPool2d { k, stride } => pool(x, *k, *stride, PoolKind::Max),
+            Layer::MeanPool2d { k, stride } => pool(x, *k, *stride, PoolKind::Mean),
+            Layer::Activation(a) => {
+                let data = x.data().iter().map(|&v| a.apply(v)).collect();
+                Tensor::from_vec(x.shape(), data)
+            }
+            Layer::Flatten => {
+                let mut t = x.clone();
+                let n = t.len();
+                t.reshape(&[n]);
+                t
+            }
+        }
+    }
+
+    /// Number of multiply-accumulate weights this layer contributes to the
+    /// garbled circuit (after pruning).
+    pub fn mac_count(&self, input_shape: &[usize]) -> usize {
+        match self {
+            Layer::Dense(d) => d.live_weights(),
+            Layer::Conv2d(c) => {
+                let (h, w) = (input_shape[1], input_shape[2]);
+                let (oh, ow) = c.out_size(h, w);
+                // Every surviving kernel weight fires once per output pixel.
+                c.live_weights() * oh * ow
+            }
+            _ => 0,
+        }
+    }
+}
+
+enum PoolKind {
+    Max,
+    Mean,
+}
+
+fn pool(x: &Tensor, k: usize, stride: usize, kind: PoolKind) -> Tensor {
+    let (ch, h, w) = x.dims3();
+    let oh = (h - k) / stride + 1;
+    let ow = (w - k) / stride + 1;
+    let mut out = Tensor::zeros(&[ch, oh, ow]);
+    for c in 0..ch {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = match kind {
+                    PoolKind::Max => f32::NEG_INFINITY,
+                    PoolKind::Mean => 0.0,
+                };
+                for dy in 0..k {
+                    for dx in 0..k {
+                        let v = x.at3(c, oy * stride + dy, ox * stride + dx);
+                        match kind {
+                            PoolKind::Max => acc = acc.max(v),
+                            PoolKind::Mean => acc += v,
+                        }
+                    }
+                }
+                *out.at3_mut(c, oy, ox) = match kind {
+                    PoolKind::Max => acc,
+                    PoolKind::Mean => acc / (k * k) as f32,
+                };
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn dense_forward() {
+        let d = Dense {
+            weights: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            bias: vec![0.5, -0.5],
+            n_in: 3,
+            n_out: 2,
+            mask: None,
+        };
+        let y = Layer::Dense(d).forward(&Tensor::from_flat(vec![1.0, 1.0, 1.0]));
+        assert_eq!(y.data(), &[6.5, 14.5]);
+    }
+
+    #[test]
+    fn dense_mask_zeroes_weights() {
+        let d = Dense {
+            weights: vec![1.0, 2.0],
+            bias: vec![0.0],
+            n_in: 2,
+            n_out: 1,
+            mask: Some(vec![true, false]),
+        };
+        let y = Layer::Dense(d).forward(&Tensor::from_flat(vec![1.0, 1.0]));
+        assert_eq!(y.data(), &[1.0]);
+    }
+
+    #[test]
+    fn conv_forward_known() {
+        // 1 channel, 3x3 input, 2x2 kernel of ones, stride 1.
+        let c = Conv2d {
+            weights: vec![1.0; 4],
+            bias: vec![0.0],
+            in_ch: 1,
+            out_ch: 1,
+            k: 2,
+            stride: 1,
+            pad: 0,
+            mask: None,
+        };
+        let x = Tensor::from_vec(&[1, 3, 3], (1..=9).map(|v| v as f32).collect());
+        let y = Layer::Conv2d(c).forward(&x);
+        assert_eq!(y.shape(), &[1, 2, 2]);
+        assert_eq!(y.data(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn conv_stride_two() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = Conv2d::new(1, 5, 5, 2, 0, &mut rng);
+        assert_eq!(c.out_size(28, 28), (12, 12));
+        // Benchmark 1 uses padding 1 to reach the paper's 5×13×13 maps.
+        let c = Conv2d::new(1, 5, 5, 2, 1, &mut rng);
+        assert_eq!(c.out_size(28, 28), (13, 13));
+    }
+
+    #[test]
+    fn conv_padding_matches_manual() {
+        let c = Conv2d {
+            weights: vec![1.0; 4],
+            bias: vec![0.0],
+            in_ch: 1,
+            out_ch: 1,
+            k: 2,
+            stride: 1,
+            pad: 1,
+            mask: None,
+        };
+        let x = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = Layer::Conv2d(c).forward(&x);
+        assert_eq!(y.shape(), &[1, 3, 3]);
+        // Center output sees all four values.
+        assert_eq!(y.at3(0, 1, 1), 10.0);
+        // Corner sees only the corresponding value.
+        assert_eq!(y.at3(0, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn pooling() {
+        let x = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = Layer::MaxPool2d { k: 2, stride: 2 }.forward(&x);
+        assert_eq!(y.data(), &[4.0]);
+        let y = Layer::MeanPool2d { k: 2, stride: 2 }.forward(&x);
+        assert_eq!(y.data(), &[2.5]);
+    }
+
+    #[test]
+    fn activation_kinds() {
+        assert_eq!(ActKind::Relu.apply(-1.0), 0.0);
+        assert_eq!(ActKind::Relu.apply(2.0), 2.0);
+        assert!((ActKind::Sigmoid.apply(0.0) - 0.5).abs() < 1e-6);
+        assert!((ActKind::Tanh.apply(0.0)).abs() < 1e-6);
+        // Derivatives from outputs.
+        assert_eq!(ActKind::Relu.derivative_from_output(3.0), 1.0);
+        assert!((ActKind::Sigmoid.derivative_from_output(0.5) - 0.25).abs() < 1e-6);
+        assert!((ActKind::Tanh.derivative_from_output(0.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mac_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Dense::new(10, 4, &mut rng);
+        assert_eq!(Layer::Dense(d).mac_count(&[10]), 40);
+        let c = Conv2d::new(1, 5, 5, 2, 0, &mut rng);
+        assert_eq!(Layer::Conv2d(c).mac_count(&[1, 28, 28]), 5 * 25 * 144);
+    }
+}

@@ -1,0 +1,40 @@
+//! Neural-network substrate: training, pruning and synthetic data.
+//!
+//! DeepSecure consumes *trained* models — the server is assumed to have
+//! spent the compute to fit DL parameters, and the two pre-processing steps
+//! (§3.2) both involve re-training. Since this reproduction runs offline,
+//! the crate provides everything needed end-to-end:
+//!
+//! * [`Tensor`] — a minimal shape-aware `f32` tensor.
+//! * [`Network`] / [`Layer`] — fully-connected, 2-D convolution, max/mean
+//!   pooling, ReLU/Sigmoid/Tanh activations and a Softmax cross-entropy
+//!   head, with hand-written backpropagation and SGD.
+//! * [`prune`] — magnitude pruning with masked re-training (Han et al.,
+//!   the paper's network pre-processing).
+//! * [`data`] — deterministic synthetic datasets with the shapes of the
+//!   paper's benchmarks (MNIST-like digits, ISOLET-like audio features,
+//!   low-rank smart-sensing ensembles).
+//! * [`zoo`] — the four benchmark architectures of §4.5.
+//!
+//! # Example
+//!
+//! ```
+//! use deepsecure_nn::{data, zoo, train::TrainConfig};
+//!
+//! let set = data::digits_small(64, 1);
+//! let mut net = zoo::tiny_mlp(set.num_classes);
+//! let cfg = TrainConfig { epochs: 1, ..TrainConfig::default() };
+//! deepsecure_nn::train::train(&mut net, &set, &cfg);
+//! ```
+
+pub mod data;
+mod layer;
+mod network;
+pub mod prune;
+mod tensor;
+pub mod train;
+pub mod zoo;
+
+pub use layer::{ActKind, Conv2d, Dense, Layer};
+pub use network::Network;
+pub use tensor::Tensor;

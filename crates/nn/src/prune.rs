@@ -1,0 +1,157 @@
+//! Magnitude pruning with masked re-training — the paper's DL network
+//! pre-processing (§3.2.2, after Han et al., the paper's ref 28).
+//!
+//! "Connections with a weight below a certain threshold are removed from
+//! the network. The condensed network is re-trained … to retrieve the
+//! accuracy of the initial DL model." The resulting mask is the public
+//! *sparsity map* consumed by the netlist compiler.
+
+use crate::data::Dataset;
+use crate::train::{self, TrainConfig};
+use crate::{Layer, Network};
+
+/// Applies magnitude pruning at the given per-layer sparsity (fraction of
+/// weights removed, in `[0, 1)`). Existing masks are tightened, never
+/// relaxed.
+pub fn magnitude_prune(net: &mut Network, sparsity: f64) {
+    for layer in &mut net.layers {
+        let (weights, mask) = match layer {
+            Layer::Dense(d) => (&d.weights, &mut d.mask),
+            Layer::Conv2d(c) => (&c.weights, &mut c.mask),
+            _ => continue,
+        };
+        let mut magnitudes: Vec<f32> = weights.iter().map(|w| w.abs()).collect();
+        magnitudes.sort_by(|a, b| a.partial_cmp(b).expect("no NaN weights"));
+        let cut = ((magnitudes.len() as f64) * sparsity).floor() as usize;
+        let threshold = if cut == 0 { -1.0 } else { magnitudes[cut - 1] };
+        let old = mask.take().unwrap_or_else(|| vec![true; weights.len()]);
+        *mask = Some(
+            weights
+                .iter()
+                .zip(old)
+                .map(|(w, m)| m && w.abs() > threshold)
+                .collect(),
+        );
+    }
+}
+
+/// Fraction of MAC weights removed across prunable layers.
+pub fn sparsity(net: &Network) -> f64 {
+    let mut total = 0usize;
+    let mut live = 0usize;
+    for layer in &net.layers {
+        match layer {
+            Layer::Dense(d) => {
+                total += d.weights.len();
+                live += d.live_weights();
+            }
+            Layer::Conv2d(c) => {
+                total += c.weights.len();
+                live += c.live_weights();
+            }
+            _ => {}
+        }
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    1.0 - live as f64 / total as f64
+}
+
+/// The paper's full network pre-processing: prune, then re-train under the
+/// mask until the validation error recovers (or `retrain` epochs elapse).
+/// Returns the post-retraining accuracy on `val`.
+pub fn prune_and_retrain(
+    net: &mut Network,
+    train_set: &Dataset,
+    val: &Dataset,
+    target_sparsity: f64,
+    retrain: &TrainConfig,
+) -> f64 {
+    magnitude_prune(net, target_sparsity);
+    train::train(net, train_set, retrain);
+    train::accuracy(net, val)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{data, train::accuracy, zoo};
+
+    use super::*;
+
+    #[test]
+    fn prune_reaches_target_sparsity() {
+        let mut net = zoo::tiny_mlp(4);
+        magnitude_prune(&mut net, 0.5);
+        let s = sparsity(&net);
+        assert!((s - 0.5).abs() < 0.05, "sparsity {s}");
+    }
+
+    #[test]
+    fn prune_removes_smallest_weights() {
+        let mut net = zoo::tiny_mlp(4);
+        magnitude_prune(&mut net, 0.25);
+        for layer in &net.layers {
+            if let Layer::Dense(d) = layer {
+                let mask = d.mask.as_ref().unwrap();
+                let live_min = d
+                    .weights
+                    .iter()
+                    .zip(mask)
+                    .filter(|(_, &m)| m)
+                    .map(|(w, _)| w.abs())
+                    .fold(f32::INFINITY, f32::min);
+                let dead_max = d
+                    .weights
+                    .iter()
+                    .zip(mask)
+                    .filter(|(_, &m)| !m)
+                    .map(|(w, _)| w.abs())
+                    .fold(0.0f32, f32::max);
+                assert!(dead_max <= live_min, "{dead_max} > {live_min}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_is_monotone() {
+        let mut net = zoo::tiny_mlp(4);
+        magnitude_prune(&mut net, 0.3);
+        let s1 = sparsity(&net);
+        magnitude_prune(&mut net, 0.3); // re-pruning cannot resurrect weights
+        assert!(sparsity(&net) >= s1);
+    }
+
+    #[test]
+    fn retraining_recovers_accuracy() {
+        let set = data::digits_small(64, 13);
+        let (train_set, val) = set.split_validation(16);
+        let mut net = zoo::tiny_mlp(train_set.num_classes);
+        let cfg = TrainConfig { epochs: 20, lr: 0.1, seed: 2 };
+        train::train(&mut net, &train_set, &cfg);
+        let dense_acc = accuracy(&net, &val);
+
+        let pruned_acc = prune_and_retrain(
+            &mut net,
+            &train_set,
+            &val,
+            0.6,
+            &TrainConfig { epochs: 20, lr: 0.05, seed: 3 },
+        );
+        assert!(sparsity(&net) >= 0.55);
+        assert!(
+            pruned_acc >= dense_acc - 0.1,
+            "pruned {pruned_acc} vs dense {dense_acc}"
+        );
+    }
+
+    #[test]
+    fn masked_weights_stay_dead_through_training() {
+        let set = data::digits_small(32, 17);
+        let mut net = zoo::tiny_mlp(set.num_classes);
+        magnitude_prune(&mut net, 0.5);
+        let before = sparsity(&net);
+        train::train(&mut net, &set, &TrainConfig { epochs: 5, lr: 0.1, seed: 4 });
+        assert_eq!(sparsity(&net), before, "training must not undo pruning");
+    }
+}

@@ -1,0 +1,99 @@
+//! Plain SGD training with softmax cross-entropy — the server-side
+//! substrate behind both pre-processing steps (Algorithm 1's `UpdateDL`
+//! and the pruning re-train of §3.2.2).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::data::Dataset;
+use crate::Network;
+
+/// Training hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainConfig {
+    /// Epochs over the dataset.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> TrainConfig {
+        TrainConfig { epochs: 5, lr: 0.05, seed: 0 }
+    }
+}
+
+/// Trains in place; returns the mean loss of the final epoch.
+pub fn train(net: &mut Network, data: &Dataset, cfg: &TrainConfig) -> f32 {
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut last_epoch_loss = 0.0;
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut loss_sum = 0.0f32;
+        for &i in &order {
+            loss_sum += net.train_sample(&data.inputs[i], data.labels[i], cfg.lr);
+        }
+        last_epoch_loss = loss_sum / data.len().max(1) as f32;
+    }
+    last_epoch_loss
+}
+
+/// Fraction of samples classified correctly.
+pub fn accuracy(net: &Network, data: &Dataset) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let correct = data
+        .inputs
+        .iter()
+        .zip(&data.labels)
+        .filter(|(x, &y)| net.predict(x) == y)
+        .count();
+    correct as f64 / data.len() as f64
+}
+
+/// Classification error rate (`1 - accuracy`), the paper's "validation
+/// error" `δ`.
+pub fn error_rate(net: &Network, data: &Dataset) -> f64 {
+    1.0 - accuracy(net, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{data, zoo};
+
+    use super::*;
+
+    #[test]
+    fn training_improves_accuracy() {
+        let set = data::digits_small(64, 5);
+        let mut net = zoo::tiny_mlp(set.num_classes);
+        let before = accuracy(&net, &set);
+        train(&mut net, &set, &TrainConfig { epochs: 20, lr: 0.1, seed: 1 });
+        let after = accuracy(&net, &set);
+        assert!(after > before.max(0.8), "accuracy {before} -> {after}");
+    }
+
+    #[test]
+    fn error_rate_complements_accuracy() {
+        let set = data::digits_small(16, 6);
+        let net = zoo::tiny_mlp(set.num_classes);
+        assert!((accuracy(&net, &set) + error_rate(&net, &set) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let set = data::digits_small(32, 7);
+        let mut a = zoo::tiny_mlp(set.num_classes);
+        let mut b = zoo::tiny_mlp(set.num_classes);
+        let cfg = TrainConfig { epochs: 3, lr: 0.05, seed: 9 };
+        let la = train(&mut a, &set, &cfg);
+        let lb = train(&mut b, &set, &cfg);
+        assert_eq!(la, lb);
+        assert_eq!(accuracy(&a, &set), accuracy(&b, &set));
+    }
+}

@@ -1,0 +1,79 @@
+//! Oblivious transfer for DeepSecure's GC step (ii).
+//!
+//! The evaluator's input wire labels (the server's DL-parameter bits) are
+//! delivered through 1-out-of-2 OT (§2.2.1). This crate implements the
+//! standard two-tier construction:
+//!
+//! * [`base`] — a Bellare–Micali-style base OT over the MODP groups of
+//!   `deepsecure-bigint` (a few hundred public-key operations).
+//! * [`ext`] — IKNP OT extension: 128 base OTs seed pseudorandom
+//!   correlations that stretch to millions of wire-label transfers using
+//!   only the fixed-key AES hash.
+//! * [`channel`] — the byte-counted in-memory duplex the two (or three,
+//!   in outsourcing mode) parties talk over; the counters are what the
+//!   communication columns of Tables 4–6 measure.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use deepsecure_ot::channel::mem_pair;
+//! use deepsecure_ot::ext::{ExtReceiver, ExtSender};
+//! use deepsecure_bigint::DhGroup;
+//! use deepsecure_crypto::Block;
+//! use rand::SeedableRng;
+//!
+//! let (mut ca, mut cb) = mem_pair();
+//! let group = DhGroup::modp_768();
+//! let g2 = group.clone();
+//! let handle = std::thread::spawn(move || {
+//!     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//!     let mut sender = ExtSender::setup(&mut ca, &g2, &mut rng).unwrap();
+//!     sender
+//!         .send(&mut ca, &[(Block::from(1u128), Block::from(2u128))])
+//!         .unwrap();
+//! });
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+//! let mut receiver = ExtReceiver::setup(&mut cb, &group, &mut rng).unwrap();
+//! let got = receiver.receive(&mut cb, &[true]).unwrap();
+//! assert_eq!(got[0], Block::from(2u128));
+//! handle.join().unwrap();
+//! ```
+
+pub mod base;
+pub mod channel;
+pub mod ext;
+
+pub use channel::{mem_pair, Channel, ChannelError, MemChannel};
+
+/// Errors produced by the OT protocols.
+#[derive(Debug)]
+pub enum OtError {
+    /// The underlying channel failed (peer hung up).
+    Channel(ChannelError),
+    /// A received group element or message was malformed.
+    Protocol(String),
+}
+
+impl std::fmt::Display for OtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OtError::Channel(e) => write!(f, "ot channel failure: {e}"),
+            OtError::Protocol(m) => write!(f, "ot protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OtError::Channel(e) => Some(e),
+            OtError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<ChannelError> for OtError {
+    fn from(e: ChannelError) -> OtError {
+        OtError::Channel(e)
+    }
+}

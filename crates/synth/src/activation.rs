@@ -1,0 +1,472 @@
+//! GC-optimized nonlinearities — every variant of Table 3.
+//!
+//! The paper offers a speed/accuracy menu per function:
+//!
+//! | Variant | Construction here |
+//! |---|---|
+//! | `TanhLUT` / `SigmoidLUT` | full-precision lookup on the clamped magnitude (14/15 index bits) |
+//! | `Tanh2.10.12` / `Sigmoid3.10.12` | lookup with the 2 LSB fraction bits and the MSB integer bit of the input dropped |
+//! | `TanhPL` | 7-segment piecewise-linear secant fit with equioscillation offset |
+//! | `SigmoidPLAN` | the PLAN approximation (Amin–Curtis–Hayes-Gill 1997) with power-of-two slopes |
+//! | `TanhCORDIC` / `SigmoidCORDIC` | 14-iteration hyperbolic CORDIC + range reduction + DIV |
+//! | `ReLu` | sign-masked AND (n−1 non-XOR gates) |
+//! | `Softmax` | CMP/MUX argmax chain — Softmax is monotone, so the inference label needs no exponentials (§4.2) |
+//!
+//! All fixed-format variants expect Q1.3.12 words (16 wires, LSB first).
+
+use deepsecure_circuit::{Builder, Wire};
+
+use crate::word::{self, Word};
+use crate::{arith, cordic, div, lut};
+
+/// The Q3.12 scale factor.
+const SCALE: f64 = 4096.0;
+/// Required word width for the fixed-format activations.
+const WIDTH: usize = 16;
+
+/// A nonlinearity choice for compiled layers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Activation {
+    /// Pass-through.
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Full-precision Tanh lookup table.
+    TanhLut,
+    /// Tanh with truncated input (the paper's `Tanh2.10.12`).
+    TanhTrunc,
+    /// 7-segment piecewise-linear Tanh.
+    TanhPl,
+    /// CORDIC Tanh (`sinh/cosh` with range reduction).
+    TanhCordic,
+    /// Full-precision Sigmoid lookup table.
+    SigmoidLut,
+    /// Sigmoid with truncated input (the paper's `Sigmoid3.10.12`).
+    SigmoidTrunc,
+    /// The PLAN piecewise-linear Sigmoid.
+    SigmoidPlan,
+    /// CORDIC Sigmoid (`1/(1+e^{-x})` with range reduction).
+    SigmoidCordic,
+}
+
+impl Activation {
+    /// Human-readable name matching Table 3 rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activation::Identity => "Identity",
+            Activation::Relu => "ReLu",
+            Activation::TanhLut => "TanhLUT",
+            Activation::TanhTrunc => "Tanh2.10.12",
+            Activation::TanhPl => "TanhPL",
+            Activation::TanhCordic => "TanhCORDIC",
+            Activation::SigmoidLut => "SigmoidLUT",
+            Activation::SigmoidTrunc => "Sigmoid3.10.12",
+            Activation::SigmoidPlan => "SigmoidPLAN",
+            Activation::SigmoidCordic => "SigmoidCORDIC",
+        }
+    }
+
+    /// Ground-truth real function (for error measurement and plaintext
+    /// inference).
+    pub fn reference(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::TanhLut
+            | Activation::TanhTrunc
+            | Activation::TanhPl
+            | Activation::TanhCordic => x.tanh(),
+            Activation::SigmoidLut
+            | Activation::SigmoidTrunc
+            | Activation::SigmoidPlan
+            | Activation::SigmoidCordic => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Synthesizes the activation on a Q3.12 word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not 16 wires wide (except `Identity`/`Relu`, which
+    /// accept any width).
+    pub fn build(self, b: &mut Builder, x: &[Wire]) -> Word {
+        match self {
+            Activation::Identity => x.to_vec(),
+            Activation::Relu => relu(b, x),
+            Activation::TanhLut => tanh_lut(b, x),
+            Activation::TanhTrunc => tanh_trunc(b, x),
+            Activation::TanhPl => tanh_pl(b, x),
+            Activation::TanhCordic => tanh_cordic(b, x),
+            Activation::SigmoidLut => sigmoid_lut(b, x),
+            Activation::SigmoidTrunc => sigmoid_trunc(b, x),
+            Activation::SigmoidPlan => sigmoid_plan(b, x),
+            Activation::SigmoidCordic => sigmoid_cordic(b, x),
+        }
+    }
+}
+
+/// ReLU: clears the word when the sign bit is set — `n−1` AND gates, the
+/// "Multiplexer" realization the paper contrasts with HE polynomials.
+pub fn relu(b: &mut Builder, x: &[Wire]) -> Word {
+    let keep = b.not(word::sign(x));
+    let mut out: Word = x[..x.len() - 1]
+        .iter()
+        .map(|&w| b.and(keep, w))
+        .collect();
+    out.push(b.const0()); // result is never negative
+    out
+}
+
+fn assert_q312(x: &[Wire]) {
+    assert_eq!(x.len(), WIDTH, "fixed-format activation expects Q1.3.12 (16 wires)");
+}
+
+/// Reflects a magnitude-domain odd function back to the signed domain.
+fn odd_reflect(b: &mut Builder, magnitude12: &Word, sign: Wire) -> Word {
+    let v16 = word::zero_extend(b, magnitude12, WIDTH);
+    arith::cond_neg(b, &v16, sign)
+}
+
+/// Reflects a magnitude-domain sigmoid (`y(|x|) ∈ [0.5, 1)`, Q0.12) via
+/// `y(-x) = 1 - y(x)`.
+fn sigmoid_reflect(b: &mut Builder, y12: &Word, sign: Wire) -> Word {
+    let y13 = word::zero_extend(b, y12, 13);
+    let one = word::constant(b, 1 << 12, 13);
+    let refl = arith::sub(b, &one, &y13);
+    let sel = arith::mux_word(b, sign, &refl, &y13);
+    word::zero_extend(b, &sel, WIDTH)
+}
+
+/// Full-precision Tanh LUT: 14 index bits over the clamped magnitude.
+pub fn tanh_lut(b: &mut Builder, x: &[Wire]) -> Word {
+    assert_q312(x);
+    let (ax, sign) = arith::abs(b, x);
+    let sat = b.or(ax[14], ax[15]); // |x| >= 4
+    let table: Vec<u64> = (0..1 << 14)
+        .map(|i| ((i as f64 / SCALE).tanh() * SCALE).round() as u64)
+        .collect();
+    let lv = lut::lookup(b, &ax[..14], &table, 12);
+    let sat_val = word::constant(b, 4095, 12);
+    let v = arith::mux_word(b, sat, &sat_val, &lv);
+    odd_reflect(b, &v, sign)
+}
+
+/// `Tanh2.10.12`: drops the two LSB fraction bits and the MSB integer bit
+/// (12 index bits), saturating to 1 for `x > 4` exactly as §4.2 describes.
+pub fn tanh_trunc(b: &mut Builder, x: &[Wire]) -> Word {
+    assert_q312(x);
+    let (ax, sign) = arith::abs(b, x);
+    let sat = b.or(ax[14], ax[15]);
+    let table: Vec<u64> = (0..1 << 12)
+        .map(|i| ((i as f64 / 1024.0).tanh() * SCALE).round() as u64)
+        .collect();
+    let lv = lut::lookup(b, &ax[2..14], &table, 12);
+    let sat_val = word::constant(b, 4095, 12);
+    let v = arith::mux_word(b, sat, &sat_val, &lv);
+    odd_reflect(b, &v, sign)
+}
+
+/// Full-precision Sigmoid LUT on the magnitude (15 index bits), reflected
+/// through the symmetry point `(0, 1/2)` (§4.2).
+pub fn sigmoid_lut(b: &mut Builder, x: &[Wire]) -> Word {
+    assert_q312(x);
+    let (ax, sign) = arith::abs(b, x);
+    let sat = ax[15]; // |x| = 8 (only reachable at x = -8)
+    let table: Vec<u64> = (0..1 << 15)
+        .map(|i| ((1.0 / (1.0 + (-(i as f64) / SCALE).exp())) * SCALE).round() as u64)
+        .collect();
+    let lv = lut::lookup(b, &ax[..15], &table, 12);
+    let sat_val = word::constant(b, 4095, 12);
+    let v = arith::mux_word(b, sat, &sat_val, &lv);
+    sigmoid_reflect(b, &v, sign)
+}
+
+/// `Sigmoid3.10.12`: 13 index bits (10 fraction bits kept, full 3 integer
+/// bits).
+pub fn sigmoid_trunc(b: &mut Builder, x: &[Wire]) -> Word {
+    assert_q312(x);
+    let (ax, sign) = arith::abs(b, x);
+    let sat = ax[15];
+    let table: Vec<u64> = (0..1 << 13)
+        .map(|i| ((1.0 / (1.0 + (-(i as f64) / 1024.0).exp())) * SCALE).round() as u64)
+        .collect();
+    let lv = lut::lookup(b, &ax[2..15], &table, 12);
+    let sat_val = word::constant(b, 4095, 12);
+    let v = arith::mux_word(b, sat, &sat_val, &lv);
+    sigmoid_reflect(b, &v, sign)
+}
+
+/// One segment of a piecewise-linear approximation on the magnitude
+/// domain: applies on `|x| < upper`.
+#[derive(Clone, Copy, Debug)]
+pub struct PlSegment {
+    /// Exclusive upper bound of the segment's domain.
+    pub upper: f64,
+    /// Segment slope.
+    pub slope: f64,
+    /// Segment intercept (`y = slope·|x| + intercept`).
+    pub intercept: f64,
+}
+
+/// Evaluates a piecewise-linear function of the magnitude: comparator
+/// chain + constant-multiplier per segment, saturating to `sat_value`
+/// beyond the last bound. Returns the Q0.12 magnitude-domain value.
+pub fn piecewise_magnitude(
+    b: &mut Builder,
+    ax: &[Wire],
+    segments: &[PlSegment],
+    sat_value: f64,
+) -> Word {
+    let mut result = word::constant(b, (sat_value * SCALE).round() as i64, 13);
+    for seg in segments.iter().rev() {
+        let slope_q = (seg.slope * SCALE).round() as i64;
+        let prod = arith::mul_const(b, &word::zero_extend(b, ax, 28), slope_q);
+        let scaled = word::truncate(&word::shr_logic(b, &prod, 12), 13);
+        let icpt = word::constant(b, (seg.intercept * SCALE).round() as i64, 13);
+        let val = arith::add(b, &scaled, &icpt);
+        let bound = word::constant(b, (seg.upper * SCALE).round() as i64, ax.len());
+        let inside = arith::lt_unsigned(b, ax, &bound);
+        result = arith::mux_word(b, inside, &val, &result);
+    }
+    result
+}
+
+/// Secant-line segments for a concave increasing function, offset by half
+/// the maximum deviation for a near-minimax fit.
+fn secant_segments(f: impl Fn(f64) -> f64, breakpoints: &[f64]) -> Vec<PlSegment> {
+    breakpoints
+        .windows(2)
+        .map(|wdw| {
+            let (a, c) = (wdw[0], wdw[1]);
+            let slope = (f(c) - f(a)) / (c - a);
+            let base = f(a) - slope * a;
+            // Sample the deviation to apply the equioscillation offset.
+            let max_dev = (0..=64)
+                .map(|i| {
+                    let x = a + (c - a) * i as f64 / 64.0;
+                    (slope * x + base - f(x)).abs()
+                })
+                .fold(0.0f64, f64::max);
+            PlSegment { upper: c, slope, intercept: base + max_dev / 2.0 }
+        })
+        .collect()
+}
+
+/// `TanhPL`: seven secant segments on `x ≥ 0`, saturating at 1 — "seven
+/// different lines for x >= 0" (§4.2).
+pub fn tanh_pl(b: &mut Builder, x: &[Wire]) -> Word {
+    assert_q312(x);
+    let (ax, sign) = arith::abs(b, x);
+    let breakpoints = [0.0, 0.4, 0.8, 1.2, 1.7, 2.2, 2.9];
+    let segments = secant_segments(f64::tanh, &breakpoints);
+    let v = piecewise_magnitude(b, &ax, &segments, breakpoints.last().copied().unwrap().tanh());
+    odd_reflect(b, &word::truncate(&v, 12), sign)
+}
+
+/// `SigmoidPLAN` (Amin–Curtis–Hayes-Gill): three power-of-two-slope
+/// segments, `y = 1` beyond `x = 5`, reflected for negative inputs.
+pub fn sigmoid_plan(b: &mut Builder, x: &[Wire]) -> Word {
+    assert_q312(x);
+    let (ax, sign) = arith::abs(b, x);
+    let segments = [
+        PlSegment { upper: 1.0, slope: 0.25, intercept: 0.5 },
+        PlSegment { upper: 2.375, slope: 0.125, intercept: 0.625 },
+        PlSegment { upper: 5.0, slope: 0.03125, intercept: 0.84375 },
+    ];
+    let v = piecewise_magnitude(b, &ax, &segments, 4095.0 / SCALE);
+    sigmoid_reflect(b, &word::truncate(&v, 12), sign)
+}
+
+/// Saturating Q0.13→Q0.12 quotient clamp: the ratio can reach exactly 1.0
+/// (bit 13 of the 14-bit quotient) when the exponential underflows; clamp
+/// to the largest Q0.12 value instead of wrapping to 0. The LSB is
+/// truncated (Q0.13 → Q0.12).
+fn clamp_q14(b: &mut Builder, q14: &[Wire]) -> Word {
+    let top = q14[13];
+    q14[1..13].iter().map(|&w| b.or(w, top)).collect()
+}
+
+/// `TanhCORDIC`: `tanh(x) = (1 - e^{-2|x|}) / (1 + e^{-2|x|})` with the
+/// exponential from 14 hyperbolic CORDIC iterations (§4.2's 14-iteration,
+/// plus-one-DIV realization).
+pub fn tanh_cordic(b: &mut Builder, x: &[Wire]) -> Word {
+    assert_q312(x);
+    let (ax, sign) = arith::abs(b, x);
+    // 2|x| in 17 bits (Q4.12).
+    let mut t: Word = vec![b.const0()];
+    t.extend_from_slice(&ax);
+    let e2x = cordic::exp_neg(b, &t, 12, 16, 5, 14); // Q16, 18 bits
+    let one = word::constant(b, 1 << 16, 18);
+    let num = arith::sub(b, &one, &e2x);
+    let den = arith::add(b, &one, &e2x);
+    let q14 = div::udiv_fraction(b, &num, &den, 13);
+    let q = clamp_q14(b, &q14);
+    odd_reflect(b, &q, sign)
+}
+
+/// `SigmoidCORDIC`: `1/(1 + e^{-|x|})`, reflected — the CORDIC Sigmoid
+/// with "an additional two ADD operations" over the Tanh datapath (§4.2).
+pub fn sigmoid_cordic(b: &mut Builder, x: &[Wire]) -> Word {
+    assert_q312(x);
+    let (ax, sign) = arith::abs(b, x);
+    let ex = cordic::exp_neg(b, &ax, 12, 16, 4, 14); // Q16, 18 bits
+    let one = word::constant(b, 1 << 16, 18);
+    let den = arith::add(b, &one, &ex);
+    let q14 = div::udiv_fraction(b, &one, &den, 13);
+    let q = clamp_q14(b, &q14);
+    sigmoid_reflect(b, &q, sign)
+}
+
+/// Softmax as an argmax chain: Softmax is monotone, so the inference label
+/// is the index of the maximum logit — `(n−1)` CMP + MUX stages (§4.2).
+/// Returns the winning index as a `ceil(log2 n)`-bit word.
+pub fn softmax_argmax(b: &mut Builder, logits: &[Word]) -> Word {
+    assert!(!logits.is_empty(), "argmax of zero logits");
+    let idx_bits = usize::BITS as usize - (logits.len() - 1).leading_zeros() as usize;
+    let idx_bits = idx_bits.max(1);
+    let mut best = logits[0].clone();
+    let mut idx = word::constant(b, 0, idx_bits);
+    for (i, logit) in logits.iter().enumerate().skip(1) {
+        let gt = arith::lt_signed(b, &best, logit);
+        best = arith::mux_word(b, gt, logit, &best);
+        let this = word::constant(b, i as i64, idx_bits);
+        idx = arith::mux_word(b, gt, &this, &idx);
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use deepsecure_fixed::{Fixed, Format};
+
+    use super::*;
+    use crate::word::{garbler_word, output_word};
+
+    const Q: Format = Format::Q3_12;
+
+    fn activation_circuit(act: Activation) -> deepsecure_circuit::Circuit {
+        let mut b = Builder::new();
+        let x = garbler_word(&mut b, 16);
+        let y = act.build(&mut b, &x);
+        output_word(&mut b, &y);
+        b.finish()
+    }
+
+    fn max_error(act: Activation, lo: f64, hi: f64, steps: usize) -> f64 {
+        let c = activation_circuit(act);
+        let mut max_err: f64 = 0.0;
+        for i in 0..=steps {
+            let xf = lo + (hi - lo) * i as f64 / steps as f64;
+            let x = Fixed::from_f64(xf, Q);
+            let out = Fixed::from_bits(&c.eval(&x.to_bits(), &[]), Q);
+            let want = act.reference(x.to_f64());
+            max_err = max_err.max((out.to_f64() - want).abs());
+        }
+        max_err
+    }
+
+    #[test]
+    fn relu_matches_and_costs_15() {
+        let c = activation_circuit(Activation::Relu);
+        assert_eq!(c.stats().non_xor, 15);
+        for v in [-3.5, -0.001, 0.0, 0.25, 7.9] {
+            let x = Fixed::from_f64(v, Q);
+            let out = Fixed::from_bits(&c.eval(&x.to_bits(), &[]), Q);
+            assert_eq!(out.to_f64(), x.to_f64().max(0.0), "relu({v})");
+        }
+    }
+
+    #[test]
+    fn tanh_lut_is_tight() {
+        let err = max_error(Activation::TanhLut, -7.5, 7.5, 500);
+        assert!(err <= 2.0 * Q.epsilon(), "TanhLUT err {err}");
+    }
+
+    #[test]
+    fn sigmoid_lut_is_tight() {
+        let err = max_error(Activation::SigmoidLut, -7.5, 7.5, 500);
+        assert!(err <= 2.0 * Q.epsilon(), "SigmoidLUT err {err}");
+    }
+
+    #[test]
+    fn truncated_variants_are_close() {
+        let err = max_error(Activation::TanhTrunc, -7.5, 7.5, 500);
+        assert!(err < 2e-3, "Tanh2.10.12 err {err}");
+        let err = max_error(Activation::SigmoidTrunc, -7.5, 7.5, 500);
+        assert!(err < 2e-3, "Sigmoid3.10.12 err {err}");
+    }
+
+    #[test]
+    fn piecewise_variants_are_coarse_but_bounded() {
+        let err = max_error(Activation::TanhPl, -7.5, 7.5, 500);
+        assert!(err < 2.5e-2, "TanhPL err {err}");
+        let err = max_error(Activation::SigmoidPlan, -7.5, 7.5, 500);
+        assert!(err < 2.5e-2, "SigmoidPLAN err {err}");
+    }
+
+    #[test]
+    fn cordic_variants_are_accurate() {
+        let err = max_error(Activation::TanhCordic, -7.5, 7.5, 300);
+        assert!(err < 6e-3, "TanhCORDIC err {err}");
+        let err = max_error(Activation::SigmoidCordic, -7.5, 7.5, 300);
+        assert!(err < 6e-3, "SigmoidCORDIC err {err}");
+    }
+
+    #[test]
+    fn tanh_is_odd_sigmoid_is_shifted_odd() {
+        for act in [Activation::TanhLut, Activation::TanhCordic] {
+            let c = activation_circuit(act);
+            for v in [0.25, 1.0, 3.0] {
+                let pos = Fixed::from_bits(&c.eval(&Fixed::from_f64(v, Q).to_bits(), &[]), Q);
+                let neg = Fixed::from_bits(&c.eval(&Fixed::from_f64(-v, Q).to_bits(), &[]), Q);
+                assert!(
+                    (pos.to_f64() + neg.to_f64()).abs() <= 2.0 * Q.epsilon(),
+                    "{} odd symmetry at {v}",
+                    act.name()
+                );
+            }
+        }
+        let c = activation_circuit(Activation::SigmoidLut);
+        for v in [0.25, 1.0, 3.0] {
+            let pos = Fixed::from_bits(&c.eval(&Fixed::from_f64(v, Q).to_bits(), &[]), Q);
+            let neg = Fixed::from_bits(&c.eval(&Fixed::from_f64(-v, Q).to_bits(), &[]), Q);
+            assert!(
+                (pos.to_f64() + neg.to_f64() - 1.0).abs() <= 2.0 * Q.epsilon(),
+                "sigmoid symmetry at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn lut_beats_trunc_in_cost_order() {
+        let full = activation_circuit(Activation::TanhLut).stats().non_xor;
+        let trunc = activation_circuit(Activation::TanhTrunc).stats().non_xor;
+        let pl = activation_circuit(Activation::TanhPl).stats().non_xor;
+        assert!(full > trunc, "LUT ({full}) should cost more than truncated ({trunc})");
+        assert!(trunc > pl, "truncated ({trunc}) should cost more than PL ({pl})");
+    }
+
+    #[test]
+    fn argmax_finds_maximum() {
+        let mut b = Builder::new();
+        let logits: Vec<Word> = (0..5).map(|_| garbler_word(&mut b, 16)).collect();
+        let idx = softmax_argmax(&mut b, &logits);
+        output_word(&mut b, &idx);
+        let c = b.finish();
+        let cases = [
+            ([0.1, 0.5, -0.3, 0.9, 0.2], 3u64),
+            ([-1.0, -2.0, -0.5, -3.0, -0.6], 2),
+            ([1.0, 1.0, 1.0, 1.0, 1.0], 0), // ties keep the first
+            ([5.0, 1.0, 2.0, 3.0, 4.0], 0),
+        ];
+        for (vals, want) in cases {
+            let mut bits = Vec::new();
+            for v in vals {
+                bits.extend(Fixed::from_f64(v, Q).to_bits());
+            }
+            let out = c.eval(&bits, &[]);
+            let got: u64 = out.iter().enumerate().map(|(i, &v)| u64::from(v) << i).sum();
+            assert_eq!(got, want, "{vals:?}");
+        }
+    }
+}

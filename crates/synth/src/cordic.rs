@@ -1,0 +1,204 @@
+//! Hyperbolic-mode CORDIC (COordinate Rotation DIgital Computer).
+//!
+//! The paper evaluates Tanh and Sigmoid through CORDIC in hyperbolic
+//! rotation mode: `n` iterations yield `n` bits of precision, with
+//! iterations `4` and `13` executed twice (the `3i+1` rule) for
+//! convergence, totalling the "14 iterations per instance" of §4.2.
+//!
+//! The raw convergence domain is `|z| ≲ 1.118`, so inputs first go through
+//! an ln-2 range reduction: `z = m·ln2 + f` with `f ∈ [0, ln2)`; the
+//! exponential identity `e^{-z} = 2^{-m}·e^{-f}` then needs only a barrel
+//! shift after the CORDIC core — a standard hardware design.
+
+use deepsecure_circuit::{Builder, Wire};
+use deepsecure_fixed::{atanh_table, cordic_gain, cordic_schedule, LN_2};
+
+use crate::arith;
+use crate::word::{self, Word};
+
+/// Conditional add/sub: `add ? x + y : x - y` at adder cost.
+pub fn cond_add_sub(b: &mut Builder, x: &[Wire], y: &[Wire], add: Wire) -> Word {
+    let sub = b.not(add);
+    let flipped: Word = y.iter().map(|&w| b.xor(w, sub)).collect();
+    arith::add_with_carry(b, x, &flipped, sub).0
+}
+
+/// The CORDIC core: given `z ∈ [0, ~1.11]` in `Q(frac)` (signed word),
+/// runs `iters` base iterations (plus the `3i+1` repeats) and returns
+/// `(cosh z, sinh z)` in the same format.
+///
+/// All three state words use the input width; callers must provide enough
+/// integer headroom for `cosh` of the largest input (≤ 2 for range-reduced
+/// arguments).
+pub fn cosh_sinh(b: &mut Builder, z: &[Wire], frac: u32, iters: usize) -> (Word, Word) {
+    let w = z.len();
+    let scale = (1i64 << frac) as f64;
+    let gain = cordic_gain(iters);
+    let mut x = word::constant(b, ((1.0 / gain) * scale).round() as i64, w);
+    let mut y = word::constant(b, 0, w);
+    let mut zz: Word = z.to_vec();
+    let table = atanh_table();
+    for i in cordic_schedule(iters) {
+        let d_pos = b.not(word::sign(&zz)); // rotate "up" while z >= 0
+        let xs = word::shr_arith(&x, i);
+        let ys = word::shr_arith(&y, i);
+        let nx = cond_add_sub(b, &x, &ys, d_pos);
+        let ny = cond_add_sub(b, &y, &xs, d_pos);
+        let e = word::constant(b, (table[i - 1] * scale).round() as i64, w);
+        let d_neg = b.not(d_pos);
+        let nz = cond_add_sub(b, &zz, &e, d_neg);
+        x = nx;
+        y = ny;
+        zz = nz;
+    }
+    (x, y)
+}
+
+/// Range reduction by repeated conditional subtraction of `ln2 · 2^k`:
+/// returns `(f, m)` with `t = m·c₀ + f`, `0 ≤ f < c₀`, where
+/// `c₀ = round(ln2 · 2^frac)` and `m` has `m_bits` LSB-first wires.
+///
+/// `t` is interpreted as unsigned and must satisfy `t < 2^m_bits · c₀`
+/// or the quotient saturates incorrectly (callers size `m_bits` from the
+/// input range).
+pub fn range_reduce_ln2(b: &mut Builder, t: &[Wire], frac: u32, m_bits: usize) -> (Word, Word) {
+    let c0 = (LN_2 * (1i64 << frac) as f64).round() as i64;
+    let mut f: Word = t.to_vec();
+    let mut m = vec![b.const0(); m_bits];
+    for k in (0..m_bits).rev() {
+        let ck = word::constant(b, c0 << k, f.len());
+        let (diff, geq) = arith::sub_with_geq(b, &f, &ck);
+        f = arith::mux_word(b, geq, &diff, &f);
+        m[k] = geq;
+    }
+    (f, m)
+}
+
+/// Barrel shifter: logical right shift of `x` by the unsigned value on
+/// `m` (LSB-first), one word-MUX per control bit.
+pub fn shr_variable(b: &mut Builder, x: &[Wire], m: &[Wire]) -> Word {
+    let mut cur: Word = x.to_vec();
+    for (k, &bit) in m.iter().enumerate() {
+        let shifted = word::shr_logic(b, &cur, 1usize << k);
+        cur = arith::mux_word(b, bit, &shifted, &cur);
+    }
+    cur
+}
+
+/// Computes `e^{-t}` for an unsigned `t ≥ 0` in `Q(frac_in)`, returning a
+/// `Q(frac_out)` word of width `frac_out + 2` (value in `(0, 1]`).
+///
+/// Pipeline: widen to `Q(frac_out)`, ln-2 range-reduce, CORDIC
+/// `cosh − sinh`, barrel shift by the quotient.
+pub fn exp_neg(
+    b: &mut Builder,
+    t: &[Wire],
+    frac_in: u32,
+    frac_out: u32,
+    m_bits: usize,
+    iters: usize,
+) -> Word {
+    assert!(frac_out >= frac_in, "exp_neg cannot lose precision");
+    // Widen: value unchanged, fraction bits = frac_out.
+    let extra = (frac_out - frac_in) as usize;
+    let mut wide: Word = vec![b.const0(); extra];
+    wide.extend_from_slice(t);
+    let (f, m) = range_reduce_ln2(b, &wide, frac_out, m_bits);
+    // CORDIC state: Q2.(frac_out): f < ln2 so cosh f < 1.26, 1/K ≈ 1.207.
+    let cw = frac_out as usize + 3;
+    let fz = word::zero_extend(b, &word::truncate(&f, (frac_out as usize) + 1), cw);
+    let (c, s) = cosh_sinh(b, &fz, frac_out, iters);
+    let em = arith::sub(b, &c, &s);
+    let shifted = shr_variable(b, &em, &m);
+    word::truncate(&shifted, frac_out as usize + 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use deepsecure_circuit::Builder;
+
+    use super::*;
+    use crate::word::{garbler_word, output_word};
+
+    fn bits_to_u64(bits: &[bool]) -> u64 {
+        bits.iter().enumerate().map(|(i, &v)| u64::from(v) << i).sum()
+    }
+
+    #[test]
+    fn cordic_core_matches_cosh_sinh() {
+        const FRAC: u32 = 16;
+        let mut b = Builder::new();
+        let z = garbler_word(&mut b, 19);
+        let (c, s) = cosh_sinh(&mut b, &z, FRAC, 14);
+        output_word(&mut b, &c);
+        output_word(&mut b, &s);
+        let circ = b.finish();
+        let scale = (1u64 << FRAC) as f64;
+        for zf in [0.0f64, 0.1, 0.3, 0.5, 0.69] {
+            let raw = (zf * scale).round() as u64;
+            let input: Vec<bool> = (0..19).map(|i| (raw >> i) & 1 == 1).collect();
+            let out = circ.eval(&input, &[]);
+            let c_got = bits_to_u64(&out[..19]) as f64 / scale;
+            let s_got = bits_to_u64(&out[19..]) as f64 / scale;
+            assert!((c_got - zf.cosh()).abs() < 3e-3, "cosh({zf}) = {c_got}");
+            assert!((s_got - zf.sinh()).abs() < 3e-3, "sinh({zf}) = {s_got}");
+        }
+    }
+
+    #[test]
+    fn range_reduce_decomposes() {
+        const FRAC: u32 = 16;
+        let mut b = Builder::new();
+        let t = garbler_word(&mut b, 21);
+        let (f, m) = range_reduce_ln2(&mut b, &t, FRAC, 5);
+        output_word(&mut b, &f);
+        output_word(&mut b, &m);
+        let circ = b.finish();
+        let c0 = (LN_2 * (1u64 << FRAC) as f64).round() as u64;
+        for val in [0u64, 1000, 45425, 45426, 100_000, 1_000_000, 1_400_000] {
+            let input: Vec<bool> = (0..21).map(|i| (val >> i) & 1 == 1).collect();
+            let out = circ.eval(&input, &[]);
+            let f_got = bits_to_u64(&out[..21]);
+            let m_got = bits_to_u64(&out[21..]);
+            assert_eq!(m_got, val / c0, "quotient of {val}");
+            assert_eq!(f_got, val % c0, "remainder of {val}");
+        }
+    }
+
+    #[test]
+    fn variable_shift() {
+        let mut b = Builder::new();
+        let x = garbler_word(&mut b, 8);
+        let m = garbler_word(&mut b, 3);
+        let out = shr_variable(&mut b, &x, &m);
+        output_word(&mut b, &out);
+        let circ = b.finish();
+        for (v, s) in [(0b1011_0001u64, 0u64), (0xff, 3), (0x80, 7), (0x40, 2)] {
+            let mut input: Vec<bool> = (0..8).map(|i| (v >> i) & 1 == 1).collect();
+            input.extend((0..3).map(|i| (s >> i) & 1 == 1));
+            let out = circ.eval(&input, &[]);
+            assert_eq!(bits_to_u64(&out), v >> s, "{v} >> {s}");
+        }
+    }
+
+    #[test]
+    fn exp_neg_matches_reference() {
+        // Input Q3.12 unsigned (|x| ≤ 8), output Q16.
+        let mut b = Builder::new();
+        let t = garbler_word(&mut b, 16);
+        let out = exp_neg(&mut b, &t, 12, 16, 4, 14);
+        output_word(&mut b, &out);
+        let circ = b.finish();
+        for xf in [0.0f64, 0.25, 0.6931, 1.0, 2.0, 4.5, 7.9] {
+            let raw = (xf * 4096.0).round() as u64;
+            let input: Vec<bool> = (0..16).map(|i| (raw >> i) & 1 == 1).collect();
+            let o = circ.eval(&input, &[]);
+            let got = bits_to_u64(&o) as f64 / 65536.0;
+            let want = (-(raw as f64 / 4096.0)).exp();
+            assert!(
+                (got - want).abs() < 4e-3,
+                "e^-{xf}: got {got}, want {want}"
+            );
+        }
+    }
+}

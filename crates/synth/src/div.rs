@@ -1,0 +1,162 @@
+//! Restoring division.
+//!
+//! The DIV element backs the CORDIC Tanh (`sinh/cosh`) and Sigmoid
+//! reconstruction (Table 1). Semantics are sign-magnitude truncation toward
+//! zero, matching [`deepsecure_fixed::Fixed::div`] bit-for-bit.
+
+use deepsecure_circuit::{Builder, Wire};
+
+use crate::arith;
+use crate::word::{self, Word};
+
+/// Unsigned restoring division: returns the low `q_bits` of `num / den`.
+///
+/// Processes the dividend MSB-first, one compare-subtract per bit. When the
+/// true quotient exceeds `q_bits` the result wraps (two's-complement
+/// hardware behaviour). Division by zero yields all-ones.
+pub fn udiv(b: &mut Builder, num: &[Wire], den: &[Wire], q_bits: usize) -> Word {
+    let dw = den.len() + 1; // remainder window: R < den, R' = 2R+bit < 2*den
+    let mut r: Word = vec![b.const0(); dw];
+    let mut q_rev: Vec<Wire> = Vec::with_capacity(num.len());
+    for &bit in num.iter().rev() {
+        // R' = (R << 1) | bit
+        let mut r_shift: Word = Vec::with_capacity(dw);
+        r_shift.push(bit);
+        r_shift.extend_from_slice(&r[..dw - 1]);
+        let den_ext = word::zero_extend(b, den, dw);
+        let (diff, geq) = arith::sub_with_geq(b, &r_shift, &den_ext);
+        r = arith::mux_word(b, geq, &diff, &r_shift);
+        q_rev.push(geq);
+    }
+    q_rev.reverse(); // now LSB-first
+    let mut q = q_rev;
+    q.truncate(q_bits);
+    while q.len() < q_bits {
+        q.push(b.const0());
+    }
+    q
+}
+
+/// Fixed-point signed division `x / y` with `frac` fractional bits; output
+/// has the input width and wraps when out of range — bit-identical to
+/// [`deepsecure_fixed::Fixed::div`].
+pub fn div_fixed(b: &mut Builder, x: &[Wire], y: &[Wire], frac: u32) -> Word {
+    let n = x.len();
+    assert_eq!(n, y.len(), "divider width mismatch");
+    let (xm, xs) = arith::abs(b, x);
+    let (ym, ys) = arith::abs(b, y);
+    let sign = b.xor(xs, ys);
+    // Dividend = |x| << frac (width n + frac).
+    let mut num: Word = vec![b.const0(); frac as usize];
+    num.extend_from_slice(&xm);
+    let q = udiv(b, &num, &ym, n);
+    arith::cond_neg(b, &q, sign)
+}
+
+/// Cheaper division for callers that guarantee `num <= den` (quotient in
+/// `[0, 1]`): computes `frac_out` fractional quotient bits of `num / den`
+/// by long division on the scaled dividend, returning `frac_out + 1` wires
+/// — the extra MSB represents a quotient of exactly 1.0.
+pub fn udiv_fraction(b: &mut Builder, num: &[Wire], den: &[Wire], frac_out: usize) -> Word {
+    let mut scaled: Word = vec![b.const0(); frac_out];
+    scaled.extend_from_slice(num);
+    udiv(b, &scaled, den, frac_out + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use deepsecure_fixed::{Fixed, Format};
+
+    use super::*;
+    use crate::word::{garbler_word, output_word};
+
+    const Q: Format = Format::Q3_12;
+
+    fn div_circuit() -> deepsecure_circuit::Circuit {
+        let mut b = Builder::new();
+        let x = garbler_word(&mut b, 16);
+        let y = b.evaluator_inputs(16);
+        let q = div_fixed(&mut b, &x, &y, 12);
+        output_word(&mut b, &q);
+        b.finish()
+    }
+
+    #[test]
+    fn udiv_matches_integers() {
+        let mut b = Builder::new();
+        let x = garbler_word(&mut b, 10);
+        let y = b.evaluator_inputs(5);
+        let q = udiv(&mut b, &x, &y, 10);
+        output_word(&mut b, &q);
+        let c = b.finish();
+        for (a, d) in [(1000u64, 3u64), (1023, 1), (17, 17), (0, 5), (512, 31), (7, 9)] {
+            let xb: Vec<bool> = (0..10).map(|i| (a >> i) & 1 == 1).collect();
+            let yb: Vec<bool> = (0..5).map(|i| (d >> i) & 1 == 1).collect();
+            let out = c.eval(&xb, &yb);
+            let got: u64 = out
+                .iter()
+                .enumerate()
+                .map(|(i, &bit)| u64::from(bit) << i)
+                .sum();
+            assert_eq!(got, (a / d) & 0x3ff, "{a} / {d}");
+        }
+    }
+
+    #[test]
+    fn div_fixed_matches_reference_samples() {
+        let c = div_circuit();
+        for (a, d) in [
+            (1.0, 3.0),
+            (-1.0, 3.0),
+            (1.0, -3.0),
+            (-1.0, -3.0),
+            (7.5, 0.5),   // wraps: 15 out of range of Q3.12
+            (2.0, 0.25),  // exactly 8 → wraps to -8
+            (0.0, 1.0),
+            (3.999, 4.0),
+        ] {
+            let x = Fixed::from_f64(a, Q);
+            let y = Fixed::from_f64(d, Q);
+            let got = Fixed::from_bits(&c.eval(&x.to_bits(), &y.to_bits()), Q);
+            assert_eq!(got, x.div(y), "{a} / {d}");
+        }
+    }
+
+    #[test]
+    fn div_fixed_matches_reference_randomized() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let c = div_circuit();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let a = rng.gen_range(-32768i64..32768);
+            let mut d = rng.gen_range(-32768i64..32768);
+            if d == 0 {
+                d = 1;
+            }
+            let x = Fixed::from_raw(a, Q);
+            let y = Fixed::from_raw(d, Q);
+            let got = Fixed::from_bits(&c.eval(&x.to_bits(), &y.to_bits()), Q);
+            assert_eq!(got, x.div(y), "raw {a} / {d}");
+        }
+    }
+
+    #[test]
+    fn udiv_fraction_computes_ratio() {
+        // num/den with num < den: 1/3 to 12 fractional bits.
+        let mut b = Builder::new();
+        let x = garbler_word(&mut b, 14);
+        let y = b.evaluator_inputs(14);
+        let q = udiv_fraction(&mut b, &x, &y, 12);
+        output_word(&mut b, &q);
+        let c = b.finish();
+        let num = 1u64 << 12;
+        let den = 3u64 << 12;
+        let xb: Vec<bool> = (0..14).map(|i| (num >> i) & 1 == 1).collect();
+        let yb: Vec<bool> = (0..14).map(|i| (den >> i) & 1 == 1).collect();
+        let out = c.eval(&xb, &yb);
+        assert_eq!(out.len(), 13, "frac_out + 1 wires");
+        let got: u64 = out.iter().enumerate().map(|(i, &v)| u64::from(v) << i).sum();
+        assert_eq!(got, (num << 12) / den, "1/3 in Q0.12");
+    }
+}

@@ -1,0 +1,122 @@
+//! Lookup-table circuits.
+//!
+//! A `2^k`-entry table is synthesized as a word-level MUX tree on the index
+//! bits. Because the [`Builder`] hash-conses
+//! and constant-folds, equal sub-tables collapse into shared nodes and
+//! constant regions (e.g. the saturated tails of Tanh) disappear — the MUX
+//! tree reduces to something close to the BDD of each output bit, which is
+//! exactly the behaviour the paper obtains by synthesizing LUT Verilog with
+//! XOR-area-0 libraries.
+
+use deepsecure_circuit::{Builder, Wire};
+
+use crate::arith;
+use crate::word::{self, Word};
+
+/// Builds a lookup of `table` indexed by `index` (LSB-first wires).
+///
+/// Entry values are taken modulo `2^out_bits`.
+///
+/// # Panics
+///
+/// Panics unless `table.len() == 2^index.len()`.
+pub fn lookup(b: &mut Builder, index: &[Wire], table: &[u64], out_bits: usize) -> Word {
+    assert_eq!(
+        table.len(),
+        1usize << index.len(),
+        "table size must be 2^index_bits"
+    );
+    rec(b, index, table, out_bits)
+}
+
+fn rec(b: &mut Builder, index: &[Wire], table: &[u64], out_bits: usize) -> Word {
+    if index.is_empty() {
+        return word::constant(b, table[0] as i64, out_bits);
+    }
+    let msb = *index.last().expect("non-empty index");
+    let rest = &index[..index.len() - 1];
+    let half = table.len() / 2;
+    // Constant-subtable short-circuit keeps recursion cheap on saturated
+    // regions.
+    if table.iter().all(|&v| v == table[0]) {
+        return word::constant(b, table[0] as i64, out_bits);
+    }
+    let lo = rec(b, rest, &table[..half], out_bits);
+    let hi = rec(b, rest, &table[half..], out_bits);
+    arith::mux_word(b, msb, &hi, &lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::{garbler_word, output_word};
+
+    fn eval_lut(table: &[u64], idx_bits: usize, out_bits: usize, idx: u64) -> u64 {
+        let mut b = Builder::new();
+        let index = garbler_word(&mut b, idx_bits);
+        let out = lookup(&mut b, &index, table, out_bits);
+        output_word(&mut b, &out);
+        let c = b.finish();
+        let input: Vec<bool> = (0..idx_bits).map(|i| (idx >> i) & 1 == 1).collect();
+        c.eval(&input, &[])
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| u64::from(v) << i)
+            .sum()
+    }
+
+    #[test]
+    fn identity_table() {
+        let table: Vec<u64> = (0..16).collect();
+        for i in 0..16 {
+            assert_eq!(eval_lut(&table, 4, 4, i), i);
+        }
+    }
+
+    #[test]
+    fn arbitrary_table() {
+        let table = [7u64, 0, 3, 3, 9, 1, 15, 2];
+        for (i, &v) in table.iter().enumerate() {
+            assert_eq!(eval_lut(&table, 3, 4, i as u64), v);
+        }
+    }
+
+    #[test]
+    fn constant_table_costs_nothing() {
+        let mut b = Builder::new();
+        let index = garbler_word(&mut b, 8);
+        let out = lookup(&mut b, &index, &vec![42u64; 256], 8);
+        output_word(&mut b, &out);
+        let c = b.finish();
+        assert_eq!(c.stats().total(), 0, "constant LUT folds away");
+    }
+
+    #[test]
+    fn identity_table_is_free() {
+        // out bit i == index bit i: hash-consing reduces the tree to wires.
+        let table: Vec<u64> = (0..256).collect();
+        let mut b = Builder::new();
+        let index = garbler_word(&mut b, 8);
+        let out = lookup(&mut b, &index, &table, 8);
+        output_word(&mut b, &out);
+        assert_eq!(b.finish().stats().non_xor, 0);
+    }
+
+    #[test]
+    fn saturated_tail_is_cheap() {
+        // A ramp that saturates halfway must cost less than an incompressible
+        // pseudo-random table.
+        let ramp: Vec<u64> = (0..256).map(|i: u64| i.min(127)).collect();
+        let noisy: Vec<u64> = (0..256u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17) & 0xff)
+            .collect();
+        let cost = |table: &[u64]| {
+            let mut b = Builder::new();
+            let index = garbler_word(&mut b, 8);
+            let out = lookup(&mut b, &index, table, 8);
+            output_word(&mut b, &out);
+            b.finish().stats().non_xor
+        };
+        assert!(cost(&ramp) < cost(&noisy), "{} !< {}", cost(&ramp), cost(&noisy));
+    }
+}

@@ -1,0 +1,243 @@
+//! Fixed-point multipliers.
+//!
+//! The paper's MULT element supports *signed* operands (its stated
+//! improvement over TinyGarble's library). Two variants are provided:
+//!
+//! * [`mul_fixed`] — bit-exact against [`deepsecure_fixed::Fixed::mul`]
+//!   (floor-truncating two's-complement semantics), built as a
+//!   sign-magnitude shift-add array with a sticky-bit floor correction.
+//! * [`mul_truncated`] — an approximate truncated-array multiplier that
+//!   discards partial-product columns below the guard band; cheaper, with
+//!   error below `2^-(frac-guard-1)` (the style of multiplier whose count
+//!   Table 3 reports).
+
+use deepsecure_circuit::{Builder, Wire};
+
+use crate::arith;
+use crate::word::{self, Word};
+
+/// Unsigned shift-add multiplier: returns the low `keep_bits` of the
+/// product of `x` and `y`.
+pub fn umul(b: &mut Builder, x: &[Wire], y: &[Wire], keep_bits: usize) -> Word {
+    let n = y.len();
+    let mut prod: Word = Vec::with_capacity(keep_bits);
+    // Window of product bits [j, j+n]; starts as row 0.
+    let row0 = word::and_all(b, x[0], y);
+    prod.push(row0[0]);
+    let mut window: Word = row0[1..].to_vec();
+    window.push(b.const0());
+    for (j, &xj) in x.iter().enumerate().skip(1) {
+        if j >= keep_bits {
+            break;
+        }
+        // Truncate work above the kept columns.
+        let width = n.min(keep_bits.saturating_sub(j));
+        let row = word::and_all(b, xj, &y[..width]);
+        let (sum, cout) = arith::add_with_carry(b, &window[..width], &row, b.const0());
+        prod.push(sum[0]);
+        let mut next: Word = sum[1..].to_vec();
+        if width == n {
+            next.push(cout);
+        }
+        // Preserve any untouched high window bits.
+        next.extend_from_slice(&window[width..]);
+        window = next;
+        window.truncate(n + 1);
+    }
+    for &w in &window {
+        if prod.len() < keep_bits {
+            prod.push(w);
+        }
+    }
+    while prod.len() < keep_bits {
+        prod.push(b.const0());
+    }
+    prod.truncate(keep_bits);
+    prod
+}
+
+/// Exact fixed-point multiply: same width in and out, floor-truncating by
+/// `frac` bits — bit-identical to [`deepsecure_fixed::Fixed::mul`].
+///
+/// Construction: take magnitudes (2 conditional negations), multiply
+/// unsigned keeping `frac + n` product columns, split into the kept window
+/// and the discarded low `frac` bits, and fold the discarded bits' sticky
+/// OR into the final conditional negation so that negative products floor
+/// instead of truncating toward zero.
+pub fn mul_fixed(b: &mut Builder, x: &[Wire], y: &[Wire], frac: u32) -> Word {
+    let n = x.len();
+    assert_eq!(n, y.len(), "multiplier width mismatch");
+    let frac = frac as usize;
+    let (xm, xs) = arith::abs(b, x);
+    let (ym, ys) = arith::abs(b, y);
+    let sign = b.xor(xs, ys);
+    let prod = umul(b, &xm, &ym, frac + n);
+    let low = &prod[..frac];
+    let hi = &prod[frac..];
+    // sticky = OR of discarded columns.
+    let mut sticky = b.const0();
+    for &w in low {
+        sticky = b.or(sticky, w);
+    }
+    // floor adjustment applies only to negative results.
+    let adjust = b.and(sign, sticky);
+    let mut adj_word = vec![b.const0(); n];
+    adj_word[0] = adjust;
+    let t = arith::add(b, hi, &adj_word);
+    arith::cond_neg(b, &t, sign)
+}
+
+/// Approximate truncated multiplier: discards partial-product columns below
+/// `frac - guard` and adds a mid-point compensation constant. Costs roughly
+/// half of [`mul_fixed`] with absolute error below `2^-(frac - guard - 1)`
+/// of the represented value.
+pub fn mul_truncated(b: &mut Builder, x: &[Wire], y: &[Wire], frac: u32, guard: u32) -> Word {
+    let n = x.len();
+    assert_eq!(n, y.len(), "multiplier width mismatch");
+    let frac = frac as usize;
+    let guard = (guard as usize).min(frac);
+    let drop = frac - guard;
+    let (xm, xs) = arith::abs(b, x);
+    let (ym, ys) = arith::abs(b, y);
+    let sign = b.xor(xs, ys);
+
+    // Accumulate only columns >= drop: row j contributes columns j..j+n,
+    // so its low (drop - j) bits are discarded.
+    let keep = frac + n;
+    let mut acc: Word = vec![b.const0(); keep - drop];
+    for (j, &xj) in xm.iter().enumerate() {
+        if j >= keep {
+            break;
+        }
+        let lo_cut = drop.saturating_sub(j);
+        if lo_cut >= ym.len() {
+            continue;
+        }
+        let hi_cut = ym.len().min(keep - j);
+        let row = word::and_all(b, xj, &ym[lo_cut..hi_cut]);
+        let offset = j + lo_cut - drop;
+        let width = row.len();
+        let target: Word = acc[offset..offset + width].to_vec();
+        let (sum, cout) = arith::add_with_carry(b, &target, &row, b.const0());
+        acc.splice(offset..offset + width, sum);
+        // Ripple the carry into the higher bits.
+        let mut carry = cout;
+        for slot in acc.iter_mut().skip(offset + width) {
+            let new = b.xor(*slot, carry);
+            carry = b.and(*slot, carry);
+            *slot = new;
+        }
+    }
+    let hi = &acc[guard..];
+    let mut out: Word = hi.to_vec();
+    out.resize(n, b.const0());
+    arith::cond_neg(b, &out, sign)
+}
+
+#[cfg(test)]
+mod tests {
+    use deepsecure_fixed::{Fixed, Format};
+
+    use super::*;
+    use crate::word::{garbler_word, output_word};
+
+    const Q: Format = Format::Q3_12;
+
+    fn mul_circuit() -> deepsecure_circuit::Circuit {
+        let mut b = Builder::new();
+        let x = garbler_word(&mut b, 16);
+        let y = b.evaluator_inputs(16);
+        let p = mul_fixed(&mut b, &x, &y, 12);
+        output_word(&mut b, &p);
+        b.finish()
+    }
+
+    #[test]
+    fn umul_matches_integers() {
+        let mut b = Builder::new();
+        let x = garbler_word(&mut b, 8);
+        let y = b.evaluator_inputs(8);
+        let p = umul(&mut b, &x, &y, 16);
+        output_word(&mut b, &p);
+        let c = b.finish();
+        for (a, d) in [(0u64, 0u64), (1, 1), (255, 255), (17, 13), (128, 2), (99, 201)] {
+            let xb: Vec<bool> = (0..8).map(|i| (a >> i) & 1 == 1).collect();
+            let yb: Vec<bool> = (0..8).map(|i| (d >> i) & 1 == 1).collect();
+            let out = c.eval(&xb, &yb);
+            let got: u64 = out
+                .iter()
+                .enumerate()
+                .map(|(i, &bit)| u64::from(bit) << i)
+                .sum();
+            assert_eq!(got, a * d, "{a} * {d}");
+        }
+    }
+
+    #[test]
+    fn mul_fixed_matches_reference_samples() {
+        let c = mul_circuit();
+        let cases = [
+            (1.5, 2.0),
+            (-1.5, 2.0),
+            (1.5, -2.0),
+            (-1.5, -2.0),
+            (0.000244140625, 0.5),   // 1 raw * 0.5 → floor
+            (-0.000244140625, 0.5),  // -1 raw * 0.5 → floor to -1
+            (7.99, 7.99),            // overflow wraps
+            (0.0, 3.0),
+            (-8.0, 1.0),
+        ];
+        for (a, d) in cases {
+            let x = Fixed::from_f64(a, Q);
+            let y = Fixed::from_f64(d, Q);
+            let got = Fixed::from_bits(&c.eval(&x.to_bits(), &y.to_bits()), Q);
+            assert_eq!(got, x.mul(y), "{a} * {d}: got {got}, want {}", x.mul(y));
+        }
+    }
+
+    #[test]
+    fn mul_fixed_matches_reference_randomized() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let c = mul_circuit();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let a = rng.gen_range(-32768i64..32768);
+            let d = rng.gen_range(-32768i64..32768);
+            let x = Fixed::from_raw(a, Q);
+            let y = Fixed::from_raw(d, Q);
+            let got = Fixed::from_bits(&c.eval(&x.to_bits(), &y.to_bits()), Q);
+            assert_eq!(got, x.mul(y), "raw {a} * {d}");
+        }
+    }
+
+    #[test]
+    fn truncated_multiplier_is_cheaper_and_close() {
+        let mut b = Builder::new();
+        let x = garbler_word(&mut b, 16);
+        let y = b.evaluator_inputs(16);
+        let p = mul_truncated(&mut b, &x, &y, 12, 3);
+        output_word(&mut b, &p);
+        let ct = b.finish();
+        let cf = mul_circuit();
+        assert!(
+            ct.stats().non_xor < cf.stats().non_xor,
+            "truncated {} !< exact {}",
+            ct.stats().non_xor,
+            cf.stats().non_xor
+        );
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut max_err: f64 = 0.0;
+        for _ in 0..200 {
+            let a = rng.gen_range(-2.0..2.0);
+            let d = rng.gen_range(-2.0..2.0);
+            let x = Fixed::from_f64(a, Q);
+            let y = Fixed::from_f64(d, Q);
+            let got = Fixed::from_bits(&ct.eval(&x.to_bits(), &y.to_bits()), Q);
+            max_err = max_err.max((got.to_f64() - x.to_f64() * y.to_f64()).abs());
+        }
+        assert!(max_err < (2.0f64).powi(-8), "max_err {max_err}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Pooling layers (Table 1: M1P max pooling and M2P mean pooling).
+
+use deepsecure_circuit::Builder;
+
+use crate::arith;
+use crate::word::{self, Word};
+
+/// Maximum over a window of signed words — a balanced CMP/MUX tree,
+/// `k²−1` Max elements for a `k×k` window.
+///
+/// # Panics
+///
+/// Panics on an empty window.
+pub fn max_pool(b: &mut Builder, window: &[Word]) -> Word {
+    assert!(!window.is_empty(), "max_pool of empty window");
+    let mut layer: Vec<Word> = window.to_vec();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            next.push(if pair.len() == 2 {
+                arith::max_signed(b, &pair[0], &pair[1])
+            } else {
+                pair[0].clone()
+            });
+        }
+        layer = next;
+    }
+    layer.pop().expect("non-empty")
+}
+
+/// Mean over a window: widening adder tree then division by the window
+/// size (a free shift for power-of-two windows, a constant multiply
+/// otherwise).
+///
+/// # Panics
+///
+/// Panics on an empty window.
+pub fn mean_pool(b: &mut Builder, window: &[Word], frac: u32) -> Word {
+    assert!(!window.is_empty(), "mean_pool of empty window");
+    let n = window[0].len();
+    let count = window.len();
+    // Widening sum: log2(count) extra integer bits.
+    let extra = usize::BITS as usize - (count - 1).leading_zeros() as usize;
+    let wide = n + extra;
+    let mut acc = word::sign_extend(&window[0], wide);
+    for w in &window[1..] {
+        let ws = word::sign_extend(w, wide);
+        acc = arith::add(b, &acc, &ws);
+    }
+    let divided = if count.is_power_of_two() {
+        word::shr_arith(&acc, count.trailing_zeros() as usize)
+    } else {
+        // mean = sum * round(2^frac / count) >> frac
+        let c = ((1i64 << frac) as f64 / count as f64).round() as i64;
+        let prod = arith::mul_const(b, &word::sign_extend(&acc, wide + frac as usize + 1), c);
+        word::shr_arith(&prod, frac as usize)
+    };
+    word::truncate(&divided, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use deepsecure_fixed::{Fixed, Format};
+
+    use super::*;
+    use crate::word::{garbler_word, output_word};
+
+    const Q: Format = Format::Q3_12;
+
+    fn eval_pool(
+        build: impl FnOnce(&mut Builder, &[Word]) -> Word,
+        values: &[f64],
+    ) -> f64 {
+        let mut b = Builder::new();
+        let words: Vec<Word> = values.iter().map(|_| garbler_word(&mut b, 16)).collect();
+        let out = build(&mut b, &words);
+        output_word(&mut b, &out);
+        let c = b.finish();
+        let mut bits = Vec::new();
+        for v in values {
+            bits.extend(Fixed::from_f64(*v, Q).to_bits());
+        }
+        Fixed::from_bits(&c.eval(&bits, &[]), Q).to_f64()
+    }
+
+    #[test]
+    fn max_pool_2x2() {
+        let got = eval_pool(max_pool, &[0.5, -1.0, 2.25, 1.0]);
+        assert_eq!(got, 2.25);
+        let got = eval_pool(max_pool, &[-0.5, -1.0, -2.25, -1.5]);
+        assert_eq!(got, -0.5);
+    }
+
+    #[test]
+    fn max_pool_odd_window() {
+        let got = eval_pool(max_pool, &[1.0, 3.0, 2.0]);
+        assert_eq!(got, 3.0);
+    }
+
+    #[test]
+    fn mean_pool_power_of_two() {
+        let got = eval_pool(|b, w| mean_pool(b, w, 12), &[1.0, 2.0, 3.0, 4.0]);
+        assert!((got - 2.5).abs() < 1e-9, "got {got}");
+        let got = eval_pool(|b, w| mean_pool(b, w, 12), &[-1.0, -2.0, -3.0, -4.0]);
+        assert!((got + 2.5).abs() < 1e-3, "got {got}");
+    }
+
+    #[test]
+    fn mean_pool_non_power_of_two() {
+        let got = eval_pool(|b, w| mean_pool(b, w, 12), &[1.0, 2.0, 3.0]);
+        assert!((got - 2.0).abs() < 2e-3, "got {got}");
+    }
+
+    #[test]
+    fn mean_pool_no_internal_overflow() {
+        let got = eval_pool(|b, w| mean_pool(b, w, 12), &[7.5, 7.5, 7.5, 7.5]);
+        assert!((got - 7.5).abs() < 1e-3, "got {got}");
+    }
+}

@@ -1,0 +1,156 @@
+//! Multi-bit words over circuit wires, LSB first.
+
+use deepsecure_circuit::{Builder, Wire};
+
+/// A word is a little-endian vector of wires; index 0 is the LSB and the
+/// last wire is the two's-complement sign bit.
+pub type Word = Vec<Wire>;
+
+/// Declares a garbler-input word of `bits` wires.
+pub fn garbler_word(b: &mut Builder, bits: usize) -> Word {
+    b.garbler_inputs(bits)
+}
+
+/// Declares an evaluator-input word of `bits` wires.
+pub fn evaluator_word(b: &mut Builder, bits: usize) -> Word {
+    b.evaluator_inputs(bits)
+}
+
+/// Builds a constant word from the low `bits` of `value`
+/// (two's complement).
+pub fn constant(b: &Builder, value: i64, bits: usize) -> Word {
+    (0..bits)
+        .map(|i| b.constant((value >> i) & 1 == 1))
+        .collect()
+}
+
+/// Marks every wire of `w` as a circuit output (LSB first).
+pub fn output_word(b: &mut Builder, w: &[Wire]) {
+    b.outputs(w);
+}
+
+/// The sign wire (MSB).
+///
+/// # Panics
+///
+/// Panics on an empty word.
+pub fn sign(w: &[Wire]) -> Wire {
+    *w.last().expect("sign of empty word")
+}
+
+/// Sign-extends to `bits` wires by repeating the MSB (free).
+pub fn sign_extend(w: &[Wire], bits: usize) -> Word {
+    assert!(bits >= w.len(), "sign_extend cannot shrink");
+    let mut out = w.to_vec();
+    out.resize(bits, sign(w));
+    out
+}
+
+/// Zero-extends to `bits` wires (free).
+pub fn zero_extend(b: &Builder, w: &[Wire], bits: usize) -> Word {
+    assert!(bits >= w.len(), "zero_extend cannot shrink");
+    let mut out = w.to_vec();
+    out.resize(bits, b.const0());
+    out
+}
+
+/// Truncates to the low `bits` wires (free; two's-complement wrap).
+pub fn truncate(w: &[Wire], bits: usize) -> Word {
+    assert!(bits <= w.len(), "truncate cannot grow");
+    w[..bits].to_vec()
+}
+
+/// Logical shift left by `n` within the same width (free rewiring).
+pub fn shl(b: &Builder, w: &[Wire], n: usize) -> Word {
+    let mut out = vec![b.const0(); n.min(w.len())];
+    out.extend_from_slice(&w[..w.len() - n.min(w.len())]);
+    out
+}
+
+/// Arithmetic shift right by `n` within the same width (free rewiring).
+pub fn shr_arith(w: &[Wire], n: usize) -> Word {
+    let n = n.min(w.len());
+    let mut out = w[n..].to_vec();
+    out.resize(w.len(), sign(w));
+    out
+}
+
+/// Logical shift right by `n` within the same width (free rewiring).
+pub fn shr_logic(b: &Builder, w: &[Wire], n: usize) -> Word {
+    let n = n.min(w.len());
+    let mut out = w[n..].to_vec();
+    out.resize(w.len(), b.const0());
+    out
+}
+
+/// Bitwise XOR of equal-width words (free).
+pub fn xor(b: &mut Builder, x: &[Wire], y: &[Wire]) -> Word {
+    assert_eq!(x.len(), y.len(), "word width mismatch");
+    x.iter().zip(y).map(|(&a, &c)| b.xor(a, c)).collect()
+}
+
+/// Bitwise NOT (free).
+pub fn not(b: &mut Builder, x: &[Wire]) -> Word {
+    x.iter().map(|&a| b.not(a)).collect()
+}
+
+/// Bitwise AND with a single select wire: `sel ? x : 0`.
+pub fn and_all(b: &mut Builder, sel: Wire, x: &[Wire]) -> Word {
+    x.iter().map(|&a| b.and(sel, a)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use deepsecure_fixed::{Fixed, Format};
+
+    use super::*;
+
+    /// Evaluates a single-output-word circuit on fixed-point inputs.
+    pub(crate) fn eval_unary(
+        build: impl FnOnce(&mut Builder, &[Wire]) -> Word,
+        x: Fixed,
+    ) -> Fixed {
+        let fmt = x.format();
+        let mut b = Builder::new();
+        let xin = garbler_word(&mut b, fmt.total_bits() as usize);
+        let out = build(&mut b, &xin);
+        output_word(&mut b, &out);
+        let c = b.finish();
+        let bits = c.eval(&x.to_bits(), &[]);
+        Fixed::from_bits(&bits, fmt)
+    }
+
+    #[test]
+    fn shifts_match_fixed_semantics() {
+        let q = Format::Q3_12;
+        for v in [-5.25f64, -0.5, 0.0, 1.75, 3.5] {
+            let x = Fixed::from_f64(v, q);
+            let got = eval_unary(|b, w| { let s = shr_arith(w, 2); let _ = b; s }, x);
+            assert_eq!(got, x.shr(2), "shr({v})");
+            let got = eval_unary(|b, w| shl(b, w, 1), x);
+            assert_eq!(got, x.shl(1), "shl({v})");
+        }
+    }
+
+    #[test]
+    fn constant_word_roundtrip() {
+        let b = Builder::new();
+        let w = constant(&b, -3, 16);
+        assert_eq!(w.len(), 16);
+        // -3 = 0b...11111101
+        assert_eq!(w[0], b.const1());
+        assert_eq!(w[1], b.const0());
+        assert_eq!(w[2], b.const1());
+        assert_eq!(w[15], b.const1());
+    }
+
+    #[test]
+    fn extend_and_truncate() {
+        let mut b = Builder::new();
+        let x = garbler_word(&mut b, 4);
+        assert_eq!(sign_extend(&x, 8).len(), 8);
+        assert_eq!(sign_extend(&x, 8)[7], x[3]);
+        assert_eq!(zero_extend(&b, &x, 8)[7], b.const0());
+        assert_eq!(truncate(&x, 2).len(), 2);
+    }
+}

@@ -1,0 +1,53 @@
+//! Cost explorer: the Table 2 model applied to the paper's four benchmarks
+//! and to nonlinearity ablations — which activation realization should you
+//! pick for a given network?
+//!
+//! Run with: `cargo run --release --example cost_explorer`
+
+use deepsecure::core::compile::CompileOptions;
+use deepsecure::core::cost::{network_stats, CostModel};
+use deepsecure::nn::zoo;
+use deepsecure::synth::activation::Activation;
+
+fn main() {
+    let model = CostModel::default();
+    println!("Per-inference cost under the Table 2 model");
+    println!("(3.4 GHz, 62/164 clk per XOR/non-XOR, 102.8 MB/s link, 128-bit labels)");
+    println!();
+
+    println!("— The four benchmarks (CORDIC nonlinearities, as evaluated in §4.5):");
+    for (name, net) in [
+        ("benchmark 1 (CNN)", zoo::benchmark1_cnn()),
+        ("benchmark 2 (LeNet-300-100)", zoo::benchmark2_lenet300()),
+        ("benchmark 3 (audio DNN)", zoo::benchmark3_audio_dnn()),
+        ("benchmark 4 (sensing DNN)", zoo::benchmark4_sensing_dnn()),
+    ] {
+        let cost = model.cost(network_stats(&net, &CompileOptions::default()));
+        println!(
+            "  {name:<28} {:>10.2e} non-XOR  {:>9.1} MB  exec {:>8.2} s",
+            cost.stats.non_xor as f64,
+            cost.comm_bytes as f64 / 1e6,
+            cost.exec_s
+        );
+    }
+
+    println!();
+    println!("— Nonlinearity ablation on benchmark 3 (Tanh realization choices):");
+    for (label, tanh) in [
+        ("TanhLUT   (exact, huge)", Activation::TanhLut),
+        ("TanhCORDIC (exact-ish) ", Activation::TanhCordic),
+        ("Tanh2.10.12 (truncated)", Activation::TanhTrunc),
+        ("TanhPL    (7 segments) ", Activation::TanhPl),
+    ] {
+        let opts = CompileOptions { tanh, ..CompileOptions::default() };
+        let cost = model.cost(network_stats(&zoo::benchmark3_audio_dnn(), &opts));
+        println!(
+            "  {label}  {:>10.2e} non-XOR  exec {:>6.2} s",
+            cost.stats.non_xor as f64, cost.exec_s
+        );
+    }
+    println!();
+    println!("Benchmark 3 is MAC-dominated (50·617 multiplies vs 76 activations), so");
+    println!("the activation choice barely moves the total — the pre-processing of");
+    println!("§3.2 (shrinking the MAC count itself) is where the 82x lives.");
+}

@@ -1,0 +1,118 @@
+//! Cross-crate integration: the pre-processing pipelines end to end —
+//! Algorithm 1/2 projection plus pruning — and their effect on the
+//! compiled circuit.
+
+use deepsecure::core::compile::{compile, CompileOptions};
+use deepsecure::core::cost::network_stats;
+use deepsecure::core::preprocess::{
+    embedding_classifier, fit_projection, preprocess_network, ProjectionConfig,
+};
+use deepsecure::core::protocol::{run_secure_inference, InferenceConfig};
+use deepsecure::linalg::Matrix;
+use deepsecure::nn::train::{self, TrainConfig};
+use deepsecure::nn::{data, zoo, Tensor};
+use deepsecure::synth::activation::Activation;
+
+fn fast_opts() -> CompileOptions {
+    CompileOptions {
+        tanh: Activation::TanhPl,
+        sigmoid: Activation::SigmoidPlan,
+        ..CompileOptions::default()
+    }
+}
+
+#[test]
+fn projection_plus_secure_inference() {
+    // Low-rank corpus; project, re-train, and run the projected model
+    // through the full protocol.
+    let set = data::low_rank(160, 96, 4, 10, 77);
+    let (train_set, val) = set.split_validation(32);
+    let cfg = ProjectionConfig {
+        gamma: 0.3,
+        batch: 32,
+        patience: 500,
+        max_dim: Some(20),
+        retrain: TrainConfig { epochs: 4, lr: 0.1, seed: 1 },
+    };
+    let out = fit_projection(&train_set, &val, |l| embedding_classifier(l, 10, 4, 2), &cfg);
+    assert!(out.model.fold() >= 4.0, "fold {}", out.model.fold());
+    assert!(out.final_error < 0.4, "error {}", out.final_error);
+
+    // Client side: Algorithm 2 then GC.
+    let raw: Vec<f64> = val.inputs[0].data().iter().map(|&v| f64::from(v)).collect();
+    let y = Tensor::from_flat(out.model.project(&raw).iter().map(|&v| v as f32).collect());
+    let proto = InferenceConfig { options: fast_opts(), ..InferenceConfig::default() };
+    let report = run_secure_inference(&out.net, &y, &proto).expect("protocol");
+    assert_eq!(report.label, out.net.predict(&y));
+}
+
+#[test]
+fn projection_shrinks_circuit_by_the_fold() {
+    let set = data::low_rank(120, 128, 4, 8, 78);
+    let (train_set, val) = set.split_validation(24);
+    let cfg = ProjectionConfig {
+        gamma: 0.3,
+        batch: 24,
+        patience: 500,
+        max_dim: Some(16),
+        retrain: TrainConfig { epochs: 2, lr: 0.1, seed: 2 },
+    };
+    let out = fit_projection(&train_set, &val, |l| embedding_classifier(l, 12, 4, 3), &cfg);
+    let big = embedding_classifier(128, 12, 4, 3);
+    let before = network_stats(&big, &fast_opts()).non_xor;
+    let after = network_stats(&out.net, &fast_opts()).non_xor;
+    // The MAC term shrinks roughly by the input fold.
+    assert!(
+        (before as f64 / after as f64) > out.model.fold() * 0.4,
+        "before {before}, after {after}, fold {}",
+        out.model.fold()
+    );
+}
+
+#[test]
+fn public_w_is_consistent_between_algorithms() {
+    // W from the streaming Algorithm 1 == the projector of its dictionary
+    // (Prop 3.1's D(DᵀD)⁻¹Dᵀ), and projecting then reconstructing is
+    // idempotent.
+    let set = data::low_rank(80, 48, 4, 6, 79);
+    let (train_set, val) = set.split_validation(16);
+    let cfg = ProjectionConfig {
+        gamma: 0.3,
+        batch: 16,
+        patience: 500,
+        max_dim: Some(12),
+        retrain: TrainConfig { epochs: 1, lr: 0.1, seed: 3 },
+    };
+    let out = fit_projection(&train_set, &val, |l| embedding_classifier(l, 8, 4, 4), &cfg);
+    let w = out.model.w();
+    let d_proj: Matrix = out.model.dictionary().projector();
+    assert!(w.sub(&d_proj).frobenius_norm() < 1e-6);
+    // Algorithm 2 consistency: Uᵀ(UUᵀ x) == Uᵀ x.
+    let x: Vec<f64> = train_set.inputs[0].data().iter().map(|&v| f64::from(v)).collect();
+    let wx = w.matvec(&x);
+    let y1 = out.model.project(&x);
+    let y2 = out.model.project(&wx);
+    for (a, b) in y1.iter().zip(&y2) {
+        assert!((a - b).abs() < 1e-8);
+    }
+}
+
+#[test]
+fn combined_pipeline_prune_then_compile() {
+    let set = data::digits_small(64, 80);
+    let (train_set, val) = set.split_validation(16);
+    let mut net = zoo::tiny_mlp(train_set.num_classes);
+    train::train(&mut net, &train_set, &TrainConfig { epochs: 20, lr: 0.1, seed: 4 });
+    let dense = compile(&net, &fast_opts()).circuit.stats().non_xor;
+    let (fold, acc) = preprocess_network(
+        &mut net,
+        &train_set,
+        &val,
+        0.75,
+        &TrainConfig { epochs: 20, lr: 0.05, seed: 5 },
+    );
+    let sparse = compile(&net, &fast_opts()).circuit.stats().non_xor;
+    assert!(fold > 2.5, "fold {fold}");
+    assert!(acc > 0.5, "accuracy {acc}");
+    assert!(sparse * 2 < dense, "circuit must shrink: {dense} -> {sparse}");
+}
