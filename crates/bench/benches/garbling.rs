@@ -15,7 +15,11 @@ fn chain_circuit(and_heavy: bool, rounds: usize) -> deepsecure_circuit::Circuit 
     for round in 0..rounds {
         for i in 0..64 {
             let other = ys[(i + round) % 64];
-            acc[i] = if and_heavy { b.and(acc[i], other) } else { b.xor(acc[i], other) };
+            acc[i] = if and_heavy {
+                b.and(acc[i], other)
+            } else {
+                b.xor(acc[i], other)
+            };
         }
         acc.rotate_left(1);
     }

@@ -17,14 +17,22 @@ fn bench_preprocess(c: &mut Criterion) {
         batch: 32,
         patience: 400,
         max_dim: Some(24),
-        retrain: TrainConfig { epochs: 1, lr: 0.05, seed: 1 },
+        retrain: TrainConfig {
+            epochs: 1,
+            lr: 0.05,
+            seed: 1,
+        },
     };
     group.bench_function("fit_projection/128d", |bench| {
         bench.iter(|| fit_projection(&train_set, &val, |l| embedding_classifier(l, 8, 4, 2), &cfg));
     });
 
     let out = fit_projection(&train_set, &val, |l| embedding_classifier(l, 8, 4, 2), &cfg);
-    let x: Vec<f64> = train_set.inputs[0].data().iter().map(|&v| f64::from(v)).collect();
+    let x: Vec<f64> = train_set.inputs[0]
+        .data()
+        .iter()
+        .map(|&v| f64::from(v))
+        .collect();
     group.bench_function("project_sample/alg2", |bench| {
         bench.iter(|| out.model.project(&x));
     });

@@ -25,7 +25,10 @@ fn main() {
         ("truncated, guard 1", Multiplier::Truncated { guard: 1 }),
     ] {
         let stats = mult_stats_with(q, kind);
-        println!("  {name:<24} {:>5} non-XOR  {:>6} XOR", stats.non_xor, stats.xor);
+        println!(
+            "  {name:<24} {:>5} non-XOR  {:>6} XOR",
+            stats.non_xor, stats.xor
+        );
     }
     println!("  (paper Table 3 MULT: 212 non-XOR — the truncated regime)");
     println!();
@@ -37,7 +40,10 @@ fn main() {
         Activation::TanhTrunc,
         Activation::TanhPl,
     ] {
-        let opts = CompileOptions { tanh, ..CompileOptions::default() };
+        let opts = CompileOptions {
+            tanh,
+            ..CompileOptions::default()
+        };
         let cost = model.cost(network_stats(&zoo::benchmark3_audio_dnn(), &opts));
         println!(
             "  {:<14} {:>10.3e} non-XOR   exec {:>6.2} s",
@@ -50,7 +56,10 @@ fn main() {
 
     println!("Ablation 3: pruning sweep on benchmark 1 (execution vs sparsity)");
     let dense = model
-        .cost(network_stats(&zoo::benchmark1_cnn(), &CompileOptions::default()))
+        .cost(network_stats(
+            &zoo::benchmark1_cnn(),
+            &CompileOptions::default(),
+        ))
         .exec_s;
     for sparsity in [0.0, 0.5, 0.8, 0.889, 0.95, 0.99] {
         let mut net = zoo::benchmark1_cnn();
@@ -69,8 +78,14 @@ fn main() {
 
     println!("Ablation 4: GC security parameter (label bits) vs communication, benchmark 1");
     for bits in [80u32, 128, 256] {
-        let m = CostModel { label_bits: bits, ..CostModel::default() };
-        let cost = m.cost(network_stats(&zoo::benchmark1_cnn(), &CompileOptions::default()));
+        let m = CostModel {
+            label_bits: bits,
+            ..CostModel::default()
+        };
+        let cost = m.cost(network_stats(
+            &zoo::benchmark1_cnn(),
+            &CompileOptions::default(),
+        ));
         println!(
             "  k = {bits:>3}  comm {:>8.1} MB  exec {:>6.2} s",
             cost.comm_bytes as f64 / 1e6,

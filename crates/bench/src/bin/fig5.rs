@@ -8,13 +8,15 @@
 
 use std::sync::Arc;
 
-use deepsecure_core::compile::{folded_mac, Compiled, CompileOptions};
+use deepsecure_core::compile::{folded_mac, CompileOptions, Compiled};
 use deepsecure_core::protocol::{run_compiled, InferenceConfig};
 use deepsecure_fixed::{Fixed, Format};
 
 fn bar(start: f64, end: f64, total: f64, width: usize, ch: char) -> String {
     let a = ((start / total) * width as f64) as usize;
-    let b = (((end / total) * width as f64) as usize).max(a + 1).min(width);
+    let b = (((end / total) * width as f64) as usize)
+        .max(a + 1)
+        .min(width);
     let mut s = vec![' '; width];
     for slot in s.iter_mut().take(b).skip(a) {
         *slot = ch;
@@ -70,7 +72,13 @@ fn main() {
         println!(
             "cycle {i}: garble {:>6.2} ms  |{}|",
             cyc.garble.duration_s() * 1e3,
-            bar(cyc.garble.start_s - t0, cyc.garble.end_s - t0, span, width, 'G')
+            bar(
+                cyc.garble.start_s - t0,
+                cyc.garble.end_s - t0,
+                span,
+                width,
+                'G'
+            )
         );
         println!(
             "         ot+tx  {:>6.2} ms  |{}|",
@@ -84,7 +92,10 @@ fn main() {
         );
     }
     println!();
-    println!("total: {:.2} ms (G=garble client, T=OT/transfer, E=evaluate server)", total * 1e3);
+    println!(
+        "total: {:.2} ms (G=garble client, T=OT/transfer, E=evaluate server)",
+        total * 1e3
+    );
 
     // The paper's claim: total execution < sum of both parties' work
     // because garbling cycle c+1 overlaps evaluating cycle c.

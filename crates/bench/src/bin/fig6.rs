@@ -29,9 +29,7 @@ fn main() {
         "{:>8}  {:>14}  {:>14}  {:>14}",
         "N", "DS w/o pre-p", "DS w/ pre-p", "CryptoNets"
     );
-    let ns = [
-        1usize, 10, 50, 100, 288, 500, 1000, 2590, 4000, 8192, 10000,
-    ];
+    let ns = [1usize, 10, 50, 100, 288, 500, 1000, 2590, 4000, 8192, 10000];
     for &n in &ns {
         println!(
             "{:>8}  {:>12.1} s  {:>12.1} s  {:>12.1} s",
@@ -48,7 +46,10 @@ fn main() {
         "crossovers: w/o pre-p at N = {:.0} (paper: 288), w/ pre-p at N = {:.0} (paper: 2590)",
         cross_dense, cross_pruned
     );
-    println!("CryptoNets flat until its batch capacity of {} samples.", cryptonets::BATCH);
+    println!(
+        "CryptoNets flat until its batch capacity of {} samples.",
+        cryptonets::BATCH
+    );
     println!();
     println!("ASCII sketch (log-log, d = w/o pre-p, p = w/ pre-p, c = CryptoNets):");
     let rows = 16;
@@ -60,6 +61,7 @@ fn main() {
         rows - 1 - ((lg / 5.0) * (rows - 1) as f64) as usize
     };
     let mut grid = vec![vec![' '; cols]; rows];
+    #[allow(clippy::needless_range_loop)]
     for col in 0..cols {
         let n = n_of(col);
         let d = y_of(dense.exec_s * n);

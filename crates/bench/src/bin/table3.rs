@@ -39,7 +39,12 @@ fn main() {
     println!(
         "{}",
         row(
-            &["Name".into(), "#XOR".into(), "#non-XOR (paper)".into(), "Error".into()],
+            &[
+                "Name".into(),
+                "#XOR".into(),
+                "#non-XOR (paper)".into(),
+                "Error".into()
+            ],
             &widths
         )
     );
@@ -69,7 +74,11 @@ fn main() {
                 &[
                     act.name().into(),
                     sci(stats.xor as f64),
-                    format!("{} ({})", sci(stats.non_xor as f64), sci(*paper_nonxor as f64)),
+                    format!(
+                        "{} ({})",
+                        sci(stats.non_xor as f64),
+                        sci(*paper_nonxor as f64)
+                    ),
                     err_str,
                 ],
                 &widths
@@ -82,7 +91,12 @@ fn main() {
     println!(
         "{}",
         row(
-            &["ADD".into(), sci(add.xor as f64), format!("{} (16)", add.non_xor), "0".into()],
+            &[
+                "ADD".into(),
+                sci(add.xor as f64),
+                format!("{} (16)", add.non_xor),
+                "0".into()
+            ],
             &widths
         )
     );
@@ -123,7 +137,12 @@ fn main() {
     println!(
         "{}",
         row(
-            &["Max (pool)".into(), sci(maxg.xor as f64), format!("{}", maxg.non_xor), "0".into()],
+            &[
+                "Max (pool)".into(),
+                sci(maxg.xor as f64),
+                format!("{}", maxg.non_xor),
+                "0".into()
+            ],
             &widths
         )
     );

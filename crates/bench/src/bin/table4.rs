@@ -78,7 +78,9 @@ fn main() {
         );
     }
     println!();
-    println!("At the paper's operating point (truncated-array multiplier, Table 3's 212-gate regime):");
+    println!(
+        "At the paper's operating point (truncated-array multiplier, Table 3's 212-gate regime):"
+    );
     let paper_opts = deepsecure_core::compile::CompileOptions::paper();
     for (name, net, paper_nonxor, paper_exec) in [
         ("Benchmark 1", zoo::benchmark1_cnn(), 2.47e7, 9.67),

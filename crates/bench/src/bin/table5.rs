@@ -41,14 +41,26 @@ fn main() {
         let set = data::digits(120, 1);
         let (train_set, val) = set.split_validation(24);
         let mut net = zoo::benchmark1_cnn();
-        train::train(&mut net, &train_set, &TrainConfig { epochs: 2, lr: 0.05, seed: 1 });
+        train::train(
+            &mut net,
+            &train_set,
+            &TrainConfig {
+                epochs: 2,
+                lr: 0.05,
+                seed: 1,
+            },
+        );
         let dense_macs = net.total_macs() as f64;
         prune::prune_and_retrain(
             &mut net,
             &train_set,
             &val,
             1.0 - 1.0 / 9.0,
-            &TrainConfig { epochs: 2, lr: 0.02, seed: 2 },
+            &TrainConfig {
+                epochs: 2,
+                lr: 0.02,
+                seed: 2,
+            },
         );
         let fold = dense_macs / net.total_macs().max(1) as f64;
         rows.push(Row {
@@ -66,14 +78,26 @@ fn main() {
         let set = data::digits(120, 2);
         let (train_set, val) = set.split_validation(24);
         let mut net = zoo::benchmark2_lenet300();
-        train::train(&mut net, &train_set, &TrainConfig { epochs: 2, lr: 0.05, seed: 3 });
+        train::train(
+            &mut net,
+            &train_set,
+            &TrainConfig {
+                epochs: 2,
+                lr: 0.05,
+                seed: 3,
+            },
+        );
         let dense_macs = net.total_macs() as f64;
         prune::prune_and_retrain(
             &mut net,
             &train_set,
             &val,
             1.0 - 1.0 / 12.0,
-            &TrainConfig { epochs: 2, lr: 0.02, seed: 4 },
+            &TrainConfig {
+                epochs: 2,
+                lr: 0.02,
+                seed: 4,
+            },
         );
         let fold = dense_macs / net.total_macs().max(1) as f64;
         rows.push(Row {
@@ -96,7 +120,11 @@ fn main() {
             batch: 64,
             patience: 600,
             max_dim: Some(110),
-            retrain: TrainConfig { epochs: 2, lr: 0.05, seed: 5 },
+            retrain: TrainConfig {
+                epochs: 2,
+                lr: 0.05,
+                seed: 5,
+            },
         };
         let out = fit_projection(&train_set, &val, zoo::audio_dnn_with_input, &cfg);
         let fold = dense_macs / out.net.total_macs().max(1) as f64;
@@ -144,7 +172,11 @@ fn main() {
             batch: 48,
             patience: 600,
             max_dim: Some(64),
-            retrain: TrainConfig { epochs: 1, lr: 0.05, seed: 6 },
+            retrain: TrainConfig {
+                epochs: 1,
+                lr: 0.05,
+                seed: 6,
+            },
         };
         let mut out = fit_projection(&train_set, &val, make_net, &cfg);
         println!(
@@ -161,7 +193,11 @@ fn main() {
             &projected,
             &projected_val,
             0.92,
-            &TrainConfig { epochs: 1, lr: 0.02, seed: 8 },
+            &TrainConfig {
+                epochs: 1,
+                lr: 0.02,
+                seed: 8,
+            },
         );
         let fold = dense_macs / out.net.total_macs().max(1) as f64;
         println!(

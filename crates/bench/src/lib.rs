@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn ratio() {
-        let r = PaperRef { paper: 2.0, measured: 3.0 };
+        let r = PaperRef {
+            paper: 2.0,
+            measured: 3.0,
+        };
         assert!((r.ratio() - 1.5).abs() < 1e-12);
     }
 }

@@ -153,7 +153,11 @@ mod tests {
 
     #[test]
     fn primes_parse_and_are_odd() {
-        for g in [DhGroup::modp_768(), DhGroup::modp_1536(), DhGroup::modp_2048()] {
+        for g in [
+            DhGroup::modp_768(),
+            DhGroup::modp_1536(),
+            DhGroup::modp_2048(),
+        ] {
             assert!(g.prime().is_odd(), "{}", g.name());
         }
         assert_eq!(DhGroup::modp_768().prime().bit_len(), 768);

@@ -107,6 +107,9 @@ impl Mont {
         self.mont_mul(&limbs, &self.r2)
     }
 
+    // Named for symmetry with `to_mont`; it converts out of the Montgomery
+    // domain rather than constructing a `Mont`.
+    #[allow(clippy::wrong_self_convention)]
     fn from_mont(&self, x: &[u64]) -> Ubig {
         let mut one = vec![0u64; self.limbs];
         one[0] = 1;

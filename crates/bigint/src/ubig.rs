@@ -138,11 +138,11 @@ impl Ubig {
             return Ubig::ZERO;
         }
         let mut limbs = vec![0u64; self.limbs.len() - words];
-        for i in 0..limbs.len() {
-            limbs[i] = self.limbs[i + words] >> bits;
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            *limb = self.limbs[i + words] >> bits;
             if bits > 0 {
                 if let Some(&next) = self.limbs.get(i + words + 1) {
-                    limbs[i] |= next << (64 - bits);
+                    *limb |= next << (64 - bits);
                 }
             }
         }

@@ -147,12 +147,21 @@ impl Builder {
     }
 
     fn emit(&mut self, kind: GateKind, a: Wire, b: Wire) -> Wire {
-        let (ka, kb) = if kind.is_binary() && a > b { (b, a) } else { (a, b) };
+        let (ka, kb) = if kind.is_binary() && a > b {
+            (b, a)
+        } else {
+            (a, b)
+        };
         if let Some(&w) = self.cse.get(&(kind, ka, kb)) {
             return w;
         }
         let out = self.fresh();
-        self.gates.push(Gate { kind, a: ka, b: kb, out });
+        self.gates.push(Gate {
+            kind,
+            a: ka,
+            b: kb,
+            out,
+        });
         self.cse.insert((kind, ka, kb), out);
         out
     }
@@ -366,8 +375,10 @@ impl Builder {
             .iter()
             .map(|&w| assign(w, &mut map, &mut next_id))
             .collect();
-        let live_registers: Vec<&(Wire, Wire, bool)> =
-            registers.iter().filter(|(q, _, _)| live[q.index()]).collect();
+        let live_registers: Vec<&(Wire, Wire, bool)> = registers
+            .iter()
+            .filter(|(q, _, _)| live[q.index()])
+            .collect();
         let new_q: Vec<Wire> = live_registers
             .iter()
             .map(|(q, _, _)| assign(*q, &mut map, &mut next_id))
@@ -380,13 +391,22 @@ impl Builder {
             let a = map[&g.a];
             let b = map[&g.b];
             let out = assign(g.out, &mut map, &mut next_id);
-            new_gates.push(Gate { kind: g.kind, a, b, out });
+            new_gates.push(Gate {
+                kind: g.kind,
+                a,
+                b,
+                out,
+            });
         }
         let new_outputs: Vec<Wire> = outputs.iter().map(|w| map[w]).collect();
         let new_registers: Vec<Register> = live_registers
             .iter()
             .zip(new_q)
-            .map(|((_, d, init), q)| Register { d: map[d], q, init: *init })
+            .map(|((_, d, init), q)| Register {
+                d: map[d],
+                q,
+                init: *init,
+            })
             .collect();
 
         let circuit = Circuit {

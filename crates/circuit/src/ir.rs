@@ -1,12 +1,10 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A wire in a circuit, identified by a dense index.
 ///
 /// Wire 0 is the constant-false wire and wire 1 the constant-true wire in
 /// every circuit produced by [`crate::Builder`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Wire(pub u32);
 
 /// The constant-false wire.
@@ -30,7 +28,7 @@ impl fmt::Debug for Wire {
 /// The gate alphabet. Under Free-XOR, `Xor`, `Xnor`, `Not` and `Buf` are
 /// *free* (no garbled table, no communication); all others are *non-XOR*
 /// and cost two 128-bit ciphertexts with half-gates.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum GateKind {
     /// Exclusive or.
     Xor,
@@ -53,7 +51,10 @@ pub enum GateKind {
 impl GateKind {
     /// Whether the gate garbles for free under Free-XOR.
     pub fn is_free(self) -> bool {
-        matches!(self, GateKind::Xor | GateKind::Xnor | GateKind::Not | GateKind::Buf)
+        matches!(
+            self,
+            GateKind::Xor | GateKind::Xnor | GateKind::Not | GateKind::Buf
+        )
     }
 
     /// Whether the gate takes two inputs.
@@ -126,7 +127,7 @@ impl GateKind {
 }
 
 /// A gate: `out = kind(a, b)`. For unary kinds, `b == a` by convention.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Gate {
     /// The truth function.
     pub kind: GateKind,
@@ -140,7 +141,7 @@ pub struct Gate {
 
 /// A D-flip-flop register for sequential circuits: at each clock edge the
 /// value on `d` is latched and presented on `q` during the next cycle.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Register {
     /// Data input (a combinational wire).
     pub d: Wire,
@@ -152,7 +153,7 @@ pub struct Register {
 
 /// Gate-count statistics; `non_xor` is the quantity that determines GC
 /// communication under Free-XOR (paper Table 2: α = N_non-XOR × 2 × 128).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct GateStats {
     /// Free gates (XOR, XNOR, NOT, BUF).
     pub xor: u64,
@@ -202,7 +203,7 @@ impl fmt::Display for GateStats {
 /// inputs and register outputs act as sources. Use [`crate::Builder`] to
 /// construct circuits and [`crate::Simulator`] to evaluate them in
 /// plaintext.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Circuit {
     pub(crate) wire_count: u32,
     pub(crate) garbler_inputs: Vec<Wire>,
@@ -316,7 +317,11 @@ impl Circuit {
             }
             driven[g.out.index()] = true;
         }
-        for w in self.outputs.iter().chain(self.registers.iter().map(|r| &r.d)) {
+        for w in self
+            .outputs
+            .iter()
+            .chain(self.registers.iter().map(|r| &r.d))
+        {
             if w.index() >= n || !driven[w.index()] {
                 return Err(format!("sink {w:?} not driven"));
             }
@@ -389,7 +394,13 @@ mod tests {
     #[test]
     fn stats_scale_and_merge() {
         let s = GateStats { xor: 3, non_xor: 2 };
-        assert_eq!(s.scaled(10), GateStats { xor: 30, non_xor: 20 });
+        assert_eq!(
+            s.scaled(10),
+            GateStats {
+                xor: 30,
+                non_xor: 20
+            }
+        );
         assert_eq!(
             s + GateStats { xor: 1, non_xor: 1 },
             GateStats { xor: 4, non_xor: 3 }

@@ -31,7 +31,11 @@ pub struct ParseNetlistError {
 
 impl std::fmt::Display for ParseNetlistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "netlist parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "netlist parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -80,13 +84,23 @@ pub fn serialize(circuit: &Circuit) -> String {
         let _ = writeln!(out, "register {} {} {}", r.d.0, r.q.0, u8::from(r.init));
     }
     for g in circuit.gates() {
-        let _ = writeln!(out, "gate {} {} {} {}", g.kind.name(), g.a.0, g.b.0, g.out.0);
+        let _ = writeln!(
+            out,
+            "gate {} {} {} {}",
+            g.kind.name(),
+            g.a.0,
+            g.b.0,
+            g.out.0
+        );
     }
     out
 }
 
 fn err(line: usize, message: impl Into<String>) -> ParseNetlistError {
-    ParseNetlistError { line, message: message.into() }
+    ParseNetlistError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_wire(tok: &str, line: usize) -> Result<Wire, ParseNetlistError> {
@@ -152,14 +166,21 @@ pub fn parse(text: &str) -> Result<Circuit, ParseNetlistError> {
                 registers.push(Register { d, q, init });
             }
             "gate" => {
-                let kind_tok = toks.next().ok_or_else(|| err(lineno, "missing gate kind"))?;
+                let kind_tok = toks
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing gate kind"))?;
                 let kind = GateKind::from_name(kind_tok)
                     .ok_or_else(|| err(lineno, format!("unknown gate kind {kind_tok:?}")))?;
-                let a = parse_wire(toks.next().ok_or_else(|| err(lineno, "missing input a"))?, lineno)?;
+                let a = parse_wire(
+                    toks.next().ok_or_else(|| err(lineno, "missing input a"))?,
+                    lineno,
+                )?;
                 let b_tok = toks.next().ok_or_else(|| err(lineno, "missing input b"))?;
                 let b = parse_wire(b_tok, lineno)?;
-                let out =
-                    parse_wire(toks.next().ok_or_else(|| err(lineno, "missing output"))?, lineno)?;
+                let out = parse_wire(
+                    toks.next().ok_or_else(|| err(lineno, "missing output"))?,
+                    lineno,
+                )?;
                 gates.push(Gate { kind, a, b, out });
             }
             other => return Err(err(lineno, format!("unknown directive {other:?}"))),

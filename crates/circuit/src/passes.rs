@@ -105,10 +105,30 @@ mod tests {
         // Wires: 0=c0 1=c1 2=g0 3=g1 | 4 = g0 AND g1, 5 = g1 AND g0 (dup),
         // 6 = 4 XOR 5 (== 0), 7 = 6 OR g0 (== g0)
         let gates = vec![
-            Gate { kind: GateKind::And, a: Wire(2), b: Wire(3), out: Wire(4) },
-            Gate { kind: GateKind::And, a: Wire(3), b: Wire(2), out: Wire(5) },
-            Gate { kind: GateKind::Xor, a: Wire(4), b: Wire(5), out: Wire(6) },
-            Gate { kind: GateKind::Or, a: Wire(6), b: Wire(2), out: Wire(7) },
+            Gate {
+                kind: GateKind::And,
+                a: Wire(2),
+                b: Wire(3),
+                out: Wire(4),
+            },
+            Gate {
+                kind: GateKind::And,
+                a: Wire(3),
+                b: Wire(2),
+                out: Wire(5),
+            },
+            Gate {
+                kind: GateKind::Xor,
+                a: Wire(4),
+                b: Wire(5),
+                out: Wire(6),
+            },
+            Gate {
+                kind: GateKind::Or,
+                a: Wire(6),
+                b: Wire(2),
+                out: Wire(7),
+            },
         ];
         Circuit {
             wire_count: 8,

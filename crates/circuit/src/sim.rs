@@ -87,7 +87,10 @@ impl<'c> Simulator<'c> {
             *slot = wires[r.d.index()];
         }
         self.cycle += 1;
-        c.outputs().iter().map(|w: &Wire| wires[w.index()]).collect()
+        c.outputs()
+            .iter()
+            .map(|w: &Wire| wires[w.index()])
+            .collect()
     }
 
     /// Runs `cycles` steps with the same inputs each cycle and returns the
@@ -154,12 +157,7 @@ mod tests {
         }
         assert_eq!(
             seen,
-            vec![
-                (false, false),
-                (true, false),
-                (false, true),
-                (true, true),
-            ]
+            vec![(false, false), (true, false), (false, true), (true, true),]
         );
         assert_eq!(sim.cycle(), 4);
     }

@@ -203,12 +203,18 @@ pub fn compile(net: &Network, opts: &CompileOptions) -> Compiled {
     let mut b = Builder::new();
     // Client data words first.
     let input_len: usize = net.input_shape.iter().product();
-    let values: Vec<Word> = (0..input_len).map(|_| word::garbler_word(&mut b, bits)).collect();
+    let values: Vec<Word> = (0..input_len)
+        .map(|_| word::garbler_word(&mut b, bits))
+        .collect();
     let (logits, weight_order) = build_layers(&mut b, net, values, opts);
     let label = softmax_argmax(&mut b, &logits);
     word::output_word(&mut b, &label);
     let circuit = b.finish();
-    Compiled { circuit, weight_order, format: opts.format }
+    Compiled {
+        circuit,
+        weight_order,
+        format: opts.format,
+    }
 }
 
 /// Walks the layer stack building MACs, pools and nonlinearities on top of
@@ -275,6 +281,7 @@ pub(crate) fn build_layers(
                 }
                 let at = |ic: usize, y: usize, x: usize| values[(ic * h + y) * w + x].clone();
                 let mut outs = Vec::with_capacity(c.out_ch * oh * ow);
+                #[allow(clippy::needless_range_loop)]
                 for oc in 0..c.out_ch {
                     for oy in 0..oh {
                         for ox in 0..ow {
@@ -282,17 +289,11 @@ pub(crate) fn build_layers(
                             for ic in 0..c.in_ch {
                                 for dy in 0..c.k {
                                     for dx in 0..c.k {
-                                        let idx =
-                                            ((oc * c.in_ch + ic) * c.k + dy) * c.k + dx;
+                                        let idx = ((oc * c.in_ch + ic) * c.k + dy) * c.k + dx;
                                         let Some(wv) = &k_words[idx] else { continue };
-                                        let iy = (oy * c.stride + dy) as isize
-                                            - c.pad as isize;
-                                        let ix = (ox * c.stride + dx) as isize
-                                            - c.pad as isize;
-                                        if iy < 0
-                                            || ix < 0
-                                            || iy >= h as isize
-                                            || ix >= w as isize
+                                        let iy = (oy * c.stride + dy) as isize - c.pad as isize;
+                                        let ix = (ox * c.stride + dx) as isize - c.pad as isize;
+                                        if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize
                                         {
                                             continue; // zero padding: MAC folds away
                                         }
@@ -391,7 +392,15 @@ mod tests {
     fn compiled_mlp_matches_float_predictions() {
         let set = data::digits_small(40, 21);
         let mut net = zoo::tiny_mlp(set.num_classes);
-        train::train(&mut net, &set, &train::TrainConfig { epochs: 25, lr: 0.1, seed: 1 });
+        train::train(
+            &mut net,
+            &set,
+            &train::TrainConfig {
+                epochs: 25,
+                lr: 0.1,
+                seed: 1,
+            },
+        );
         let compiled = compile(&net, &small_options());
         let mut agree = 0;
         for x in set.inputs.iter().take(12) {
@@ -406,7 +415,15 @@ mod tests {
     fn compiled_cnn_runs() {
         let set = data::digits_small(24, 22);
         let mut net = zoo::tiny_cnn(set.num_classes);
-        train::train(&mut net, &set, &train::TrainConfig { epochs: 15, lr: 0.05, seed: 2 });
+        train::train(
+            &mut net,
+            &set,
+            &train::TrainConfig {
+                epochs: 15,
+                lr: 0.05,
+                seed: 2,
+            },
+        );
         let compiled = compile(&net, &small_options());
         let label = plain_label(&compiled, &net, &set.inputs[0]);
         assert!(label < set.num_classes);
@@ -440,7 +457,9 @@ mod tests {
             compiled.circuit.evaluator_inputs().len()
         );
         assert_eq!(
-            compiled.input_bits(&deepsecure_nn::Tensor::zeros(&[1, 8, 8])).len(),
+            compiled
+                .input_bits(&deepsecure_nn::Tensor::zeros(&[1, 8, 8]))
+                .len(),
             compiled.circuit.garbler_inputs().len()
         );
     }
@@ -477,7 +496,15 @@ mod multiplier_tests {
     fn truncated_multiplier_keeps_predictions() {
         let set = data::digits_small(40, 61);
         let mut net = zoo::tiny_mlp(set.num_classes);
-        train::train(&mut net, &set, &train::TrainConfig { epochs: 25, lr: 0.1, seed: 6 });
+        train::train(
+            &mut net,
+            &set,
+            &train::TrainConfig {
+                epochs: 25,
+                lr: 0.1,
+                seed: 6,
+            },
+        );
         // Compare against the exact fixed-point circuit so only the
         // multiplier's truncation error is in play (float-vs-fixed
         // quantization is covered elsewhere). Guard trades gates for
@@ -490,12 +517,18 @@ mod multiplier_tests {
         let exact = compile(&net, &base);
         let truncated = compile(
             &net,
-            &CompileOptions { multiplier: Multiplier::Truncated { guard: 6 }, ..base },
+            &CompileOptions {
+                multiplier: Multiplier::Truncated { guard: 6 },
+                ..base
+            },
         );
         let mut agree = 0;
         for x in set.inputs.iter().take(10) {
             agree += usize::from(plain_label(&truncated, &net, x) == plain_label(&exact, &net, x));
         }
-        assert!(agree >= 9, "approximate multiplier agreed on {agree}/10 vs exact");
+        assert!(
+            agree >= 9,
+            "approximate multiplier agreed on {agree}/10 vs exact"
+        );
     }
 }

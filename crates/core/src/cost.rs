@@ -36,7 +36,10 @@ impl Default for GateTimings {
     fn default() -> GateTimings {
         // §4.3: "garbling/evaluating each non-XOR and XOR gate requires
         // 164 and 62 CPU clock cycles on average".
-        GateTimings { xor_clks: 62.0, non_xor_clks: 164.0 }
+        GateTimings {
+            xor_clks: 62.0,
+            non_xor_clks: 164.0,
+        }
     }
 }
 
@@ -155,7 +158,10 @@ pub fn calibrate<R: Rng + ?Sized>(cpu_hz: f64, rng: &mut R) -> GateTimings {
         let cn = (x1 * t_a * cpu_hz - x2 * t_x * cpu_hz) / det;
         (cx.max(1.0), cn.max(1.0))
     };
-    GateTimings { xor_clks: cx, non_xor_clks: cn }
+    GateTimings {
+        xor_clks: cx,
+        non_xor_clks: cn,
+    }
 }
 
 /// Per-component gate statistics (Table 3 infrastructure): synthesizes one
@@ -289,7 +295,10 @@ mod tests {
     #[test]
     fn cost_formulas() {
         let model = CostModel::default();
-        let stats = GateStats { xor: 1_000_000, non_xor: 500_000 };
+        let stats = GateStats {
+            xor: 1_000_000,
+            non_xor: 500_000,
+        };
         let cost = model.cost(stats);
         assert_eq!(cost.comm_bytes, 500_000 * 32);
         let expect_comp = (1_000_000.0 * 62.0 + 500_000.0 * 164.0) / 3.4e9;

@@ -21,7 +21,7 @@ use deepsecure_synth::{word, Word};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::compile::{build_layers, Compiled, CompileOptions};
+use crate::compile::{build_layers, CompileOptions, Compiled};
 use crate::protocol::{run_compiled, InferenceConfig, InferenceReport, ProtocolError};
 
 /// Compiles a network for the outsourced setting: the garbler (proxy)
@@ -31,10 +31,12 @@ pub fn compile_outsourced(net: &Network, opts: &CompileOptions) -> Compiled {
     let bits = opts.format.total_bits() as usize;
     let input_len: usize = net.input_shape.iter().product();
     let mut b = Builder::new();
-    let pad_words: Vec<Word> =
-        (0..input_len).map(|_| word::garbler_word(&mut b, bits)).collect();
-    let masked_words: Vec<Word> =
-        (0..input_len).map(|_| word::evaluator_word(&mut b, bits)).collect();
+    let pad_words: Vec<Word> = (0..input_len)
+        .map(|_| word::garbler_word(&mut b, bits))
+        .collect();
+    let masked_words: Vec<Word> = (0..input_len)
+        .map(|_| word::evaluator_word(&mut b, bits))
+        .collect();
     // x = (x ⊕ s) ⊕ s — one free XOR layer (§3.3).
     let values: Vec<Word> = pad_words
         .iter()
@@ -44,7 +46,11 @@ pub fn compile_outsourced(net: &Network, opts: &CompileOptions) -> Compiled {
     let (logits, weight_order) = build_layers(&mut b, net, values, opts);
     let label = softmax_argmax(&mut b, &logits);
     word::output_word(&mut b, &label);
-    Compiled { circuit: b.finish(), weight_order, format: opts.format }
+    Compiled {
+        circuit: b.finish(),
+        weight_order,
+        format: opts.format,
+    }
 }
 
 /// The client-side share generation: quantizes the sample, samples a
@@ -96,7 +102,11 @@ pub fn run_outsourced_inference(
     evaluator_bits.extend(compiled.weight_bits(net));
     // Proxy (garbler) runs with the pad as its input.
     let inner = run_compiled(Arc::clone(&compiled), vec![pad], vec![evaluator_bits], cfg)?;
-    Ok(OutsourcedReport { label: inner.label, client_bytes, inner })
+    Ok(OutsourcedReport {
+        label: inner.label,
+        client_bytes,
+        inner,
+    })
 }
 
 #[cfg(test)]
@@ -123,7 +133,15 @@ mod tests {
     fn outsourced_inference_matches_direct() {
         let set = data::digits_small(32, 41);
         let mut net = zoo::tiny_mlp(set.num_classes);
-        train::train(&mut net, &set, &train::TrainConfig { epochs: 20, lr: 0.1, seed: 6 });
+        train::train(
+            &mut net,
+            &set,
+            &train::TrainConfig {
+                epochs: 20,
+                lr: 0.1,
+                seed: 6,
+            },
+        );
         let cfg = fast_cfg();
         let direct = compile(&net, &cfg.options);
         for x in set.inputs.iter().take(2) {

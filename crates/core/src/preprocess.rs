@@ -50,7 +50,11 @@ impl Default for ProjectionConfig {
             batch: 32,
             patience: 64,
             max_dim: None,
-            retrain: TrainConfig { epochs: 2, lr: 0.05, seed: 7 },
+            retrain: TrainConfig {
+                epochs: 2,
+                lr: 0.05,
+                seed: 7,
+            },
         }
     }
 }
@@ -205,7 +209,10 @@ pub fn fit_projection(
             let batch = embedded_dataset(&embeddings, train_set, l);
             train::train(model, &batch, &cfg.retrain);
             let u = Matrix::from_columns(&q_cols);
-            let projection = ProjectionModel { u, dict: Matrix::from_columns(&dict_cols) };
+            let projection = ProjectionModel {
+                u,
+                dict: Matrix::from_columns(&dict_cols),
+            };
             delta = train::error_rate(model, &projection.project_dataset(val));
         }
     }
@@ -228,7 +235,11 @@ pub fn fit_projection(
     let projected = model.project_dataset(train_set);
     train::train(&mut final_net, &projected, &cfg.retrain);
     let final_error = train::error_rate(&final_net, &model.project_dataset(val));
-    ProjectionOutcome { model, net: final_net, final_error }
+    ProjectionOutcome {
+        model,
+        net: final_net,
+        final_error,
+    }
 }
 
 /// Grows the first dense layer to accept `l` inputs, preserving learned
@@ -273,7 +284,12 @@ fn embedded_dataset(embeddings: &[Vec<f64>], source: &Dataset, l: usize) -> Data
         })
         .collect();
     let labels = source.labels[..inputs.len()].to_vec();
-    Dataset { inputs, labels, input_shape: vec![l], num_classes: source.num_classes }
+    Dataset {
+        inputs,
+        labels,
+        input_shape: vec![l],
+        num_classes: source.num_classes,
+    }
 }
 
 /// Builds a fresh dense classifier for embedded data: `l → hidden → classes`
@@ -320,7 +336,11 @@ mod tests {
             batch: 16,
             patience: 500,
             max_dim: Some(24),
-            retrain: TrainConfig { epochs: 3, lr: 0.1, seed: 1 },
+            retrain: TrainConfig {
+                epochs: 3,
+                lr: 0.1,
+                seed: 1,
+            },
         }
     }
 
@@ -403,13 +423,25 @@ mod tests {
         let set = data::digits_small(48, 19);
         let (train_set, val) = set.split_validation(16);
         let mut net = deepsecure_nn::zoo::tiny_mlp(train_set.num_classes);
-        train::train(&mut net, &train_set, &TrainConfig { epochs: 15, lr: 0.1, seed: 3 });
+        train::train(
+            &mut net,
+            &train_set,
+            &TrainConfig {
+                epochs: 15,
+                lr: 0.1,
+                seed: 3,
+            },
+        );
         let (fold, acc) = preprocess_network(
             &mut net,
             &train_set,
             &val,
             0.75,
-            &TrainConfig { epochs: 15, lr: 0.05, seed: 4 },
+            &TrainConfig {
+                epochs: 15,
+                lr: 0.05,
+                seed: 4,
+            },
         );
         assert!(fold >= 3.0, "fold {fold}");
         assert!(acc > 0.5, "accuracy {acc}");

@@ -24,7 +24,7 @@ use deepsecure_ot::{ChannelError, OtError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::compile::{compile, Compiled, CompileOptions};
+use crate::compile::{compile, CompileOptions, Compiled};
 
 /// Errors surfaced by protocol executions.
 #[derive(Debug)]
@@ -176,7 +176,10 @@ pub fn run_compiled(
     evaluator_bits_per_cycle: Vec<Vec<bool>>,
     cfg: &InferenceConfig,
 ) -> Result<InferenceReport, ProtocolError> {
-    assert!(!garbler_bits_per_cycle.is_empty(), "need at least one cycle");
+    assert!(
+        !garbler_bits_per_cycle.is_empty(),
+        "need at least one cycle"
+    );
     assert_eq!(
         garbler_bits_per_cycle.len(),
         evaluator_bits_per_cycle.len(),
@@ -210,9 +213,15 @@ pub fn run_compiled(
             let colors = evaluator.eval_cycle(&tables, &g_labels, &e_labels, &no_decode);
             let t1 = epoch.elapsed().as_secs_f64();
             chan_server.send_bits(&colors)?;
-            evals.push(PhaseSpan { start_s: t0, end_s: t1 });
+            evals.push(PhaseSpan {
+                start_s: t0,
+                end_s: t1,
+            });
         }
-        Ok(ServerOutcome { sent: chan_server.bytes_sent(), evals })
+        Ok(ServerOutcome {
+            sent: chan_server.bytes_sent(),
+            evals,
+        })
     });
 
     // ---- Client (Alice): garbler. ----
@@ -220,7 +229,10 @@ pub fn run_compiled(
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xa11ce);
     let ot_setup_start = epoch.elapsed().as_secs_f64();
     let mut ot = ExtSender::setup(&mut chan_client, &cfg.group, &mut rng)?;
-    let ot_setup = PhaseSpan { start_s: ot_setup_start, end_s: epoch.elapsed().as_secs_f64() };
+    let ot_setup = PhaseSpan {
+        start_s: ot_setup_start,
+        end_s: epoch.elapsed().as_secs_f64(),
+    };
     let mut garbler = Garbler::new(c, &mut rng);
     // Must be read before the first garble_cycle: garbling latches the
     // register labels forward to the next cycle.
@@ -252,8 +264,14 @@ pub fn run_compiled(
             .collect();
         cycle_labels.push(compiled.decode_label(&label_bits));
         client_cycles.push((
-            PhaseSpan { start_s: t0, end_s: t1 },
-            PhaseSpan { start_s: t1, end_s: t2 },
+            PhaseSpan {
+                start_s: t0,
+                end_s: t1,
+            },
+            PhaseSpan {
+                start_s: t1,
+                end_s: t2,
+            },
         ));
     }
     let label = *cycle_labels.last().expect("at least one cycle");
@@ -338,7 +356,15 @@ mod tests {
     fn secure_inference_matches_plain_circuit() {
         let set = data::digits_small(32, 31);
         let mut net = zoo::tiny_mlp(set.num_classes);
-        train::train(&mut net, &set, &train::TrainConfig { epochs: 20, lr: 0.1, seed: 5 });
+        train::train(
+            &mut net,
+            &set,
+            &train::TrainConfig {
+                epochs: 20,
+                lr: 0.1,
+                seed: 5,
+            },
+        );
         let cfg = fast_cfg();
         let compiled = compile(&net, &cfg.options);
         for x in set.inputs.iter().take(3) {
@@ -385,8 +411,10 @@ mod tests {
                 b
             })
             .collect();
-        let e_bits: Vec<Vec<bool>> =
-            ws.iter().map(|&w| Fixed::from_f64(w, Format::Q3_12).to_bits()).collect();
+        let e_bits: Vec<Vec<bool>> = ws
+            .iter()
+            .map(|&w| Fixed::from_f64(w, Format::Q3_12).to_bits())
+            .collect();
         let cfg = fast_cfg();
         let report = run_compiled(compiled, g_bits, e_bits, &cfg).unwrap();
         let got = Format::Q3_12.wrap(report.label as i64) as f64 * Format::Q3_12.epsilon();

@@ -63,7 +63,10 @@ mod tests {
         assert!(same_subspace(&d, &d_mixed, 1e-8));
         // Therefore infinitely many dictionaries share one W: W cannot
         // determine D.
-        assert!(d.sub(&d_mixed).frobenius_norm() > 1.0, "dictionaries differ");
+        assert!(
+            d.sub(&d_mixed).frobenius_norm() > 1.0,
+            "dictionaries differ"
+        );
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub struct Prg {
 
 impl std::fmt::Debug for Prg {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Prg").field("counter", &self.counter).finish_non_exhaustive()
+        f.debug_struct("Prg")
+            .field("counter", &self.counter)
+            .finish_non_exhaustive()
     }
 }
 

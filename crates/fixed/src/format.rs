@@ -23,10 +23,16 @@ pub struct Format {
 impl Format {
     /// The paper's evaluation format: 1 sign + 3 integer + 12 fractional
     /// bits (§4.2).
-    pub const Q3_12: Format = Format { int_bits: 3, frac_bits: 12 };
+    pub const Q3_12: Format = Format {
+        int_bits: 3,
+        frac_bits: 12,
+    };
 
     /// A wider format used internally by range-reduction stages.
-    pub const Q7_12: Format = Format { int_bits: 7, frac_bits: 12 };
+    pub const Q7_12: Format = Format {
+        int_bits: 7,
+        frac_bits: 12,
+    };
 
     /// Creates a format.
     ///
@@ -35,7 +41,10 @@ impl Format {
     /// Panics if the total width exceeds 63 bits (values are carried in
     /// `i64`).
     pub fn new(int_bits: u32, frac_bits: u32) -> Format {
-        let f = Format { int_bits, frac_bits };
+        let f = Format {
+            int_bits,
+            frac_bits,
+        };
         assert!(f.total_bits() <= 63, "format too wide for i64 backing");
         f
     }

@@ -27,6 +27,10 @@ pub struct Fixed {
     format: Format,
 }
 
+// The arithmetic methods deliberately shadow the `std::ops` trait names:
+// they carry hardware (wrapping / truncating) semantics and formats must
+// match, so silent operator use is not wanted.
+#[allow(clippy::should_implement_trait)]
 impl Fixed {
     /// Zero in the given format.
     pub fn zero(format: Format) -> Fixed {
@@ -35,12 +39,18 @@ impl Fixed {
 
     /// One in the given format.
     pub fn one(format: Format) -> Fixed {
-        Fixed { raw: 1i64 << format.frac_bits, format }
+        Fixed {
+            raw: 1i64 << format.frac_bits,
+            format,
+        }
     }
 
     /// Builds from a raw two's-complement integer (wrapped into range).
     pub fn from_raw(raw: i64, format: Format) -> Fixed {
-        Fixed { raw: format.wrap(raw), format }
+        Fixed {
+            raw: format.wrap(raw),
+            format,
+        }
     }
 
     /// Quantizes an `f64`, rounding to nearest and saturating at the
@@ -51,7 +61,10 @@ impl Fixed {
             -(1i64 << (format.total_bits() - 1)) as f64,
             ((1i64 << (format.total_bits() - 1)) - 1) as f64,
         );
-        Fixed { raw: clamped as i64, format }
+        Fixed {
+            raw: clamped as i64,
+            format,
+        }
     }
 
     /// The exact real value represented.
@@ -117,7 +130,11 @@ impl Fixed {
         let num = (self.raw.unsigned_abs() as u128) << self.format.frac_bits;
         let den = rhs.raw.unsigned_abs() as u128;
         let mag = (num / den) as i64;
-        let signed = if (self.raw < 0) != (rhs.raw < 0) { -mag } else { mag };
+        let signed = if (self.raw < 0) != (rhs.raw < 0) {
+            -mag
+        } else {
+            mag
+        };
         Fixed::from_raw(signed, self.format)
     }
 
@@ -145,7 +162,11 @@ impl Fixed {
     ///
     /// Panics if `bits.len()` does not match the format width.
     pub fn from_bits(bits: &[bool], format: Format) -> Fixed {
-        assert_eq!(bits.len(), format.total_bits() as usize, "bit width mismatch");
+        assert_eq!(
+            bits.len(),
+            format.total_bits() as usize,
+            "bit width mismatch"
+        );
         let mut raw = 0u64;
         for (i, b) in bits.iter().enumerate() {
             raw |= u64::from(*b) << i;
@@ -183,7 +204,7 @@ mod tests {
 
     #[test]
     fn f64_roundtrip_within_epsilon() {
-        for v in [-7.9, -1.0, -0.000244, 0.0, 0.5, 3.14159, 7.99] {
+        for v in [-7.9, -1.0, -0.000244, 0.0, 0.5, std::f64::consts::PI, 7.99] {
             let x = Fixed::from_f64(v, Q);
             assert!((x.to_f64() - v).abs() <= Q.epsilon() / 2.0 + 1e-12, "{v}");
         }
@@ -216,7 +237,7 @@ mod tests {
         let b = Fixed::from_f64(3.0, Q);
         let q = a.div(b);
         // -1/3 = -0.3333...; sign-magnitude truncation gives -0.333251953125
-        assert_eq!(q.raw(), -(((1i64 << 12) * 4096 / (3 * 4096))));
+        assert_eq!(q.raw(), -((1i64 << 12) * 4096 / (3 * 4096)));
     }
 
     #[test]

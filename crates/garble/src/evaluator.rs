@@ -21,7 +21,9 @@ pub struct Evaluator<'c> {
 
 impl std::fmt::Debug for Evaluator<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Evaluator").field("tweak", &self.tweak).finish_non_exhaustive()
+        f.debug_struct("Evaluator")
+            .field("tweak", &self.tweak)
+            .finish_non_exhaustive()
     }
 }
 
@@ -77,7 +79,11 @@ impl<'c> Evaluator<'c> {
         output_decode: &[bool],
     ) -> Vec<bool> {
         let c = self.circuit;
-        assert_eq!(garbler_labels.len(), c.garbler_inputs().len(), "garbler label arity");
+        assert_eq!(
+            garbler_labels.len(),
+            c.garbler_inputs().len(),
+            "garbler label arity"
+        );
         assert_eq!(
             evaluator_labels.len(),
             c.evaluator_inputs().len(),

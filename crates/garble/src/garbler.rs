@@ -26,7 +26,11 @@ impl GarbledCycle {
     ///
     /// Panics on arity mismatch.
     pub fn garbler_active(&self, bits: &[bool]) -> Vec<Block> {
-        assert_eq!(bits.len(), self.garbler_input_labels.len(), "garbler input arity");
+        assert_eq!(
+            bits.len(),
+            self.garbler_input_labels.len(),
+            "garbler input arity"
+        );
         bits.iter()
             .zip(&self.garbler_input_labels)
             .map(|(&b, (l0, l1))| if b { *l1 } else { *l0 })
@@ -40,7 +44,11 @@ impl GarbledCycle {
     ///
     /// Panics on arity mismatch.
     pub fn evaluator_active(&self, bits: &[bool]) -> Vec<Block> {
-        assert_eq!(bits.len(), self.evaluator_input_labels.len(), "evaluator input arity");
+        assert_eq!(
+            bits.len(),
+            self.evaluator_input_labels.len(),
+            "evaluator input arity"
+        );
         bits.iter()
             .zip(&self.evaluator_input_labels)
             .map(|(&b, (l0, l1))| if b { *l1 } else { *l0 })
@@ -66,7 +74,9 @@ pub struct Garbler<'c> {
 
 impl std::fmt::Debug for Garbler<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Garbler").field("tweak", &self.tweak).finish_non_exhaustive()
+        f.debug_struct("Garbler")
+            .field("tweak", &self.tweak)
+            .finish_non_exhaustive()
     }
 }
 
@@ -159,7 +169,11 @@ impl<'c> Garbler<'c> {
             *slot = labels[r.d.index()];
         }
 
-        let output_decode = c.outputs().iter().map(|w| labels[w.index()].color()).collect();
+        let output_decode = c
+            .outputs()
+            .iter()
+            .map(|w| labels[w.index()].color())
+            .collect();
         GarbledCycle {
             tables,
             garbler_input_labels: garbler_inputs,
@@ -235,7 +249,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut g = Garbler::new(&c, &mut rng);
         let cyc = g.garble_cycle(&mut rng);
-        for (l0, l1) in cyc.garbler_input_labels.iter().chain(&cyc.evaluator_input_labels) {
+        for (l0, l1) in cyc
+            .garbler_input_labels
+            .iter()
+            .chain(&cyc.evaluator_input_labels)
+        {
             assert!(g.labels_differ_by_delta(*l0, *l1));
             assert_ne!(l0.color(), l1.color(), "point-permute colors differ");
         }

@@ -186,7 +186,11 @@ mod tests {
         // Check every intermediate cycle too.
         let mut sim = Simulator::new(&c);
         for cyc in 0..5 {
-            assert_eq!(run.per_cycle_outputs[cyc], sim.step(&[], &[true]), "cycle {cyc}");
+            assert_eq!(
+                run.per_cycle_outputs[cyc],
+                sim.step(&[], &[true]),
+                "cycle {cyc}"
+            );
         }
     }
 

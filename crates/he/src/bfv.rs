@@ -83,11 +83,16 @@ impl Bfv {
     }
 
     fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u64> {
-        (0..self.params.n).map(|_| rng.gen_range(0..self.params.q)).collect()
+        (0..self.params.n)
+            .map(|_| rng.gen_range(0..self.params.q))
+            .collect()
     }
 
     fn add_poly(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
-        a.iter().zip(b).map(|(&x, &y)| (x + y) % self.params.q).collect()
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| (x + y) % self.params.q)
+            .collect()
     }
 
     fn sub_poly(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
@@ -101,7 +106,9 @@ impl Bfv {
 
     /// Generates a secret key.
     pub fn keygen<R: Rng + ?Sized>(&self, rng: &mut R) -> SecretKey {
-        SecretKey { s: self.sample_ternary(rng) }
+        SecretKey {
+            s: self.sample_ternary(rng),
+        }
     }
 
     /// Generates relinearization keys for `sk`.
@@ -162,7 +169,13 @@ impl Bfv {
         let t = self.params.t;
         self.decode(pt)
             .into_iter()
-            .map(|v| if v > t / 2 { v as i64 - t as i64 } else { v as i64 })
+            .map(|v| {
+                if v > t / 2 {
+                    v as i64 - t as i64
+                } else {
+                    v as i64
+                }
+            })
             .collect()
     }
 
@@ -191,8 +204,7 @@ impl Bfv {
             .into_iter()
             .map(|c| {
                 // round(t·c/q) mod t
-                let scaled = (u128::from(c) * u128::from(t) + u128::from(q) / 2)
-                    / u128::from(q);
+                let scaled = (u128::from(c) * u128::from(t) + u128::from(q) / 2) / u128::from(q);
                 (scaled % u128::from(t)) as u64
             })
             .collect();
@@ -201,7 +213,10 @@ impl Bfv {
 
     /// Homomorphic addition.
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        Ciphertext { c0: self.add_poly(&a.c0, &b.c0), c1: self.add_poly(&a.c1, &b.c1) }
+        Ciphertext {
+            c0: self.add_poly(&a.c0, &b.c0),
+            c1: self.add_poly(&a.c1, &b.c1),
+        }
     }
 
     /// Adds a plaintext into a ciphertext.
@@ -211,7 +226,10 @@ impl Bfv {
         for (c, &m) in c0.iter_mut().zip(&pt.0) {
             *c = (*c + mul_mod(delta, m, self.params.q)) % self.params.q;
         }
-        Ciphertext { c0, c1: a.c1.clone() }
+        Ciphertext {
+            c0,
+            c1: a.c1.clone(),
+        }
     }
 
     /// Multiplies a ciphertext by a small signed scalar (applied to every
@@ -220,7 +238,10 @@ impl Bfv {
         let q = self.params.q;
         let scalar = w.rem_euclid(q as i64) as u64;
         let scale = |p: &[u64]| p.iter().map(|&c| mul_mod(c, scalar, q)).collect();
-        Ciphertext { c0: scale(&a.c0), c1: scale(&a.c1) }
+        Ciphertext {
+            c0: scale(&a.c0),
+            c1: scale(&a.c1),
+        }
     }
 
     /// Ciphertext-ciphertext multiplication with relinearization.
@@ -285,19 +306,17 @@ impl Bfv {
         poly.iter()
             .map(|&x| {
                 let num = x * t;
-                let rounded = if num >= 0 { (num + q / 2) / q } else { (num - q / 2) / q };
+                let rounded = if num >= 0 {
+                    (num + q / 2) / q
+                } else {
+                    (num - q / 2) / q
+                };
                 rounded.rem_euclid(q) as u64
             })
             .collect()
     }
 
-    fn relinearize(
-        &self,
-        d0: Vec<u64>,
-        d1: Vec<u64>,
-        d2: Vec<u64>,
-        evk: &EvalKey,
-    ) -> Ciphertext {
+    fn relinearize(&self, d0: Vec<u64>, d1: Vec<u64>, d2: Vec<u64>, evk: &EvalKey) -> Ciphertext {
         let w = self.params.relin_base_log;
         let mask = (1u64 << w) - 1;
         let mut c0 = d0;
@@ -336,7 +355,9 @@ impl Bfv {
         if max_noise == 0 {
             return 64.0;
         }
-        (q as f64 / (2.0 * t as f64 * max_noise as f64)).log2().max(0.0)
+        (q as f64 / (2.0 * t as f64 * max_noise as f64))
+            .log2()
+            .max(0.0)
     }
 }
 

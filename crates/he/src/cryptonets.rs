@@ -226,12 +226,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let sk = bfv.keygen(&mut rng);
         let one = encrypt_batch(&bfv, &sk, &[vec![1, 2, 3, 4]], &mut rng);
-        let many = encrypt_batch(
-            &bfv,
-            &sk,
-            &vec![vec![1, 2, 3, 4]; 200],
-            &mut rng,
-        );
+        let many = encrypt_batch(&bfv, &sk, &vec![vec![1, 2, 3, 4]; 200], &mut rng);
         assert_eq!(one.len(), many.len(), "ciphertexts per batch are fixed");
     }
 }

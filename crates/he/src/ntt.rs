@@ -258,9 +258,9 @@ mod tests {
         let b: Vec<u64> = (0..n as u64).map(|i| 2 * i + 3).collect();
         // Schoolbook negacyclic product.
         let mut want = vec![0u64; n];
-        for i in 0..n {
-            for j in 0..n {
-                let prod = mul_mod(a[i], b[j], p);
+        for (i, &ai) in a.iter().enumerate() {
+            for (j, &bj) in b.iter().enumerate() {
+                let prod = mul_mod(ai, bj, p);
                 let k = i + j;
                 if k < n {
                     want[k] = (want[k] + prod) % p;

@@ -74,11 +74,10 @@ pub fn qr_thin(a: &Matrix) -> (Matrix, Matrix) {
             }
         }
         let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
-        if norm > tol
-            && q_cols.len() < n.min(m) {
-                r[(q_cols.len(), j)] = norm;
-                q_cols.push(v.iter().map(|x| x / norm).collect());
-            }
+        if norm > tol && q_cols.len() < n.min(m) {
+            r[(q_cols.len(), j)] = norm;
+            q_cols.push(v.iter().map(|x| x / norm).collect());
+        }
     }
     if q_cols.is_empty() {
         return (Matrix::zeros(m, 0), r);
@@ -219,7 +218,10 @@ mod tests {
         let a = random_matrix(6, 4, 11);
         let (q, r) = qr_thin(&a);
         let qtq = q.transpose().matmul(&q);
-        assert!(qtq.sub(&Matrix::identity(q.cols())).frobenius_norm() < 1e-9, "QᵀQ = I");
+        assert!(
+            qtq.sub(&Matrix::identity(q.cols())).frobenius_norm() < 1e-9,
+            "QᵀQ = I"
+        );
         let qr = q.matmul(&r);
         assert!(a.sub(&qr).frobenius_norm() < 1e-9, "A = QR");
     }

@@ -23,7 +23,11 @@ pub struct Matrix {
 impl Matrix {
     /// A `rows × cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The `n × n` identity.
@@ -48,7 +52,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds from column vectors.
@@ -142,15 +150,33 @@ impl Matrix {
     /// Element-wise sum.
     pub fn add(&self, other: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Element-wise difference.
     pub fn sub(&self, other: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scalar multiple.
@@ -247,7 +273,7 @@ mod tests {
     fn matvec_matches_matmul() {
         let m = Matrix::from_fn(4, 3, |i, j| (i + j) as f64);
         let x = vec![1.0, -2.0, 0.5];
-        let via_mat = m.matmul(&Matrix::from_columns(&[x.clone()]));
+        let via_mat = m.matmul(&Matrix::from_columns(std::slice::from_ref(&x)));
         let direct = m.matvec(&x);
         for i in 0..4 {
             assert!((via_mat[(i, 0)] - direct[i]).abs() < 1e-12);

@@ -11,12 +11,11 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use crate::Tensor;
 
 /// A labelled dataset of identically shaped samples.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Dataset {
     /// Samples.
     pub inputs: Vec<Tensor>,
@@ -83,9 +82,9 @@ fn blob_images(n: usize, side: usize, classes: usize, seed: u64) -> Dataset {
     for _ in 0..classes {
         let mut t = vec![0.0f32; side * side];
         for _ in 0..4 {
-            let cy = rng.gen_range(0.15..0.85) * side as f32;
-            let cx = rng.gen_range(0.15..0.85) * side as f32;
-            let s = rng.gen_range(0.08..0.2) * side as f32;
+            let cy = rng.gen_range(0.15f32..0.85) * side as f32;
+            let cx = rng.gen_range(0.15f32..0.85) * side as f32;
+            let s = rng.gen_range(0.08f32..0.2) * side as f32;
             for y in 0..side {
                 for x in 0..side {
                     let d2 = (y as f32 - cy).powi(2) + (x as f32 - cx).powi(2);
@@ -106,12 +105,17 @@ fn blob_images(n: usize, side: usize, classes: usize, seed: u64) -> Dataset {
         let gain: f32 = rng.gen_range(0.7..1.0);
         let data: Vec<f32> = templates[label]
             .iter()
-            .map(|&v| (v * gain + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0))
+            .map(|&v| (v * gain + rng.gen_range(-0.05f32..0.05)).clamp(0.0, 1.0))
             .collect();
         inputs.push(Tensor::from_vec(&[1, side, side], data));
         labels.push(label);
     }
-    Dataset { inputs, labels, input_shape: vec![1, side, side], num_classes: classes }
+    Dataset {
+        inputs,
+        labels,
+        input_shape: vec![1, side, side],
+        num_classes: classes,
+    }
 }
 
 /// An ISOLET-shaped audio feature set: 617 dimensions, 26 classes, with a
@@ -160,7 +164,12 @@ pub fn low_rank(n: usize, dim: usize, classes: usize, rank: usize, seed: u64) ->
         inputs.push(Tensor::from_flat(x));
         labels.push(label);
     }
-    Dataset { inputs, labels, input_shape: vec![dim], num_classes: classes }
+    Dataset {
+        inputs,
+        labels,
+        input_shape: vec![dim],
+        num_classes: classes,
+    }
 }
 
 #[cfg(test)]

@@ -1,11 +1,10 @@
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::Tensor;
 
 /// Training-time activation kinds (the compiler later maps these to the
 /// GC variants of `deepsecure-synth`).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ActKind {
     /// Rectified linear unit.
     Relu,
@@ -42,7 +41,7 @@ impl ActKind {
 }
 
 /// A fully-connected layer `y = Wx + b` with an optional pruning mask.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Dense {
     /// Row-major `out × in` weights.
     pub weights: Vec<f32>,
@@ -61,7 +60,9 @@ impl Dense {
     pub fn new<R: Rng + ?Sized>(n_in: usize, n_out: usize, rng: &mut R) -> Dense {
         let bound = (6.0 / (n_in + n_out) as f32).sqrt();
         Dense {
-            weights: (0..n_in * n_out).map(|_| rng.gen_range(-bound..bound)).collect(),
+            weights: (0..n_in * n_out)
+                .map(|_| rng.gen_range(-bound..bound))
+                .collect(),
             bias: vec![0.0; n_out],
             n_in,
             n_out,
@@ -88,7 +89,7 @@ impl Dense {
 }
 
 /// A 2-D convolution with square kernels and equal stride in both axes.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Conv2d {
     /// `out_ch × in_ch × k × k` kernel weights (row-major).
     pub weights: Vec<f32>,
@@ -162,7 +163,7 @@ impl Conv2d {
 }
 
 /// One network layer.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum Layer {
     /// Fully connected.
     Dense(Dense),

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::layer::{Conv2d, Dense, Layer};
 use crate::Tensor;
 
@@ -8,7 +6,7 @@ use crate::Tensor;
 ///
 /// The output layer produces raw logits; Softmax is applied only inside the
 /// loss (for training) or replaced by argmax (for inference, per §4.2).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Network {
     /// Layer stack, applied in order.
     pub layers: Vec<Layer>,
@@ -19,7 +17,10 @@ pub struct Network {
 impl Network {
     /// Creates a network.
     pub fn new(input_shape: Vec<usize>, layers: Vec<Layer>) -> Network {
-        Network { layers, input_shape }
+        Network {
+            layers,
+            input_shape,
+        }
     }
 
     /// Symbolic shape propagation: the tensor shape after each layer
@@ -184,6 +185,7 @@ fn backward_dense(d: &mut Dense, input: &Tensor, grad_out: &Tensor, lr: f32) -> 
     let x = input.data();
     let g = grad_out.data();
     let mut grad_in = vec![0.0f32; d.n_in];
+    #[allow(clippy::needless_range_loop)]
     for o in 0..d.n_out {
         let go = g[o];
         d.bias[o] -= lr * go;
@@ -379,9 +381,13 @@ mod tests {
         let label = 1;
         let loss_of = |n: &Network| {
             let logits = n.forward(&x);
-            let max = logits.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let max = logits
+                .data()
+                .iter()
+                .cloned()
+                .fold(f32::NEG_INFINITY, f32::max);
             let sum: f32 = logits.data().iter().map(|v| (v - max).exp()).sum();
-            -( (logits.data()[label] - max).exp() / sum ).ln()
+            -((logits.data()[label] - max).exp() / sum).ln()
         };
         // Analytic: find the weight delta applied by one SGD step.
         let mut trained = net.clone();

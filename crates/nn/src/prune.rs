@@ -127,7 +127,11 @@ mod tests {
         let set = data::digits_small(64, 13);
         let (train_set, val) = set.split_validation(16);
         let mut net = zoo::tiny_mlp(train_set.num_classes);
-        let cfg = TrainConfig { epochs: 20, lr: 0.1, seed: 2 };
+        let cfg = TrainConfig {
+            epochs: 20,
+            lr: 0.1,
+            seed: 2,
+        };
         train::train(&mut net, &train_set, &cfg);
         let dense_acc = accuracy(&net, &val);
 
@@ -136,7 +140,11 @@ mod tests {
             &train_set,
             &val,
             0.6,
-            &TrainConfig { epochs: 20, lr: 0.05, seed: 3 },
+            &TrainConfig {
+                epochs: 20,
+                lr: 0.05,
+                seed: 3,
+            },
         );
         assert!(sparsity(&net) >= 0.55);
         assert!(
@@ -151,7 +159,15 @@ mod tests {
         let mut net = zoo::tiny_mlp(set.num_classes);
         magnitude_prune(&mut net, 0.5);
         let before = sparsity(&net);
-        train::train(&mut net, &set, &TrainConfig { epochs: 5, lr: 0.1, seed: 4 });
+        train::train(
+            &mut net,
+            &set,
+            &TrainConfig {
+                epochs: 5,
+                lr: 0.1,
+                seed: 4,
+            },
+        );
         assert_eq!(sparsity(&net), before, "training must not undo pruning");
     }
 }

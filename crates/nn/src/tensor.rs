@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 /// A minimal dense `f32` tensor with a runtime shape.
 ///
 /// Layouts are row-major; images use `(channels, height, width)`.
@@ -13,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.len(), 6);
 /// assert_eq!(t.shape(), &[2, 3]);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,
@@ -39,12 +37,18 @@ impl Tensor {
             shape.iter().product::<usize>(),
             "tensor volume mismatch"
         );
-        Tensor { shape: shape.to_vec(), data }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// A flat (1-D) tensor.
     pub fn from_flat(data: Vec<f32>) -> Tensor {
-        Tensor { shape: vec![data.len()], data }
+        Tensor {
+            shape: vec![data.len()],
+            data,
+        }
     }
 
     /// The shape.

@@ -22,7 +22,11 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> TrainConfig {
-        TrainConfig { epochs: 5, lr: 0.05, seed: 0 }
+        TrainConfig {
+            epochs: 5,
+            lr: 0.05,
+            seed: 0,
+        }
     }
 }
 
@@ -73,7 +77,15 @@ mod tests {
         let set = data::digits_small(64, 5);
         let mut net = zoo::tiny_mlp(set.num_classes);
         let before = accuracy(&net, &set);
-        train(&mut net, &set, &TrainConfig { epochs: 20, lr: 0.1, seed: 1 });
+        train(
+            &mut net,
+            &set,
+            &TrainConfig {
+                epochs: 20,
+                lr: 0.1,
+                seed: 1,
+            },
+        );
         let after = accuracy(&net, &set);
         assert!(after > before.max(0.8), "accuracy {before} -> {after}");
     }
@@ -90,7 +102,11 @@ mod tests {
         let set = data::digits_small(32, 7);
         let mut a = zoo::tiny_mlp(set.num_classes);
         let mut b = zoo::tiny_mlp(set.num_classes);
-        let cfg = TrainConfig { epochs: 3, lr: 0.05, seed: 9 };
+        let cfg = TrainConfig {
+            epochs: 3,
+            lr: 0.05,
+            seed: 9,
+        };
         let la = train(&mut a, &set, &cfg);
         let lb = train(&mut b, &set, &cfg);
         assert_eq!(la, lb);

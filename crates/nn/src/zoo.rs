@@ -135,7 +135,10 @@ mod tests {
         assert_eq!(shapes.last().unwrap(), &vec![10]);
 
         let b2 = benchmark2_lenet300();
-        assert_eq!(b2.num_params(), 784 * 300 + 300 + 300 * 100 + 100 + 100 * 10 + 10);
+        assert_eq!(
+            b2.num_params(),
+            784 * 300 + 300 + 300 * 100 + 100 + 100 * 10 + 10
+        );
         // ~267K parameters, as the paper states.
         assert!((b2.num_params() as i64 - 267_000).abs() < 1_000);
 

@@ -80,8 +80,7 @@ pub fn receive<C: Channel, R: Rng + ?Sized>(
             let ct = channel.recv_block()?;
             if b == u64::from(sigma) {
                 let shared = group.pow(&gr, &k);
-                let mask =
-                    hash.hash_bytes(&group.element_to_bytes(&shared), (i as u64) << 1 | b);
+                let mask = hash.hash_bytes(&group.element_to_bytes(&shared), (i as u64) << 1 | b);
                 chosen = Some(ct ^ mask);
             }
         }

@@ -1,9 +1,9 @@
 //! Byte-counted duplex channels between protocol parties.
 
+use std::collections::VecDeque;
 use std::fmt;
+use std::sync::mpsc::{channel, Receiver, Sender};
 
-use bytes::{Buf, BytesMut};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use deepsecure_crypto::Block;
 
 /// Error raised when the peer disconnects mid-protocol.
@@ -120,15 +120,17 @@ pub trait Channel {
     fn recv_bits(&mut self) -> Result<Vec<bool>, ChannelError> {
         let n = self.recv_u64()? as usize;
         let packed = self.recv(n.div_ceil(8))?;
-        Ok((0..n).map(|i| (packed[i / 8] >> (i % 8)) & 1 == 1).collect())
+        Ok((0..n)
+            .map(|i| (packed[i / 8] >> (i % 8)) & 1 == 1)
+            .collect())
     }
 }
 
-/// An in-memory channel endpoint built over crossbeam queues.
+/// An in-memory channel endpoint built over `std::sync::mpsc` queues.
 pub struct MemChannel {
     tx: Sender<Vec<u8>>,
     rx: Receiver<Vec<u8>>,
-    inbox: BytesMut,
+    inbox: VecDeque<u8>,
     sent: u64,
     received: u64,
 }
@@ -144,11 +146,23 @@ impl fmt::Debug for MemChannel {
 
 /// Creates a connected pair of in-memory channel endpoints.
 pub fn mem_pair() -> (MemChannel, MemChannel) {
-    let (tx_a, rx_b) = unbounded();
-    let (tx_b, rx_a) = unbounded();
+    let (tx_a, rx_b) = channel();
+    let (tx_b, rx_a) = channel();
     (
-        MemChannel { tx: tx_a, rx: rx_a, inbox: BytesMut::new(), sent: 0, received: 0 },
-        MemChannel { tx: tx_b, rx: rx_b, inbox: BytesMut::new(), sent: 0, received: 0 },
+        MemChannel {
+            tx: tx_a,
+            rx: rx_a,
+            inbox: VecDeque::new(),
+            sent: 0,
+            received: 0,
+        },
+        MemChannel {
+            tx: tx_b,
+            rx: rx_b,
+            inbox: VecDeque::new(),
+            sent: 0,
+            received: 0,
+        },
     )
 }
 
@@ -166,12 +180,10 @@ impl Channel for MemChannel {
                 .rx
                 .recv()
                 .map_err(|_| ChannelError { what: "receiving" })?;
-            self.inbox.extend_from_slice(&chunk);
+            self.inbox.extend(chunk);
         }
         self.received += n as u64;
-        let mut out = vec![0u8; n];
-        self.inbox.copy_to_slice(&mut out);
-        Ok(out)
+        Ok(self.inbox.drain(..n).collect())
     }
 
     fn bytes_sent(&self) -> u64 {
@@ -210,7 +222,8 @@ mod tests {
         let (mut a, mut b) = mem_pair();
         a.send_block(Block::from(42u128)).unwrap();
         a.send_u64(7).unwrap();
-        a.send_blocks(&[Block::from(1u128), Block::from(2u128)]).unwrap();
+        a.send_blocks(&[Block::from(1u128), Block::from(2u128)])
+            .unwrap();
         assert_eq!(b.recv_block().unwrap(), Block::from(42u128));
         assert_eq!(b.recv_u64().unwrap(), 7);
         assert_eq!(

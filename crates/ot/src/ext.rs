@@ -26,7 +26,9 @@ pub struct ExtSender {
 
 impl std::fmt::Debug for ExtSender {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ExtSender").field("tweak", &self.tweak).finish_non_exhaustive()
+        f.debug_struct("ExtSender")
+            .field("tweak", &self.tweak)
+            .finish_non_exhaustive()
     }
 }
 
@@ -39,7 +41,9 @@ pub struct ExtReceiver {
 
 impl std::fmt::Debug for ExtReceiver {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ExtReceiver").field("tweak", &self.tweak).finish_non_exhaustive()
+        f.debug_struct("ExtReceiver")
+            .field("tweak", &self.tweak)
+            .finish_non_exhaustive()
     }
 }
 

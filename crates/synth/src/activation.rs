@@ -109,16 +109,17 @@ impl Activation {
 /// "Multiplexer" realization the paper contrasts with HE polynomials.
 pub fn relu(b: &mut Builder, x: &[Wire]) -> Word {
     let keep = b.not(word::sign(x));
-    let mut out: Word = x[..x.len() - 1]
-        .iter()
-        .map(|&w| b.and(keep, w))
-        .collect();
+    let mut out: Word = x[..x.len() - 1].iter().map(|&w| b.and(keep, w)).collect();
     out.push(b.const0()); // result is never negative
     out
 }
 
 fn assert_q312(x: &[Wire]) {
-    assert_eq!(x.len(), WIDTH, "fixed-format activation expects Q1.3.12 (16 wires)");
+    assert_eq!(
+        x.len(),
+        WIDTH,
+        "fixed-format activation expects Q1.3.12 (16 wires)"
+    );
 }
 
 /// Reflects a magnitude-domain odd function back to the signed domain.
@@ -247,7 +248,11 @@ fn secant_segments(f: impl Fn(f64) -> f64, breakpoints: &[f64]) -> Vec<PlSegment
                     (slope * x + base - f(x)).abs()
                 })
                 .fold(0.0f64, f64::max);
-            PlSegment { upper: c, slope, intercept: base + max_dev / 2.0 }
+            PlSegment {
+                upper: c,
+                slope,
+                intercept: base + max_dev / 2.0,
+            }
         })
         .collect()
 }
@@ -259,7 +264,12 @@ pub fn tanh_pl(b: &mut Builder, x: &[Wire]) -> Word {
     let (ax, sign) = arith::abs(b, x);
     let breakpoints = [0.0, 0.4, 0.8, 1.2, 1.7, 2.2, 2.9];
     let segments = secant_segments(f64::tanh, &breakpoints);
-    let v = piecewise_magnitude(b, &ax, &segments, breakpoints.last().copied().unwrap().tanh());
+    let v = piecewise_magnitude(
+        b,
+        &ax,
+        &segments,
+        breakpoints.last().copied().unwrap().tanh(),
+    );
     odd_reflect(b, &word::truncate(&v, 12), sign)
 }
 
@@ -269,9 +279,21 @@ pub fn sigmoid_plan(b: &mut Builder, x: &[Wire]) -> Word {
     assert_q312(x);
     let (ax, sign) = arith::abs(b, x);
     let segments = [
-        PlSegment { upper: 1.0, slope: 0.25, intercept: 0.5 },
-        PlSegment { upper: 2.375, slope: 0.125, intercept: 0.625 },
-        PlSegment { upper: 5.0, slope: 0.03125, intercept: 0.84375 },
+        PlSegment {
+            upper: 1.0,
+            slope: 0.25,
+            intercept: 0.5,
+        },
+        PlSegment {
+            upper: 2.375,
+            slope: 0.125,
+            intercept: 0.625,
+        },
+        PlSegment {
+            upper: 5.0,
+            slope: 0.03125,
+            intercept: 0.84375,
+        },
     ];
     let v = piecewise_magnitude(b, &ax, &segments, 4095.0 / SCALE);
     sigmoid_reflect(b, &word::truncate(&v, 12), sign)
@@ -442,8 +464,14 @@ mod tests {
         let full = activation_circuit(Activation::TanhLut).stats().non_xor;
         let trunc = activation_circuit(Activation::TanhTrunc).stats().non_xor;
         let pl = activation_circuit(Activation::TanhPl).stats().non_xor;
-        assert!(full > trunc, "LUT ({full}) should cost more than truncated ({trunc})");
-        assert!(trunc > pl, "truncated ({trunc}) should cost more than PL ({pl})");
+        assert!(
+            full > trunc,
+            "LUT ({full}) should cost more than truncated ({trunc})"
+        );
+        assert!(
+            trunc > pl,
+            "truncated ({trunc}) should cost more than PL ({pl})"
+        );
     }
 
     #[test]
@@ -465,7 +493,11 @@ mod tests {
                 bits.extend(Fixed::from_f64(v, Q).to_bits());
             }
             let out = c.eval(&bits, &[]);
-            let got: u64 = out.iter().enumerate().map(|(i, &v)| u64::from(v) << i).sum();
+            let got: u64 = out
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| u64::from(v) << i)
+                .sum();
             assert_eq!(got, want, "{vals:?}");
         }
     }

@@ -112,7 +112,11 @@ pub fn eq(b: &mut Builder, x: &[Wire], y: &[Wire]) -> Wire {
     while bits.len() > 1 {
         let mut next = Vec::with_capacity(bits.len().div_ceil(2));
         for pair in bits.chunks(2) {
-            next.push(if pair.len() == 2 { b.and(pair[0], pair[1]) } else { pair[0] });
+            next.push(if pair.len() == 2 {
+                b.and(pair[0], pair[1])
+            } else {
+                pair[0]
+            });
         }
         bits = next;
     }
@@ -122,7 +126,10 @@ pub fn eq(b: &mut Builder, x: &[Wire], y: &[Wire]) -> Wire {
 /// Word multiplexer: `sel ? t : f`, one AND per bit.
 pub fn mux_word(b: &mut Builder, sel: Wire, t: &[Wire], f: &[Wire]) -> Word {
     assert_eq!(t.len(), f.len(), "mux width mismatch");
-    t.iter().zip(f).map(|(&tv, &fv)| b.mux(sel, tv, fv)).collect()
+    t.iter()
+        .zip(f)
+        .map(|(&tv, &fv)| b.mux(sel, tv, fv))
+        .collect()
 }
 
 /// Signed maximum — the paper's `Max` element (CMP + MUX).
@@ -267,7 +274,13 @@ mod tests {
 
     #[test]
     fn comparisons() {
-        let pairs = [(-3.0, 2.0), (2.0, -3.0), (1.0, 1.0), (7.9, -8.0), (-8.0, -7.9)];
+        let pairs = [
+            (-3.0, 2.0),
+            (2.0, -3.0),
+            (1.0, 1.0),
+            (7.9, -8.0),
+            (-8.0, -7.9),
+        ];
         for (a, c) in pairs {
             let x = Fixed::from_f64(a, Q);
             let y = Fixed::from_f64(c, Q);
@@ -298,10 +311,7 @@ mod tests {
     #[test]
     fn csd_digits_reconstruct() {
         for c in [1i64, 2, 3, 7, 12, 255, 1000, -5, -4096, 4095] {
-            let sum: i64 = csd_digits(c)
-                .iter()
-                .map(|(s, d)| i64::from(*d) << s)
-                .sum();
+            let sum: i64 = csd_digits(c).iter().map(|(s, d)| i64::from(*d) << s).sum();
             assert_eq!(sum, c, "csd({c})");
         }
     }

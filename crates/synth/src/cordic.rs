@@ -121,7 +121,10 @@ mod tests {
     use crate::word::{garbler_word, output_word};
 
     fn bits_to_u64(bits: &[bool]) -> u64 {
-        bits.iter().enumerate().map(|(i, &v)| u64::from(v) << i).sum()
+        bits.iter()
+            .enumerate()
+            .map(|(i, &v)| u64::from(v) << i)
+            .sum()
     }
 
     #[test]
@@ -189,16 +192,13 @@ mod tests {
         let out = exp_neg(&mut b, &t, 12, 16, 4, 14);
         output_word(&mut b, &out);
         let circ = b.finish();
-        for xf in [0.0f64, 0.25, 0.6931, 1.0, 2.0, 4.5, 7.9] {
+        for xf in [0.0f64, 0.25, std::f64::consts::LN_2, 1.0, 2.0, 4.5, 7.9] {
             let raw = (xf * 4096.0).round() as u64;
             let input: Vec<bool> = (0..16).map(|i| (raw >> i) & 1 == 1).collect();
             let o = circ.eval(&input, &[]);
             let got = bits_to_u64(&o) as f64 / 65536.0;
             let want = (-(raw as f64 / 4096.0)).exp();
-            assert!(
-                (got - want).abs() < 4e-3,
-                "e^-{xf}: got {got}, want {want}"
-            );
+            assert!((got - want).abs() < 4e-3, "e^-{xf}: got {got}, want {want}");
         }
     }
 }

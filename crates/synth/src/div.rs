@@ -89,7 +89,14 @@ mod tests {
         let q = udiv(&mut b, &x, &y, 10);
         output_word(&mut b, &q);
         let c = b.finish();
-        for (a, d) in [(1000u64, 3u64), (1023, 1), (17, 17), (0, 5), (512, 31), (7, 9)] {
+        for (a, d) in [
+            (1000u64, 3u64),
+            (1023, 1),
+            (17, 17),
+            (0, 5),
+            (512, 31),
+            (7, 9),
+        ] {
             let xb: Vec<bool> = (0..10).map(|i| (a >> i) & 1 == 1).collect();
             let yb: Vec<bool> = (0..5).map(|i| (d >> i) & 1 == 1).collect();
             let out = c.eval(&xb, &yb);
@@ -110,8 +117,8 @@ mod tests {
             (-1.0, 3.0),
             (1.0, -3.0),
             (-1.0, -3.0),
-            (7.5, 0.5),   // wraps: 15 out of range of Q3.12
-            (2.0, 0.25),  // exactly 8 → wraps to -8
+            (7.5, 0.5),  // wraps: 15 out of range of Q3.12
+            (2.0, 0.25), // exactly 8 → wraps to -8
             (0.0, 1.0),
             (3.999, 4.0),
         ] {
@@ -156,7 +163,11 @@ mod tests {
         let yb: Vec<bool> = (0..14).map(|i| (den >> i) & 1 == 1).collect();
         let out = c.eval(&xb, &yb);
         assert_eq!(out.len(), 13, "frac_out + 1 wires");
-        let got: u64 = out.iter().enumerate().map(|(i, &v)| u64::from(v) << i).sum();
+        let got: u64 = out
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| u64::from(v) << i)
+            .sum();
         assert_eq!(got, (num << 12) / den, "1/3 in Q0.12");
     }
 }

@@ -117,6 +117,11 @@ mod tests {
             output_word(&mut b, &out);
             b.finish().stats().non_xor
         };
-        assert!(cost(&ramp) < cost(&noisy), "{} !< {}", cost(&ramp), cost(&noisy));
+        assert!(
+            cost(&ramp) < cost(&noisy),
+            "{} !< {}",
+            cost(&ramp),
+            cost(&noisy)
+        );
     }
 }

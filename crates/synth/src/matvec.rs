@@ -128,7 +128,11 @@ pub fn mac_schedule(
         }
         outputs_at.push(garbler.len() - 1);
     }
-    MacSchedule { garbler, evaluator, outputs_at }
+    MacSchedule {
+        garbler,
+        evaluator,
+        outputs_at,
+    }
 }
 
 #[cfg(test)]
@@ -147,12 +151,21 @@ mod tests {
         let ws_f = [1.5, 0.25, -0.5];
         let mut b = Builder::new();
         let xs: Vec<Word> = xs_f.iter().map(|_| garbler_word(&mut b, 16)).collect();
-        let ws: Vec<Word> = ws_f.iter().map(|_| word::evaluator_word(&mut b, 16)).collect();
+        let ws: Vec<Word> = ws_f
+            .iter()
+            .map(|_| word::evaluator_word(&mut b, 16))
+            .collect();
         let out = dot(&mut b, &xs, &ws, 12);
         output_word(&mut b, &out);
         let c = b.finish();
-        let gbits: Vec<bool> = xs_f.iter().flat_map(|v| Fixed::from_f64(*v, Q).to_bits()).collect();
-        let ebits: Vec<bool> = ws_f.iter().flat_map(|v| Fixed::from_f64(*v, Q).to_bits()).collect();
+        let gbits: Vec<bool> = xs_f
+            .iter()
+            .flat_map(|v| Fixed::from_f64(*v, Q).to_bits())
+            .collect();
+        let ebits: Vec<bool> = ws_f
+            .iter()
+            .flat_map(|v| Fixed::from_f64(*v, Q).to_bits())
+            .collect();
         let got = Fixed::from_bits(&c.eval(&gbits, &ebits), Q);
         let want = xs_f
             .iter()
@@ -216,7 +229,10 @@ mod tests {
     #[test]
     fn mac_schedule_computes_a_dense_layer() {
         let q = Format::Q3_12;
-        let inputs: Vec<Fixed> = [0.5, -1.0, 2.0].iter().map(|&v| Fixed::from_f64(v, q)).collect();
+        let inputs: Vec<Fixed> = [0.5, -1.0, 2.0]
+            .iter()
+            .map(|&v| Fixed::from_f64(v, q))
+            .collect();
         let weights: Vec<Vec<Fixed>> = [[1.0, 0.5, 0.25], [-1.0, 2.0, 0.125]]
             .iter()
             .map(|row| row.iter().map(|&v| Fixed::from_f64(v, q)).collect())

@@ -160,7 +160,14 @@ mod tests {
         let p = umul(&mut b, &x, &y, 16);
         output_word(&mut b, &p);
         let c = b.finish();
-        for (a, d) in [(0u64, 0u64), (1, 1), (255, 255), (17, 13), (128, 2), (99, 201)] {
+        for (a, d) in [
+            (0u64, 0u64),
+            (1, 1),
+            (255, 255),
+            (17, 13),
+            (128, 2),
+            (99, 201),
+        ] {
             let xb: Vec<bool> = (0..8).map(|i| (a >> i) & 1 == 1).collect();
             let yb: Vec<bool> = (0..8).map(|i| (d >> i) & 1 == 1).collect();
             let out = c.eval(&xb, &yb);
@@ -181,9 +188,9 @@ mod tests {
             (-1.5, 2.0),
             (1.5, -2.0),
             (-1.5, -2.0),
-            (0.000244140625, 0.5),   // 1 raw * 0.5 → floor
-            (-0.000244140625, 0.5),  // -1 raw * 0.5 → floor to -1
-            (7.99, 7.99),            // overflow wraps
+            (0.000244140625, 0.5),  // 1 raw * 0.5 → floor
+            (-0.000244140625, 0.5), // -1 raw * 0.5 → floor to -1
+            (7.99, 7.99),           // overflow wraps
             (0.0, 3.0),
             (-8.0, 1.0),
         ];

@@ -67,10 +67,7 @@ mod tests {
 
     const Q: Format = Format::Q3_12;
 
-    fn eval_pool(
-        build: impl FnOnce(&mut Builder, &[Word]) -> Word,
-        values: &[f64],
-    ) -> f64 {
+    fn eval_pool(build: impl FnOnce(&mut Builder, &[Word]) -> Word, values: &[f64]) -> f64 {
         let mut b = Builder::new();
         let words: Vec<Word> = values.iter().map(|_| garbler_word(&mut b, 16)).collect();
         let out = build(&mut b, &words);

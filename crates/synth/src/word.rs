@@ -106,10 +106,7 @@ mod tests {
     use super::*;
 
     /// Evaluates a single-output-word circuit on fixed-point inputs.
-    pub(crate) fn eval_unary(
-        build: impl FnOnce(&mut Builder, &[Wire]) -> Word,
-        x: Fixed,
-    ) -> Fixed {
+    pub(crate) fn eval_unary(build: impl FnOnce(&mut Builder, &[Wire]) -> Word, x: Fixed) -> Fixed {
         let fmt = x.format();
         let mut b = Builder::new();
         let xin = garbler_word(&mut b, fmt.total_bits() as usize);
@@ -125,7 +122,14 @@ mod tests {
         let q = Format::Q3_12;
         for v in [-5.25f64, -0.5, 0.0, 1.75, 3.5] {
             let x = Fixed::from_f64(v, q);
-            let got = eval_unary(|b, w| { let s = shr_arith(w, 2); let _ = b; s }, x);
+            let got = eval_unary(
+                |b, w| {
+                    let s = shr_arith(w, 2);
+                    let _ = b;
+                    s
+                },
+                x,
+            );
             assert_eq!(got, x.shr(2), "shr({v})");
             let got = eval_unary(|b, w| shl(b, w, 1), x);
             assert_eq!(got, x.shl(1), "shl({v})");

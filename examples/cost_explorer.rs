@@ -39,7 +39,10 @@ fn main() {
         ("Tanh2.10.12 (truncated)", Activation::TanhTrunc),
         ("TanhPL    (7 segments) ", Activation::TanhPl),
     ] {
-        let opts = CompileOptions { tanh, ..CompileOptions::default() };
+        let opts = CompileOptions {
+            tanh,
+            ..CompileOptions::default()
+        };
         let cost = model.cost(network_stats(&zoo::benchmark3_audio_dnn(), &opts));
         println!(
             "  {label}  {:>10.2e} non-XOR  exec {:>6.2} s",

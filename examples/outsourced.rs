@@ -19,7 +19,15 @@ fn main() {
     let set = data::digits_small(48, 31);
     let (train_set, test_set) = set.split_validation(12);
     let mut net = zoo::tiny_mlp(train_set.num_classes);
-    train::train(&mut net, &train_set, &TrainConfig { epochs: 25, lr: 0.1, seed: 5 });
+    train::train(
+        &mut net,
+        &train_set,
+        &TrainConfig {
+            epochs: 25,
+            lr: 0.1,
+            seed: 5,
+        },
+    );
 
     let cfg = InferenceConfig {
         options: CompileOptions {

@@ -18,7 +18,15 @@ fn main() {
     let set = data::digits_small(96, 21);
     let (train_set, test_set) = set.split_validation(24);
     let mut net = zoo::tiny_cnn(train_set.num_classes);
-    train::train(&mut net, &train_set, &TrainConfig { epochs: 25, lr: 0.05, seed: 2 });
+    train::train(
+        &mut net,
+        &train_set,
+        &TrainConfig {
+            epochs: 25,
+            lr: 0.05,
+            seed: 2,
+        },
+    );
     let dense_acc = train::accuracy(&net, &test_set);
 
     let opts = CompileOptions {
@@ -40,7 +48,11 @@ fn main() {
         &train_set,
         &test_set,
         0.7,
-        &TrainConfig { epochs: 25, lr: 0.02, seed: 3 },
+        &TrainConfig {
+            epochs: 25,
+            lr: 0.02,
+            seed: 3,
+        },
     );
     let sparse_stats = compile(&net, &opts).circuit.stats();
     println!(
@@ -52,7 +64,10 @@ fn main() {
     );
 
     // The pruned model still runs securely.
-    let cfg = InferenceConfig { options: opts, ..InferenceConfig::default() };
+    let cfg = InferenceConfig {
+        options: opts,
+        ..InferenceConfig::default()
+    };
     let x = &test_set.inputs[0];
     let report = run_secure_inference(&net, x, &cfg).expect("protocol");
     println!(

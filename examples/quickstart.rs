@@ -18,7 +18,15 @@ fn main() {
     let set = data::digits_small(64, 7);
     let (train_set, test_set) = set.split_validation(16);
     let mut net = zoo::tiny_mlp(train_set.num_classes);
-    train::train(&mut net, &train_set, &TrainConfig { epochs: 25, lr: 0.1, seed: 1 });
+    train::train(
+        &mut net,
+        &train_set,
+        &TrainConfig {
+            epochs: 25,
+            lr: 0.1,
+            seed: 1,
+        },
+    );
     println!(
         "server: trained a {}-parameter MLP, plaintext accuracy {:.0}%",
         net.num_params(),

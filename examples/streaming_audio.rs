@@ -28,7 +28,11 @@ fn main() {
         batch: 52,
         patience: 500,
         max_dim: Some(64),
-        retrain: TrainConfig { epochs: 3, lr: 0.05, seed: 4 },
+        retrain: TrainConfig {
+            epochs: 3,
+            lr: 0.05,
+            seed: 4,
+        },
     };
     let outcome = fit_projection(
         &train_set,
@@ -50,7 +54,10 @@ fn main() {
         ..CompileOptions::default()
     };
     let model = CostModel::default();
-    let before = model.cost(network_stats(&zoo::benchmark3_audio_dnn(), &CompileOptions::default()));
+    let before = model.cost(network_stats(
+        &zoo::benchmark3_audio_dnn(),
+        &CompileOptions::default(),
+    ));
     let after = model.cost(network_stats(&outcome.net, &CompileOptions::default()));
     println!(
         "modeled exec: {:.2} s -> {:.2} s per sample ({:.1}x improvement)",
@@ -60,11 +67,19 @@ fn main() {
     );
 
     // On-line: stream three client samples through Algorithm 2 + GC.
-    let proto_cfg = InferenceConfig { options: opts, ..InferenceConfig::default() };
+    let proto_cfg = InferenceConfig {
+        options: opts,
+        ..InferenceConfig::default()
+    };
     for (i, (x, &label)) in val.inputs.iter().zip(&val.labels).take(3).enumerate() {
         // Client-side Algorithm 2: y = Uᵀx.
         let raw: Vec<f64> = x.data().iter().map(|&v| f64::from(v)).collect();
-        let embedded: Vec<f32> = outcome.model.project(&raw).iter().map(|&v| v as f32).collect();
+        let embedded: Vec<f32> = outcome
+            .model
+            .project(&raw)
+            .iter()
+            .map(|&v| v as f32)
+            .collect();
         let y = Tensor::from_flat(embedded);
         let report = run_secure_inference(&outcome.net, &y, &proto_cfg).expect("protocol");
         println!(

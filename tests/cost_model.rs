@@ -37,10 +37,16 @@ fn measured_tables_equal_alpha_formula() {
     // protocol bytes.
     let set = data::digits_small(4, 55);
     let net = zoo::tiny_mlp(set.num_classes);
-    let cfg = InferenceConfig { options: fast_opts(), ..InferenceConfig::default() };
+    let cfg = InferenceConfig {
+        options: fast_opts(),
+        ..InferenceConfig::default()
+    };
     let compiled = compile(&net, &cfg.options);
     let report = run_secure_inference(&net, &set.inputs[0], &cfg).expect("protocol");
-    assert_eq!(report.material_bytes, compiled.circuit.stats().non_xor * 2 * 128 / 8);
+    assert_eq!(
+        report.material_bytes,
+        compiled.circuit.stats().non_xor * 2 * 128 / 8
+    );
 }
 
 #[test]
@@ -61,7 +67,11 @@ fn benchmark_cost_ordering_matches_paper() {
     assert!(costs[1] > costs[0], "B2 > B1");
     assert!(costs[0] > costs[2], "B1 > B3");
     // B4 is two to three orders above B3, as in the paper.
-    assert!(costs[3] / costs[2] > 100.0, "B4/B3 = {}", costs[3] / costs[2]);
+    assert!(
+        costs[3] / costs[2] > 100.0,
+        "B4/B3 = {}",
+        costs[3] / costs[2]
+    );
 }
 
 #[test]
@@ -92,9 +102,18 @@ fn figure6_crossover_structure() {
     let cross_pruned = cryptonets::BATCH_LATENCY_S / pruned.exec_s;
     // The paper's figure marks 288 and 2590; our constructions land in the
     // same decade with the same ordering.
-    assert!((50.0..2000.0).contains(&cross_dense), "dense crossover {cross_dense}");
-    assert!((500.0..20000.0).contains(&cross_pruned), "pruned crossover {cross_pruned}");
-    assert!(cross_pruned > cross_dense * 3.0, "pre-processing extends the win region");
+    assert!(
+        (50.0..2000.0).contains(&cross_dense),
+        "dense crossover {cross_dense}"
+    );
+    assert!(
+        (500.0..20000.0).contains(&cross_pruned),
+        "pruned crossover {cross_pruned}"
+    );
+    assert!(
+        cross_pruned > cross_dense * 3.0,
+        "pre-processing extends the win region"
+    );
     // Below the crossover DeepSecure wins; above it CryptoNets wins.
     let n_small = (cross_dense * 0.5) as usize;
     let n_large = cryptonets::BATCH;

@@ -32,16 +32,28 @@ fn projection_plus_secure_inference() {
         batch: 32,
         patience: 500,
         max_dim: Some(20),
-        retrain: TrainConfig { epochs: 4, lr: 0.1, seed: 1 },
+        retrain: TrainConfig {
+            epochs: 4,
+            lr: 0.1,
+            seed: 1,
+        },
     };
-    let out = fit_projection(&train_set, &val, |l| embedding_classifier(l, 10, 4, 2), &cfg);
+    let out = fit_projection(
+        &train_set,
+        &val,
+        |l| embedding_classifier(l, 10, 4, 2),
+        &cfg,
+    );
     assert!(out.model.fold() >= 4.0, "fold {}", out.model.fold());
     assert!(out.final_error < 0.4, "error {}", out.final_error);
 
     // Client side: Algorithm 2 then GC.
     let raw: Vec<f64> = val.inputs[0].data().iter().map(|&v| f64::from(v)).collect();
     let y = Tensor::from_flat(out.model.project(&raw).iter().map(|&v| v as f32).collect());
-    let proto = InferenceConfig { options: fast_opts(), ..InferenceConfig::default() };
+    let proto = InferenceConfig {
+        options: fast_opts(),
+        ..InferenceConfig::default()
+    };
     let report = run_secure_inference(&out.net, &y, &proto).expect("protocol");
     assert_eq!(report.label, out.net.predict(&y));
 }
@@ -55,9 +67,18 @@ fn projection_shrinks_circuit_by_the_fold() {
         batch: 24,
         patience: 500,
         max_dim: Some(16),
-        retrain: TrainConfig { epochs: 2, lr: 0.1, seed: 2 },
+        retrain: TrainConfig {
+            epochs: 2,
+            lr: 0.1,
+            seed: 2,
+        },
     };
-    let out = fit_projection(&train_set, &val, |l| embedding_classifier(l, 12, 4, 3), &cfg);
+    let out = fit_projection(
+        &train_set,
+        &val,
+        |l| embedding_classifier(l, 12, 4, 3),
+        &cfg,
+    );
     let big = embedding_classifier(128, 12, 4, 3);
     let before = network_stats(&big, &fast_opts()).non_xor;
     let after = network_stats(&out.net, &fast_opts()).non_xor;
@@ -81,14 +102,22 @@ fn public_w_is_consistent_between_algorithms() {
         batch: 16,
         patience: 500,
         max_dim: Some(12),
-        retrain: TrainConfig { epochs: 1, lr: 0.1, seed: 3 },
+        retrain: TrainConfig {
+            epochs: 1,
+            lr: 0.1,
+            seed: 3,
+        },
     };
     let out = fit_projection(&train_set, &val, |l| embedding_classifier(l, 8, 4, 4), &cfg);
     let w = out.model.w();
     let d_proj: Matrix = out.model.dictionary().projector();
     assert!(w.sub(&d_proj).frobenius_norm() < 1e-6);
     // Algorithm 2 consistency: Uᵀ(UUᵀ x) == Uᵀ x.
-    let x: Vec<f64> = train_set.inputs[0].data().iter().map(|&v| f64::from(v)).collect();
+    let x: Vec<f64> = train_set.inputs[0]
+        .data()
+        .iter()
+        .map(|&v| f64::from(v))
+        .collect();
     let wx = w.matvec(&x);
     let y1 = out.model.project(&x);
     let y2 = out.model.project(&wx);
@@ -102,17 +131,32 @@ fn combined_pipeline_prune_then_compile() {
     let set = data::digits_small(64, 80);
     let (train_set, val) = set.split_validation(16);
     let mut net = zoo::tiny_mlp(train_set.num_classes);
-    train::train(&mut net, &train_set, &TrainConfig { epochs: 20, lr: 0.1, seed: 4 });
+    train::train(
+        &mut net,
+        &train_set,
+        &TrainConfig {
+            epochs: 20,
+            lr: 0.1,
+            seed: 4,
+        },
+    );
     let dense = compile(&net, &fast_opts()).circuit.stats().non_xor;
     let (fold, acc) = preprocess_network(
         &mut net,
         &train_set,
         &val,
         0.75,
-        &TrainConfig { epochs: 20, lr: 0.05, seed: 5 },
+        &TrainConfig {
+            epochs: 20,
+            lr: 0.05,
+            seed: 5,
+        },
     );
     let sparse = compile(&net, &fast_opts()).circuit.stats().non_xor;
     assert!(fold > 2.5, "fold {fold}");
     assert!(acc > 0.5, "accuracy {acc}");
-    assert!(sparse * 2 < dense, "circuit must shrink: {dense} -> {sparse}");
+    assert!(
+        sparse * 2 < dense,
+        "circuit must shrink: {dense} -> {sparse}"
+    );
 }

@@ -23,7 +23,15 @@ fn trained_mlp() -> (Network, deepsecure::nn::data::Dataset) {
     let set = data::digits_small(64, 100);
     let (train_set, test) = set.split_validation(16);
     let mut net = zoo::tiny_mlp(train_set.num_classes);
-    train::train(&mut net, &train_set, &TrainConfig { epochs: 25, lr: 0.1, seed: 9 });
+    train::train(
+        &mut net,
+        &train_set,
+        &TrainConfig {
+            epochs: 25,
+            lr: 0.1,
+            seed: 9,
+        },
+    );
     (net, test)
 }
 
@@ -75,7 +83,15 @@ fn cnn_pipeline_end_to_end() {
     let set = data::digits_small(48, 101);
     let (train_set, test) = set.split_validation(12);
     let mut net = zoo::tiny_cnn(train_set.num_classes);
-    train::train(&mut net, &train_set, &TrainConfig { epochs: 15, lr: 0.05, seed: 10 });
+    train::train(
+        &mut net,
+        &train_set,
+        &TrainConfig {
+            epochs: 15,
+            lr: 0.05,
+            seed: 10,
+        },
+    );
     let cfg = fast_cfg();
     let compiled = compile(&net, &cfg.options);
     let x = &test.inputs[0];
@@ -104,7 +120,7 @@ fn pruned_model_still_infers_securely() {
 fn streamed_dense_layer_on_folded_mac() {
     // §3.5 end to end: a whole dense layer streamed through the constant-
     // size MAC core over the real protocol, one weight per clock cycle.
-    use deepsecure::core::compile::{folded_mac, Compiled, CompileOptions};
+    use deepsecure::core::compile::{folded_mac, CompileOptions, Compiled};
     use deepsecure::core::protocol::run_compiled;
     use deepsecure::fixed::{Fixed, Format};
     use deepsecure::synth::matvec::mac_schedule;

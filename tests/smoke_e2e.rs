@@ -1,0 +1,59 @@
+//! End-to-end smoke test: the garbled execution of a compiled network must
+//! agree **bit-for-bit** with the plaintext circuit simulator.
+//!
+//! This is the cheapest whole-stack check the workspace has: it exercises
+//! `nn::zoo` → `core::compile` → (`circuit::sim` | garbler + OT + evaluator
+//! over byte-counted channels) and compares the raw output bits, not just
+//! the decoded label.
+
+use deepsecure::circuit::Simulator;
+use deepsecure::core::compile::{compile, plain_label, CompileOptions};
+use deepsecure::core::protocol::{run_circuit, run_secure_inference, InferenceConfig};
+use deepsecure::nn::{data, zoo};
+use deepsecure::synth::activation::Activation;
+
+fn fast_cfg() -> InferenceConfig {
+    InferenceConfig {
+        options: CompileOptions {
+            tanh: Activation::TanhPl,
+            sigmoid: Activation::SigmoidPlan,
+            ..CompileOptions::default()
+        },
+        ..InferenceConfig::default()
+    }
+}
+
+#[test]
+fn garbled_execution_matches_simulator_bit_for_bit() {
+    let set = data::digits_small(8, 11);
+    let net = zoo::tiny_mlp(set.num_classes);
+    let cfg = fast_cfg();
+    let compiled = compile(&net, &cfg.options);
+    let weight_bits = compiled.weight_bits(&net);
+
+    for x in set.inputs.iter().take(2) {
+        let input_bits = compiled.input_bits(x);
+        let sim_bits = Simulator::new(&compiled.circuit).run(&input_bits, &weight_bits, 1);
+        let (gc_bits, report) =
+            run_circuit(&compiled.circuit, &input_bits, &weight_bits, &cfg).expect("protocol");
+        assert_eq!(
+            gc_bits, sim_bits,
+            "garbled run diverged from plaintext simulation"
+        );
+        assert_eq!(report.label, compiled.decode_label(&sim_bits));
+    }
+}
+
+#[test]
+fn run_secure_inference_smoke() {
+    let set = data::digits_small(8, 12);
+    let net = zoo::tiny_mlp(set.num_classes);
+    let cfg = fast_cfg();
+    let compiled = compile(&net, &cfg.options);
+    let x = &set.inputs[0];
+
+    let report = run_secure_inference(&net, x, &cfg).expect("protocol");
+    assert_eq!(report.label, plain_label(&compiled, &net, x));
+    assert!(report.label < set.num_classes);
+    assert!(report.material_bytes > 0 && report.client_sent > report.material_bytes);
+}

@@ -31,7 +31,12 @@ fn netlist_roundtrip_then_garble() {
     let g: Vec<bool> = (0..8).map(|i| (37 >> i) & 1 == 1).collect();
     let e: Vec<bool> = (0..8).map(|i| (90 >> i) & 1 == 1).collect();
     let run = execute_locally(&optimized, &g, &e, 1, &mut rng);
-    let got: u64 = run.outputs.iter().enumerate().map(|(i, &v)| u64::from(v) << i).sum();
+    let got: u64 = run
+        .outputs
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| u64::from(v) << i)
+        .sum();
     assert_eq!(got, (37 + 90) & 0xff);
 }
 

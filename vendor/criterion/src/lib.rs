@@ -1,0 +1,212 @@
+//! Offline drop-in subset of the [`criterion`] benchmark harness.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the slice of criterion's API its benches use:
+//! [`Criterion::benchmark_group`] / [`Criterion::bench_function`],
+//! [`BenchmarkGroup`] with `sample_size` / `throughput`, [`Bencher::iter`],
+//! [`Throughput`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a plain warmup + timed-sample
+//! loop reporting mean time per iteration (and derived throughput); there
+//! is no statistical analysis or HTML report.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier that prevents the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declared work-per-iteration, used to derive rates in reports.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per iteration of the most recent `iter` call.
+    last_mean: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then averaging over batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup: run for ~50ms or at least one iteration to settle caches
+        // and estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters == 0 || warm_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Size batches so each sample runs for roughly 10ms.
+        let batch = ((0.01 / per_iter.max(1e-9)).ceil() as u64).clamp(1, 10_000_000);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.last_mean = total.as_secs_f64() / iters as f64;
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.2} s", secs)
+    }
+}
+
+fn run_and_report(
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        samples,
+        last_mean: 0.0,
+    };
+    f(&mut bencher);
+    let mean = bencher.last_mean;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!("  ({:.3} Melem/s)", n as f64 / mean / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            format!("  ({:.3} MB/s)", n as f64 / mean / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!("{id:<40} time: {}{rate}", format_time(mean));
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<I: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_and_report(&full, self.criterion.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver; collects and reports all benchmarks in a target.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<I: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        run_and_report(id.as_ref(), self.sample_size, None, &mut f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a benchmark target (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_nonzero_time() {
+        let mut bencher = Bencher {
+            samples: 3,
+            last_mean: 0.0,
+        };
+        bencher.iter(|| black_box((0..100u64).sum::<u64>()));
+        assert!(bencher.last_mean > 0.0);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("t");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(10));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1u32));
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

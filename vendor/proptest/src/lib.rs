@@ -1,0 +1,368 @@
+//! Offline drop-in subset of the [`proptest`] property-testing crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the slice of proptest's API its tests use: the
+//! `proptest!` macro with an optional `#![proptest_config(...)]` header,
+//! `any::<T>()`, integer/float range strategies, tuple strategies,
+//! `collection::vec`, and the `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!` macros.
+//!
+//! Unlike upstream there is no shrinking: a failing case panics with the
+//! sampled inputs via the assertion message. Cases are generated from a
+//! deterministic per-test seed (hash of the test name), so failures
+//! reproduce across runs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeFrom, RangeInclusive};
+
+    /// A source of random values of an associated type.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    /// Samples a value from `strategy` (free-function form used by the
+    /// `proptest!` macro expansion).
+    pub fn sample<S: Strategy>(strategy: &S, rng: &mut StdRng) -> S::Value {
+        strategy.sample(rng)
+    }
+
+    /// Strategy for "any value of `T`" — see [`crate::prelude::any`].
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    macro_rules! impl_any {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+
+    impl_any!(bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64);
+
+    impl<T> Strategy for Range<T>
+    where
+        T: Copy,
+        Range<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: Copy,
+        RangeInclusive<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(*self.start()..=*self.end())
+        }
+    }
+
+    macro_rules! impl_range_from {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.start..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+
+    impl_range_from!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+    macro_rules! impl_tuple {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Creates a strategy for vectors of `element` with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.start..self.len.end);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Outcome of one generated test case.
+pub enum TestCaseError {
+    /// The case did not satisfy a `prop_assume!` precondition.
+    Reject,
+    /// An assertion failed with the given message.
+    Fail(String),
+}
+
+/// Runner configuration; only the case count is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: usize,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: usize) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Derives a deterministic RNG from a test's name (no shrinking, so
+/// reproducibility comes from a fixed seed).
+pub fn deterministic_rng(test_name: &str) -> StdRng {
+    // FNV-1a over the name; any stable hash works.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Any, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        TestCaseError,
+    };
+    use std::marker::PhantomData;
+
+    /// Strategy for an arbitrary value of `T`.
+    pub fn any<T>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}): {}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Expands each `#[test] fn name(pat in strategy, ...) { body }` item into a
+/// plain `#[test]` that samples `config.cases` accepted cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $cfg:expr; $(
+        #[test]
+        fn $name:ident($($args:tt)*) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::deterministic_rng(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted = 0usize;
+            let mut attempts = 0usize;
+            // Allow rejection via prop_assume!, but bail out if the
+            // acceptance rate is pathologically low.
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= config.cases * 100,
+                    "proptest: too many rejected cases in {}",
+                    stringify!($name)
+                );
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $crate::__proptest_bind!(rng; $($args)*);
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err($crate::TestCaseError::Reject) => {}
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case failed in {}: {}", stringify!($name), msg)
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Munches `pat in strategy-expr, ...` argument lists into `let` bindings.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident; ) => {};
+    ($rng:ident; $pat:pat in $($rest:tt)*) => {
+        $crate::__proptest_bind_expr!($rng; $pat, []; $($rest)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind_expr {
+    ($rng:ident; $pat:pat, [$($acc:tt)*]; , $($rest:tt)*) => {
+        let $pat = $crate::strategy::sample(&($($acc)*), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*)
+    };
+    ($rng:ident; $pat:pat, [$($acc:tt)*]; ) => {
+        let $pat = $crate::strategy::sample(&($($acc)*), &mut $rng);
+    };
+    ($rng:ident; $pat:pat, [$($acc:tt)*]; $next:tt $($rest:tt)*) => {
+        $crate::__proptest_bind_expr!($rng; $pat, [$($acc)* $next]; $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_respect_bounds(a in -100i64..100, b in 0usize..7) {
+            prop_assert!((-100..100).contains(&a));
+            prop_assert!(b < 7);
+        }
+
+        #[test]
+        fn tuples_and_vecs(ops in crate::collection::vec((any::<u8>(), any::<u16>()), 1..10)) {
+            prop_assert!(!ops.is_empty() && ops.len() < 10);
+        }
+
+        #[test]
+        fn assume_filters(n in 0u32..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable() {
+        use rand::RngCore;
+        let a = crate::deterministic_rng("x").next_u64();
+        let b = crate::deterministic_rng("x").next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, crate::deterministic_rng("y").next_u64());
+    }
+}

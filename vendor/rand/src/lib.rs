@@ -1,0 +1,491 @@
+//! Offline drop-in subset of the [`rand`] crate (0.8 API surface).
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the small slice of `rand` it actually uses:
+//! [`RngCore`] / [`Rng`] / [`SeedableRng`] / [`CryptoRng`], a
+//! deterministic [`rngs::StdRng`] (xoshiro256++ seeded via splitmix64),
+//! uniform `gen_range` over integer and float ranges, and
+//! [`seq::SliceRandom::shuffle`] (Fisher–Yates).
+//!
+//! Semantics match `rand 0.8` where the workspace depends on them
+//! (determinism under a fixed seed, full-range integer sampling,
+//! half-open float ranges); the exact output streams differ from the
+//! upstream implementation, which no code here relies on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Error type for fallible RNG operations (always infallible here).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: raw word and byte output.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Marker trait for cryptographically strong generators.
+pub trait CryptoRng {}
+
+impl<R: CryptoRng + ?Sized> CryptoRng for &mut R {}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with splitmix64 (deterministic,
+    /// matching the spirit — not the bytes — of upstream `rand`).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod distributions {
+    use super::Rng;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "standard" distribution: uniform over the whole type.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Standard;
+
+    macro_rules! impl_standard_uint {
+        ($($t:ty => $m:ident),* $(,)?) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.$m() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_standard_uint!(u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64);
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty as $u:ty),* $(,)?) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    <Standard as Distribution<$u>>::sample(self, rng) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_standard_int!(
+        i8 as u8,
+        i16 as u16,
+        i32 as u32,
+        i64 as u64,
+        i128 as u128,
+        isize as usize
+    );
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            // 24 random mantissa bits in [0, 1).
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+use distributions::{Distribution, Standard};
+
+/// A range that `Rng::gen_range` can sample from.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty as $u:ty => $next:ident),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                // Rejection sampling over the widest multiple of `span`
+                // to avoid modulo bias.
+                let zone = <$u>::MAX - (<$u>::MAX % span + 1) % span;
+                loop {
+                    let v = $next(rng);
+                    if v <= zone {
+                        return (self.start as $u).wrapping_add(v % span) as $t;
+                    }
+                }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                // Inclusive span; wraps to 0 only when the range covers the
+                // full sampling domain (e.g. `u64::MIN..=u64::MAX`).
+                let span = (end as $u).wrapping_sub(start as $u).wrapping_add(1);
+                if span == 0 {
+                    return $next(rng) as $t;
+                }
+                let zone = <$u>::MAX - (<$u>::MAX % span + 1) % span;
+                loop {
+                    let v = $next(rng);
+                    if v <= zone {
+                        return (start as $u).wrapping_add(v % span) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+fn next_word64<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+    rng.next_u64()
+}
+
+fn next_word128<R: RngCore + ?Sized>(rng: &mut R) -> u128 {
+    (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+}
+
+impl_int_range!(
+    u8 as u64 => next_word64, u16 as u64 => next_word64, u32 as u64 => next_word64,
+    u64 as u64 => next_word64, usize as u64 => next_word64,
+    i8 as u64 => next_word64, i16 as u64 => next_word64, i32 as u64 => next_word64,
+    i64 as u64 => next_word64, isize as u64 => next_word64,
+    u128 as u128 => next_word128, i128 as u128 => next_word128,
+);
+
+macro_rules! impl_float_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                // `unit < 1` but `start + unit * width` can still round up
+                // to `end`; resample to keep the half-open contract.
+                loop {
+                    let unit: $t = Standard.sample(rng);
+                    let v = self.start + unit * (self.end - self.start);
+                    if v < self.end {
+                        return v;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        self.gen::<f64>() < p
+    }
+
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic general-purpose generator (xoshiro256++).
+    ///
+    /// Stands in for `rand::rngs::StdRng`: seedable, portable, and stable
+    /// across runs — the properties the protocol tests rely on.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> StdRng {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0; 4] {
+                s = [
+                    0x9e3779b97f4a7c15,
+                    0x6a09e667f3bcc909,
+                    0xbb67ae8584caa73b,
+                    0x3c6ef372fe94f82b,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+}
+
+pub mod seq {
+    use super::Rng;
+
+    /// Slice extensions: uniform shuffling and element choice.
+    pub trait SliceRandom {
+        type Item;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+        fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher–Yates, back to front.
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn determinism_under_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: i64 = rng.gen_range(-32768i64..32768);
+            assert!((-32768..32768).contains(&v));
+            let f: f32 = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u: usize = rng.gen_range(0..7usize);
+            assert!(u < 7);
+        }
+    }
+
+    #[test]
+    fn inclusive_range_to_max_does_not_panic() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let v = rng.gen_range(1u64..=u64::MAX);
+            assert!(v >= 1);
+            let w = rng.gen_range(1u128..=u128::MAX);
+            assert!(w >= 1);
+            let x = rng.gen_range(-3i64..=i64::MAX);
+            assert!(x >= -3);
+            let full = rng.gen_range(u64::MIN..=u64::MAX);
+            let _ = full;
+        }
+        // Narrow types ending at their MAX must stay in bounds too.
+        let mut seen_max = false;
+        for _ in 0..2000 {
+            let b = rng.gen_range(250u8..=u8::MAX);
+            assert!(b >= 250);
+            seen_max |= b == u8::MAX;
+        }
+        assert!(seen_max, "inclusive upper bound should be reachable");
+    }
+
+    #[test]
+    fn float_range_excludes_end() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..100_000 {
+            let v = rng.gen_range(0.15f32..0.85);
+            assert!((0.15..0.85).contains(&v), "v={v}");
+            let w = rng.gen_range(0.7f32..1.0);
+            assert!(w < 1.0, "w={w}");
+        }
+
+        // Deterministically drive the rounding edge: the first draw yields
+        // the maximum unit value (which rounds `start + unit * width` up to
+        // `end` for these ranges), forcing one resample.
+        struct EdgeRng(u32);
+        impl RngCore for EdgeRng {
+            fn next_u32(&mut self) -> u32 {
+                self.0 += 1;
+                if self.0 == 1 {
+                    u32::MAX
+                } else {
+                    0
+                }
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0 += 1;
+                if self.0 == 1 {
+                    u64::MAX
+                } else {
+                    0
+                }
+            }
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                dest.fill(0);
+            }
+        }
+        assert!(EdgeRng(0).gen_range(0.15f32..0.85) < 0.85);
+        assert!(EdgeRng(0).gen_range(0.7f64..1.0) < 1.0);
+    }
+
+    #[test]
+    fn gen_range_hits_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50-element shuffle should not be identity");
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn float_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let g: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+}
