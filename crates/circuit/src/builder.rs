@@ -443,6 +443,40 @@ mod tests {
     }
 
     #[test]
+    fn nonfree_gate_count_matches_stats() {
+        let mut b = Builder::new();
+        let x = b.garbler_input();
+        let y = b.evaluator_input();
+        let a = b.and(x, y);
+        let o = b.or(x, y);
+        let z = b.xor(a, o);
+        let n = b.nand(z, x);
+        b.output(n);
+        let c = b.finish();
+        assert_eq!(c.nonfree_gate_count() as u64, c.stats().non_xor);
+        assert_eq!(c.nonfree_gate_count(), 3, "and + or + nand");
+    }
+
+    #[test]
+    fn references_constants_detection() {
+        // Pure input→output circuit: no constant references.
+        let mut b = Builder::new();
+        let x = b.garbler_input();
+        let y = b.evaluator_input();
+        let z = b.and(x, y);
+        b.output(z);
+        assert!(!b.finish().references_constants());
+
+        // A constant routed to an output is a reference.
+        let mut b = Builder::new();
+        let x = b.garbler_input();
+        b.output(x);
+        let one = b.const1();
+        b.output(one);
+        assert!(b.finish().references_constants());
+    }
+
+    #[test]
     fn cse_shares_gates() {
         let mut b = Builder::new();
         let x = b.garbler_input();

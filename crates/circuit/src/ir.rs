@@ -249,6 +249,24 @@ impl Circuit {
         !self.registers.is_empty()
     }
 
+    /// Number of non-free gates (AND/NAND/OR/NOR) — each costs exactly two
+    /// garbled-table ciphertexts under half-gates, so the per-cycle table
+    /// stream has length `2 * nonfree_gate_count()`. Used by the garbler to
+    /// preallocate and by the protocol to size channel reads.
+    pub fn nonfree_gate_count(&self) -> usize {
+        self.gates.iter().filter(|g| !g.kind.is_free()).count()
+    }
+
+    /// Whether any gate, output, or register data input reads the constant
+    /// wires. The evaluator uses this to reject evaluation when constant
+    /// labels were never installed instead of silently computing garbage.
+    pub fn references_constants(&self) -> bool {
+        let is_const = |w: Wire| w == CONST_0 || w == CONST_1;
+        self.gates.iter().any(|g| is_const(g.a) || is_const(g.b))
+            || self.outputs.iter().any(|w| is_const(*w))
+            || self.registers.iter().any(|r| is_const(r.d))
+    }
+
     /// Per-execution gate statistics (one clock cycle for sequential
     /// circuits).
     pub fn stats(&self) -> GateStats {

@@ -202,7 +202,7 @@ pub fn run_compiled(
         let mut evaluator = Evaluator::new(c);
         evaluator.set_constant_labels(const0, const1);
         evaluator.set_initial_registers(init_regs);
-        let n_tables = 2 * c.stats().non_xor as usize;
+        let n_tables = 2 * c.nonfree_gate_count();
         let no_decode = vec![false; c.outputs().len()];
         let mut evals = Vec::with_capacity(cycles);
         for choice_bits in &evaluator_bits_per_cycle {

@@ -2,13 +2,24 @@
 //!
 //! The garbling engine uses AES strictly as a *fixed-key public permutation*
 //! (Bellare–Hoang–Keelveedhi–Rogaway, S&P 2013), so decryption and key
-//! schedules beyond 128-bit keys are intentionally not provided. The
-//! implementation is a straightforward byte-oriented one: an S-box table and
-//! xtime-based MixColumns. It is not constant-time; within the garbling
-//! model the key and inputs are public, so cache-timing on the S-box leaks
-//! nothing the adversary does not already know.
+//! schedules beyond 128-bit keys are intentionally not provided. Two
+//! implementations live here:
+//!
+//! * [`Aes128`] — the production path: a 32-bit T-table implementation
+//!   (four 1 KiB tables folding SubBytes + ShiftRows + MixColumns into one
+//!   lookup per state byte) with a multi-block [`Aes128::encrypt_blocks`]
+//!   batch API that keeps several independent blocks in flight per round so
+//!   the lookups pipeline.
+//! * [`reference::Aes128`] — the original byte-oriented S-box + xtime
+//!   implementation, kept as the oracle the T-table path is property-tested
+//!   against (FIPS-197 vectors plus random-block equivalence).
+//!
+//! Neither is constant-time; within the garbling model the key and inputs
+//! are public, so cache-timing on the tables leaks nothing the adversary
+//! does not already know.
 
-/// AES S-box.
+/// AES S-box (shared by the key schedules, the T-table final round, and the
+/// reference implementation).
 const SBOX: [u8; 256] = [
     0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
     0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
@@ -31,11 +42,43 @@ const SBOX: [u8; 256] = [
 const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
 
 #[inline]
-fn xtime(b: u8) -> u8 {
+const fn xtime(b: u8) -> u8 {
     (b << 1) ^ (((b >> 7) & 1) * 0x1b)
 }
 
-/// An AES-128 cipher with an expanded key schedule.
+/// T0 packs one byte's SubBytes + MixColumns contribution for row 0 of a
+/// column: `T0[x] = (2·S(x), S(x), S(x), 3·S(x))` as a big-endian word. The
+/// tables for rows 1–3 are byte rotations of T0 (the MixColumns matrix is
+/// circulant), derived in [`rotate_table`].
+const fn build_t0() -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i];
+        let s2 = xtime(s);
+        let s3 = s2 ^ s;
+        t[i] = ((s2 as u32) << 24) | ((s as u32) << 16) | ((s as u32) << 8) | (s3 as u32);
+        i += 1;
+    }
+    t
+}
+
+const fn rotate_table(src: &[u32; 256], bits: u32) -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = src[i].rotate_right(bits);
+        i += 1;
+    }
+    t
+}
+
+const T0: [u32; 256] = build_t0();
+const T1: [u32; 256] = rotate_table(&T0, 8);
+const T2: [u32; 256] = rotate_table(&T0, 16);
+const T3: [u32; 256] = rotate_table(&T0, 24);
+
+/// An AES-128 cipher with an expanded key schedule (T-table fast path).
 ///
 /// # Example
 ///
@@ -58,7 +101,9 @@ fn xtime(b: u8) -> u8 {
 /// ```
 #[derive(Clone)]
 pub struct Aes128 {
-    round_keys: [[u8; 16]; 11],
+    /// Round keys as big-endian column words: `round_keys[r][j]` covers
+    /// state bytes `4j..4j+4` of round `r`.
+    round_keys: [[u32; 4]; 11],
 }
 
 impl std::fmt::Debug for Aes128 {
@@ -67,86 +112,244 @@ impl std::fmt::Debug for Aes128 {
     }
 }
 
+#[inline]
+fn sub_word(w: u32) -> u32 {
+    (u32::from(SBOX[(w >> 24) as usize]) << 24)
+        | (u32::from(SBOX[(w >> 16 & 0xff) as usize]) << 16)
+        | (u32::from(SBOX[(w >> 8 & 0xff) as usize]) << 8)
+        | u32::from(SBOX[(w & 0xff) as usize])
+}
+
 impl Aes128 {
     /// Expands `key` into the 11 round keys.
     pub fn new(key: [u8; 16]) -> Aes128 {
-        let mut rk = [[0u8; 16]; 11];
-        rk[0] = key;
-        for round in 1..11 {
-            let prev = rk[round - 1];
-            let mut t = [prev[13], prev[14], prev[15], prev[12]];
-            for b in &mut t {
-                *b = SBOX[*b as usize];
-            }
-            t[0] ^= RCON[round - 1];
-            for i in 0..4 {
-                rk[round][i] = prev[i] ^ t[i];
-            }
-            for i in 4..16 {
-                rk[round][i] = prev[i] ^ rk[round][i - 4];
-            }
+        let mut words = [0u32; 44];
+        for (i, w) in words.iter_mut().take(4).enumerate() {
+            *w = u32::from_be_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
         }
-        Aes128 { round_keys: rk }
+        for i in 4..44 {
+            let mut t = words[i - 1];
+            if i % 4 == 0 {
+                t = sub_word(t.rotate_left(8)) ^ (u32::from(RCON[i / 4 - 1]) << 24);
+            }
+            words[i] = words[i - 4] ^ t;
+        }
+        let mut round_keys = [[0u32; 4]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            rk.copy_from_slice(&words[4 * r..4 * r + 4]);
+        }
+        Aes128 { round_keys }
     }
 
     /// Encrypts one 16-byte block.
+    #[inline]
     pub fn encrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
-        let mut s = block;
-        add_round_key(&mut s, &self.round_keys[0]);
-        for round in 1..10 {
+        self.encrypt_blocks([block])[0]
+    }
+
+    /// Encrypts `N` independent 16-byte blocks in one pass.
+    ///
+    /// Blocks advance round by round together in register-sized chunks, so
+    /// the per-byte table lookups of different blocks have no data
+    /// dependencies and pipeline — this is the hot path behind
+    /// `FixedKeyHash::hash4` (one AND gate needs exactly four hashes) and
+    /// the PRG's counter-mode expansion.
+    pub fn encrypt_blocks<const N: usize>(&self, blocks: [[u8; 16]; N]) -> [[u8; 16]; N] {
+        let mut out = blocks;
+        let mut i = 0;
+        while i + 2 <= N {
+            let [a, b] = self.encrypt_chunk([out[i], out[i + 1]]);
+            out[i] = a;
+            out[i + 1] = b;
+            i += 2;
+        }
+        if i < N {
+            let [a] = self.encrypt_chunk([out[i]]);
+            out[i] = a;
+        }
+        out
+    }
+
+    /// One register-resident T-table pass over `N` blocks (`N` ≤ 2 from
+    /// [`Aes128::encrypt_blocks`]).
+    #[inline]
+    fn encrypt_chunk<const N: usize>(&self, blocks: [[u8; 16]; N]) -> [[u8; 16]; N] {
+        let rk = &self.round_keys;
+        // Load: four big-endian column words per block, whitened.
+        let mut s = [[0u32; 4]; N];
+        for (state, block) in s.iter_mut().zip(&blocks) {
+            for (j, w) in state.iter_mut().enumerate() {
+                *w = u32::from_be_bytes([
+                    block[4 * j],
+                    block[4 * j + 1],
+                    block[4 * j + 2],
+                    block[4 * j + 3],
+                ]) ^ rk[0][j];
+            }
+        }
+        // Nine full rounds: one T-table lookup per byte folds SubBytes,
+        // ShiftRows (the column rotation in the indices) and MixColumns.
+        for k in &rk[1..10] {
+            for state in &mut s {
+                let [a, b, c, d] = *state;
+                state[0] = T0[(a >> 24) as usize]
+                    ^ T1[(b >> 16 & 0xff) as usize]
+                    ^ T2[(c >> 8 & 0xff) as usize]
+                    ^ T3[(d & 0xff) as usize]
+                    ^ k[0];
+                state[1] = T0[(b >> 24) as usize]
+                    ^ T1[(c >> 16 & 0xff) as usize]
+                    ^ T2[(d >> 8 & 0xff) as usize]
+                    ^ T3[(a & 0xff) as usize]
+                    ^ k[1];
+                state[2] = T0[(c >> 24) as usize]
+                    ^ T1[(d >> 16 & 0xff) as usize]
+                    ^ T2[(a >> 8 & 0xff) as usize]
+                    ^ T3[(b & 0xff) as usize]
+                    ^ k[2];
+                state[3] = T0[(d >> 24) as usize]
+                    ^ T1[(a >> 16 & 0xff) as usize]
+                    ^ T2[(b >> 8 & 0xff) as usize]
+                    ^ T3[(c & 0xff) as usize]
+                    ^ k[3];
+            }
+        }
+        // Final round: SubBytes + ShiftRows only.
+        let k = &rk[10];
+        let mut out = [[0u8; 16]; N];
+        for (block, state) in out.iter_mut().zip(&s) {
+            let [a, b, c, d] = *state;
+            let cols = [
+                (u32::from(SBOX[(a >> 24) as usize]) << 24
+                    | u32::from(SBOX[(b >> 16 & 0xff) as usize]) << 16
+                    | u32::from(SBOX[(c >> 8 & 0xff) as usize]) << 8
+                    | u32::from(SBOX[(d & 0xff) as usize]))
+                    ^ k[0],
+                (u32::from(SBOX[(b >> 24) as usize]) << 24
+                    | u32::from(SBOX[(c >> 16 & 0xff) as usize]) << 16
+                    | u32::from(SBOX[(d >> 8 & 0xff) as usize]) << 8
+                    | u32::from(SBOX[(a & 0xff) as usize]))
+                    ^ k[1],
+                (u32::from(SBOX[(c >> 24) as usize]) << 24
+                    | u32::from(SBOX[(d >> 16 & 0xff) as usize]) << 16
+                    | u32::from(SBOX[(a >> 8 & 0xff) as usize]) << 8
+                    | u32::from(SBOX[(b & 0xff) as usize]))
+                    ^ k[2],
+                (u32::from(SBOX[(d >> 24) as usize]) << 24
+                    | u32::from(SBOX[(a >> 16 & 0xff) as usize]) << 16
+                    | u32::from(SBOX[(b >> 8 & 0xff) as usize]) << 8
+                    | u32::from(SBOX[(c & 0xff) as usize]))
+                    ^ k[3],
+            ];
+            for (j, w) in cols.iter().enumerate() {
+                block[4 * j..4 * j + 4].copy_from_slice(&w.to_be_bytes());
+            }
+        }
+        out
+    }
+}
+
+/// The original byte-oriented AES-128 (S-box + xtime MixColumns), kept as
+/// the property-test oracle for the T-table fast path.
+pub mod reference {
+    use super::{xtime, RCON, SBOX};
+
+    /// Byte-oriented AES-128; same API as the fast [`super::Aes128`] minus
+    /// the batch method.
+    #[derive(Clone)]
+    pub struct Aes128 {
+        round_keys: [[u8; 16]; 11],
+    }
+
+    impl std::fmt::Debug for Aes128 {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("reference::Aes128").finish_non_exhaustive()
+        }
+    }
+
+    impl Aes128 {
+        /// Expands `key` into the 11 round keys.
+        pub fn new(key: [u8; 16]) -> Aes128 {
+            let mut rk = [[0u8; 16]; 11];
+            rk[0] = key;
+            for round in 1..11 {
+                let prev = rk[round - 1];
+                let mut t = [prev[13], prev[14], prev[15], prev[12]];
+                for b in &mut t {
+                    *b = SBOX[*b as usize];
+                }
+                t[0] ^= RCON[round - 1];
+                for i in 0..4 {
+                    rk[round][i] = prev[i] ^ t[i];
+                }
+                for i in 4..16 {
+                    rk[round][i] = prev[i] ^ rk[round][i - 4];
+                }
+            }
+            Aes128 { round_keys: rk }
+        }
+
+        /// Encrypts one 16-byte block.
+        pub fn encrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+            let mut s = block;
+            add_round_key(&mut s, &self.round_keys[0]);
+            for round in 1..10 {
+                sub_bytes(&mut s);
+                shift_rows(&mut s);
+                mix_columns(&mut s);
+                add_round_key(&mut s, &self.round_keys[round]);
+            }
             sub_bytes(&mut s);
             shift_rows(&mut s);
-            mix_columns(&mut s);
-            add_round_key(&mut s, &self.round_keys[round]);
+            add_round_key(&mut s, &self.round_keys[10]);
+            s
         }
-        sub_bytes(&mut s);
-        shift_rows(&mut s);
-        add_round_key(&mut s, &self.round_keys[10]);
-        s
     }
-}
 
-fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
-    for (s, k) in state.iter_mut().zip(rk) {
-        *s ^= k;
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk) {
+            *s ^= k;
+        }
     }
-}
 
-fn sub_bytes(state: &mut [u8; 16]) {
-    for b in state.iter_mut() {
-        *b = SBOX[*b as usize];
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
     }
-}
 
-fn shift_rows(state: &mut [u8; 16]) {
-    // Column-major state layout: byte i is row i%4, column i/4.
-    let s = *state;
-    for row in 1..4 {
+    fn shift_rows(state: &mut [u8; 16]) {
+        // Column-major state layout: byte i is row i%4, column i/4.
+        let s = *state;
+        for row in 1..4 {
+            for col in 0..4 {
+                state[col * 4 + row] = s[((col + row) % 4) * 4 + row];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
         for col in 0..4 {
-            state[col * 4 + row] = s[((col + row) % 4) * 4 + row];
+            let c = &mut state[col * 4..col * 4 + 4];
+            let (a0, a1, a2, a3) = (c[0], c[1], c[2], c[3]);
+            let all = a0 ^ a1 ^ a2 ^ a3;
+            c[0] = a0 ^ all ^ xtime(a0 ^ a1);
+            c[1] = a1 ^ all ^ xtime(a1 ^ a2);
+            c[2] = a2 ^ all ^ xtime(a2 ^ a3);
+            c[3] = a3 ^ all ^ xtime(a3 ^ a0);
         }
-    }
-}
-
-fn mix_columns(state: &mut [u8; 16]) {
-    for col in 0..4 {
-        let c = &mut state[col * 4..col * 4 + 4];
-        let (a0, a1, a2, a3) = (c[0], c[1], c[2], c[3]);
-        let all = a0 ^ a1 ^ a2 ^ a3;
-        c[0] = a0 ^ all ^ xtime(a0 ^ a1);
-        c[1] = a1 ^ all ^ xtime(a1 ^ a2);
-        c[2] = a2 ^ all ^ xtime(a2 ^ a3);
-        c[3] = a3 ^ all ^ xtime(a3 ^ a0);
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use proptest::prelude::*;
+
     use super::*;
 
     #[test]
     fn fips197_appendix_b() {
-        // FIPS-197 Appendix B worked example.
+        // FIPS-197 Appendix B worked example, against both implementations.
         let key = [
             0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
             0x4f, 0x3c,
@@ -160,6 +363,7 @@ mod tests {
             0x0b, 0x32,
         ];
         assert_eq!(Aes128::new(key).encrypt_block(pt), expect);
+        assert_eq!(reference::Aes128::new(key).encrypt_block(pt), expect);
     }
 
     #[test]
@@ -171,6 +375,7 @@ mod tests {
             0xc5, 0x5a,
         ];
         assert_eq!(Aes128::new(key).encrypt_block(pt), expect);
+        assert_eq!(reference::Aes128::new(key).encrypt_block(pt), expect);
     }
 
     #[test]
@@ -181,6 +386,29 @@ mod tests {
             let mut block = [0u8; 16];
             block[..8].copy_from_slice(&i.to_le_bytes());
             assert!(seen.insert(aes.encrypt_block(block)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+        #[test]
+        fn ttable_matches_reference(key in any::<u128>(), pt in any::<u128>()) {
+            let key = key.to_le_bytes();
+            let pt = pt.to_le_bytes();
+            prop_assert_eq!(
+                Aes128::new(key).encrypt_block(pt),
+                reference::Aes128::new(key).encrypt_block(pt)
+            );
+        }
+
+        #[test]
+        fn batch_matches_per_block(key in any::<u128>(), blocks in proptest::collection::vec(any::<u128>(), 4..5)) {
+            let aes = Aes128::new(key.to_le_bytes());
+            let batch: [[u8; 16]; 4] = core::array::from_fn(|i| blocks[i].to_le_bytes());
+            let out = aes.encrypt_blocks(batch);
+            for (i, b) in batch.iter().enumerate() {
+                prop_assert_eq!(out[i], aes.encrypt_block(*b));
+            }
         }
     }
 }

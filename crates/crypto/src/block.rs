@@ -29,26 +29,31 @@ impl Block {
     pub const ONES: Block = Block(u128::MAX);
 
     /// Creates a block from raw little-endian bytes.
+    #[inline]
     pub fn from_bytes(bytes: [u8; 16]) -> Block {
         Block(u128::from_le_bytes(bytes))
     }
 
     /// Returns the block as raw little-endian bytes.
+    #[inline]
     pub fn to_bytes(self) -> [u8; 16] {
         self.0.to_le_bytes()
     }
 
     /// Returns the underlying 128-bit integer.
+    #[inline]
     pub fn as_u128(self) -> u128 {
         self.0
     }
 
     /// The point-and-permute color bit (least-significant bit).
+    #[inline]
     pub fn color(self) -> bool {
         self.0 & 1 == 1
     }
 
     /// Returns a copy with the color bit forced to `bit`.
+    #[inline]
     pub fn with_color(self, bit: bool) -> Block {
         Block((self.0 & !1) | u128::from(bit))
     }
@@ -56,6 +61,7 @@ impl Block {
     /// Doubling in GF(2^128) with the canonical reduction polynomial
     /// `x^128 + x^7 + x^2 + x + 1`; used to derive the tweakable hash input
     /// `2L` without losing entropy to simple shifts.
+    #[inline]
     pub fn gf_double(self) -> Block {
         let carry = self.0 >> 127;
         Block((self.0 << 1) ^ (carry * 0b1000_0111))
@@ -86,12 +92,14 @@ impl From<Block> for u128 {
 
 impl BitXor for Block {
     type Output = Block;
+    #[inline]
     fn bitxor(self, rhs: Block) -> Block {
         Block(self.0 ^ rhs.0)
     }
 }
 
 impl BitXorAssign for Block {
+    #[inline]
     fn bitxor_assign(&mut self, rhs: Block) {
         self.0 ^= rhs.0;
     }

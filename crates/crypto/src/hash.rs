@@ -37,10 +37,44 @@ impl FixedKeyHash {
     }
 
     /// Hashes a single label under tweak `tweak`.
+    #[inline]
     pub fn hash(&self, label: Block, tweak: u64) -> Block {
         let x = label.gf_double() ^ Block::from(u128::from(tweak));
         let y = Block::from_bytes(self.cipher.encrypt_block(x.to_bytes()));
         y ^ x
+    }
+
+    /// Hashes `N` labels in one batched AES pass; bit-identical to `N`
+    /// scalar [`FixedKeyHash::hash`] calls.
+    ///
+    /// The garbler uses `N = 4` (an AND gate needs exactly the four hashes
+    /// `hg0/hg1/he0/he1`) and the evaluator `N = 2` (one hash per half
+    /// gate); batching lets the independent AES rounds pipeline instead of
+    /// serializing block by block.
+    #[inline]
+    pub fn hash_batch<const N: usize>(&self, labels: [Block; N], tweaks: [u64; N]) -> [Block; N] {
+        let mut x = [Block::ZERO; N];
+        let mut pt = [[0u8; 16]; N];
+        for i in 0..N {
+            x[i] = labels[i].gf_double() ^ Block::from(u128::from(tweaks[i]));
+            pt[i] = x[i].to_bytes();
+        }
+        let ct = self.cipher.encrypt_blocks(pt);
+        core::array::from_fn(|i| Block::from_bytes(ct[i]) ^ x[i])
+    }
+
+    /// Batched hash of the four labels one AND gate consumes
+    /// (`hg0/hg1/he0/he1`); see [`FixedKeyHash::hash_batch`].
+    #[inline]
+    pub fn hash4(&self, labels: [Block; 4], tweaks: [u64; 4]) -> [Block; 4] {
+        self.hash_batch(labels, tweaks)
+    }
+
+    /// Batched hash of the two labels the evaluator's half-gates step
+    /// consumes; see [`FixedKeyHash::hash_batch`].
+    #[inline]
+    pub fn hash2(&self, labels: [Block; 2], tweaks: [u64; 2]) -> [Block; 2] {
+        self.hash_batch(labels, tweaks)
     }
 
     /// Hashes two labels jointly (used by 4-row garbling schemes and tests):
@@ -99,6 +133,33 @@ mod tests {
         let a = Block::from(0xaaaa_u128);
         let b = Block::from(0xbbbb_u128);
         assert_ne!(h.hash_pair(a, b, 0), h.hash_pair(b, a, 0));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(256))]
+        #[test]
+        fn hash4_equals_four_scalar_hashes(
+            labels in proptest::collection::vec(proptest::prelude::any::<u128>(), 4..5),
+            tweaks in proptest::collection::vec(proptest::prelude::any::<u64>(), 4..5),
+        ) {
+            let h = FixedKeyHash::new();
+            let ls: [Block; 4] = core::array::from_fn(|i| Block::from(labels[i]));
+            let ts: [u64; 4] = core::array::from_fn(|i| tweaks[i]);
+            let batched = h.hash4(ls, ts);
+            for i in 0..4 {
+                proptest::prop_assert_eq!(batched[i], h.hash(ls[i], ts[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn hash2_equals_two_scalar_hashes() {
+        let h = FixedKeyHash::new();
+        let ls = [Block::from(0x1234_u128), Block::from(0x5678_u128)];
+        let ts = [7u64, 8u64];
+        let batched = h.hash2(ls, ts);
+        assert_eq!(batched[0], h.hash(ls[0], ts[0]));
+        assert_eq!(batched[1], h.hash(ls[1], ts[1]));
     }
 
     #[test]

@@ -6,10 +6,15 @@
 //!   point-and-permute color bits.
 //! * [`aes::Aes128`] — a software AES-128 (encryption direction only), used
 //!   exclusively as a fixed-key public permutation per Bellare et al.,
-//!   *Efficient Garbling from a Fixed-Key Blockcipher* (S&P 2013).
+//!   *Efficient Garbling from a Fixed-Key Blockcipher* (S&P 2013). The
+//!   production path is a 32-bit T-table implementation with a multi-block
+//!   [`aes::Aes128::encrypt_blocks`] batch API; the byte-oriented original
+//!   survives as [`aes::reference::Aes128`], the property-test oracle.
 //! * [`FixedKeyHash`] — the correlation-robust hash
 //!   `H(L, t) = π(2L ⊕ t) ⊕ 2L` used by half-gates garbling and by the
-//!   IKNP OT extension.
+//!   IKNP OT extension, with batched variants ([`FixedKeyHash::hash4`] for
+//!   the garbler's four hashes per AND gate, [`FixedKeyHash::hash2`] for
+//!   the evaluator's two) that ride the multi-block AES.
 //! * [`Prg`] — an AES-CTR pseudorandom generator for label sampling and OT
 //!   extension matrices.
 //!

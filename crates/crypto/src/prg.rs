@@ -55,14 +55,44 @@ impl Prg {
     }
 
     /// Fills `out` with pseudorandom bytes.
+    ///
+    /// Whole 16-byte chunks are written straight from the counter-mode
+    /// keystream (four blocks per AES pass), bypassing the staging buffer;
+    /// only a leading buffered remainder and a trailing partial block go
+    /// through it. The byte stream is identical to the byte-at-a-time
+    /// formulation for every call-size split.
     pub fn fill(&mut self, out: &mut [u8]) {
-        for byte in out.iter_mut() {
-            if self.used == 16 {
-                self.buffer = self.next_block().to_bytes();
-                self.used = 0;
+        let mut pos = 0;
+        // Drain whatever the last partial read left in the buffer.
+        if self.used < 16 {
+            let take = (16 - self.used).min(out.len());
+            out[..take].copy_from_slice(&self.buffer[self.used..self.used + take]);
+            self.used += take;
+            pos = take;
+        }
+        // Four keystream blocks per batched AES pass.
+        while out.len() - pos >= 64 {
+            let pts: [[u8; 16]; 4] =
+                core::array::from_fn(|i| self.counter.wrapping_add(i as u128).to_le_bytes());
+            self.counter = self.counter.wrapping_add(4);
+            let cts = self.cipher.encrypt_blocks(pts);
+            for ct in &cts {
+                out[pos..pos + 16].copy_from_slice(ct);
+                pos += 16;
             }
-            *byte = self.buffer[self.used];
-            self.used += 1;
+        }
+        // Remaining whole blocks, one at a time.
+        while out.len() - pos >= 16 {
+            out[pos..pos + 16].copy_from_slice(&self.next_block().to_bytes());
+            pos += 16;
+        }
+        // Trailing partial block: stage it so the next call continues the
+        // stream mid-block.
+        if pos < out.len() {
+            self.buffer = self.next_block().to_bytes();
+            let rest = out.len() - pos;
+            out[pos..].copy_from_slice(&self.buffer[..rest]);
+            self.used = rest;
         }
     }
 
@@ -136,6 +166,29 @@ mod tests {
         let mut small = [0u8; 17];
         b.fill(&mut small);
         assert_eq!(&big[..17], &small[..]);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(64))]
+        #[test]
+        fn chunked_fill_is_split_invariant(
+            splits in proptest::collection::vec(0usize..100, 1..8),
+        ) {
+            // Any sequence of fill() call sizes must produce the same byte
+            // stream as one contiguous fill — the chunked fast path may not
+            // depend on call boundaries.
+            let total: usize = splits.iter().sum();
+            let mut whole = vec![0u8; total];
+            Prg::from_seed(Block::from(0xfeed_u128)).fill(&mut whole);
+            let mut pieced = Vec::with_capacity(total);
+            let mut prg = Prg::from_seed(Block::from(0xfeed_u128));
+            for n in &splits {
+                let mut part = vec![0u8; *n];
+                prg.fill(&mut part);
+                pieced.extend_from_slice(&part);
+            }
+            proptest::prop_assert_eq!(whole, pieced);
+        }
     }
 
     #[test]

@@ -12,6 +12,10 @@ pub struct Evaluator<'c> {
     hash: FixedKeyHash,
     /// Active labels of register q wires for the next cycle.
     reg_labels: Vec<Block>,
+    /// Whether real register labels were ever installed. Starts `false` for
+    /// sequential circuits: evaluating before [`Evaluator::set_initial_registers`]
+    /// would silently walk the netlist with all-zero register labels.
+    regs_initialized: bool,
     /// Mirrors the garbler's monotone per-gate tweak counter.
     tweak: u64,
     /// Constant-wire active labels (learned from the first cycle's stream —
@@ -34,6 +38,8 @@ impl<'c> Evaluator<'c> {
             circuit,
             hash: FixedKeyHash::new(),
             reg_labels: vec![Block::ZERO; circuit.registers().len()],
+            // Combinational circuits have no register state to install.
+            regs_initialized: !circuit.is_sequential(),
             tweak: 0,
             const_labels: None,
         }
@@ -48,12 +54,11 @@ impl<'c> Evaluator<'c> {
     pub fn set_initial_registers(&mut self, labels: Vec<Block>) {
         assert_eq!(labels.len(), self.reg_labels.len(), "register arity");
         self.reg_labels = labels;
+        self.regs_initialized = true;
     }
 
-    /// Installs the constant-wire active labels (garbler sends them once;
-    /// the local runner and protocol call this implicitly via
-    /// [`Evaluator::eval_cycle`] when unset, deriving them from the
-    /// garbler's cycle metadata).
+    /// Installs the constant-wire active labels (the garbler sends them
+    /// once, before the first cycle's tables).
     pub fn set_constant_labels(&mut self, const0: Block, const1: Block) {
         self.const_labels = Some([const0, const1]);
     }
@@ -62,15 +67,16 @@ impl<'c> Evaluator<'c> {
     ///
     /// `garbler_labels` are the active labels of the garbler's inputs (sent
     /// directly); `evaluator_labels` are this party's own input labels
-    /// (obtained via OT). The constant labels default to the ones embedded
-    /// in the first two positions of the label space by convention when
-    /// [`Evaluator::set_constant_labels`] was never called — the protocol
-    /// always calls it.
+    /// (obtained via OT).
     ///
     /// # Panics
     ///
-    /// Panics on arity mismatch or if constant labels were never provided
-    /// while the circuit references constants.
+    /// Panics on arity mismatch, if constant labels were never provided
+    /// while the circuit references constants (see
+    /// [`Evaluator::set_constant_labels`]), or if the circuit is sequential
+    /// and [`Evaluator::set_initial_registers`] was never called —
+    /// evaluating with placeholder labels would silently produce garbage
+    /// bits instead of an error.
     pub fn eval_cycle(
         &mut self,
         tables: &[Block],
@@ -90,10 +96,22 @@ impl<'c> Evaluator<'c> {
             "evaluator label arity"
         );
         assert_eq!(output_decode.len(), c.outputs().len(), "decode arity");
+        assert!(
+            self.regs_initialized,
+            "register labels never provided for a sequential circuit: call \
+             Evaluator::set_initial_registers before eval_cycle"
+        );
         let mut labels: Vec<Block> = vec![Block::ZERO; c.wire_count()];
-        if let Some([c0, c1]) = self.const_labels {
-            labels[CONST_0.index()] = c0;
-            labels[CONST_1.index()] = c1;
+        match self.const_labels {
+            Some([c0, c1]) => {
+                labels[CONST_0.index()] = c0;
+                labels[CONST_1.index()] = c1;
+            }
+            None => assert!(
+                !c.references_constants(),
+                "constant labels never provided but the circuit references \
+                 constants: call Evaluator::set_constant_labels before eval_cycle"
+            ),
         }
         for (w, &l) in c.garbler_inputs().iter().zip(garbler_labels) {
             labels[w.index()] = l;
@@ -125,11 +143,11 @@ impl<'c> Evaluator<'c> {
                     let t_g = self.tweak;
                     let t_e = self.tweak + 1;
                     self.tweak += 2;
-                    let mut w_g = self.hash.hash(a, t_g);
+                    // Both half-gate hashes in one batched AES pass.
+                    let [mut w_g, mut w_e] = self.hash.hash2([a, b], [t_g, t_e]);
                     if a.color() {
                         w_g ^= table_g;
                     }
-                    let mut w_e = self.hash.hash(b, t_e);
                     if b.color() {
                         w_e ^= table_e ^ a;
                     }
@@ -181,6 +199,68 @@ mod tests {
             cy1.garbler_input_labels[0].0, cy2.garbler_input_labels[0].0,
             "independent sessions, independent labels"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "constant labels never provided")]
+    fn missing_constant_labels_panics() {
+        // Regression: this used to leave CONST_0/CONST_1 as Block::ZERO and
+        // silently misevaluate.
+        let mut b = Builder::new();
+        let x = b.garbler_input();
+        b.output(x);
+        let one = b.const1();
+        b.output(one);
+        let c = b.finish();
+        assert!(c.references_constants());
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut g = Garbler::new(&c, &mut rng);
+        let cy = g.garble_cycle(&mut rng);
+        let mut e = Evaluator::new(&c);
+        let gl = cy.garbler_active(&[true]);
+        let _ = e.eval_cycle(&cy.tables, &gl, &[], &cy.output_decode);
+    }
+
+    #[test]
+    fn missing_constant_labels_ok_when_unreferenced() {
+        // A circuit that never reads the constant wires must keep working
+        // without set_constant_labels.
+        let mut b = Builder::new();
+        let x = b.garbler_input();
+        let y = b.evaluator_input();
+        let z = b.and(x, y);
+        b.output(z);
+        let c = b.finish();
+        assert!(!c.references_constants());
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut g = Garbler::new(&c, &mut rng);
+        let cy = g.garble_cycle(&mut rng);
+        let mut e = Evaluator::new(&c);
+        let gl = cy.garbler_active(&[true]);
+        let el = cy.evaluator_active(&[true]);
+        let out = e.eval_cycle(&cy.tables, &gl, &el, &cy.output_decode);
+        assert_eq!(out, vec![true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "register labels never provided")]
+    fn missing_initial_registers_panics() {
+        // Regression: this used to evaluate with all-zero register labels
+        // and produce wrong bits instead of an error.
+        let mut b = Builder::new();
+        let x = b.garbler_input();
+        let q = b.register(false);
+        let d = b.and(q, x);
+        b.connect_register(q, d);
+        b.output(d);
+        let c = b.finish();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut g = Garbler::new(&c, &mut rng);
+        let cy = g.garble_cycle(&mut rng);
+        let mut e = Evaluator::new(&c);
+        // Deliberately skip set_initial_registers.
+        let gl = cy.garbler_active(&[true]);
+        let _ = e.eval_cycle(&cy.tables, &gl, &[], &cy.output_decode);
     }
 
     #[test]

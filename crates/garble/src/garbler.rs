@@ -70,6 +70,9 @@ pub struct Garbler<'c> {
     reg_labels: Vec<Block>,
     /// Monotone per-gate tweak counter (never reused across cycles).
     tweak: u64,
+    /// Non-free gate count, fixed per circuit: every cycle's table stream
+    /// has exactly `2 * nonfree` entries.
+    nonfree: usize,
 }
 
 impl std::fmt::Debug for Garbler<'_> {
@@ -93,6 +96,7 @@ impl<'c> Garbler<'c> {
                 .map(|_| Block::random(rng))
                 .collect(),
             tweak: 0,
+            nonfree: circuit.nonfree_gate_count(),
         }
     }
 
@@ -140,7 +144,7 @@ impl<'c> Garbler<'c> {
             labels[r.q.index()] = l0;
         }
 
-        let mut tables = Vec::new();
+        let mut tables = Vec::with_capacity(2 * self.nonfree);
         for gate in c.gates() {
             let a = labels[gate.a.index()];
             let b = labels[gate.b.index()];
@@ -164,6 +168,17 @@ impl<'c> Garbler<'c> {
             labels[gate.out.index()] = out;
         }
 
+        // A garbler-side table-count drift (a gate pushing the wrong number
+        // of rows) must be caught here, at garble time — the evaluator's
+        // stream-length check would otherwise report it a party too late.
+        assert_eq!(
+            tables.len(),
+            2 * self.nonfree,
+            "garbled table count drift: produced {} rows for {} non-free gates",
+            tables.len(),
+            self.nonfree
+        );
+
         // Latch: next cycle's q false labels are this cycle's d labels.
         for (slot, r) in self.reg_labels.iter_mut().zip(c.registers()) {
             *slot = labels[r.d.index()];
@@ -185,7 +200,8 @@ impl<'c> Garbler<'c> {
     }
 
     /// Half-gates AND garbling (Zahur–Rosulek–Evans): two ciphertexts,
-    /// returns the output false label.
+    /// returns the output false label. The four hashes an AND gate needs
+    /// (`hg0/hg1/he0/he1`) go through one batched AES pass.
     fn garble_and(&mut self, a0: Block, b0: Block, tables: &mut Vec<Block>) -> Block {
         let t_g = self.tweak;
         let t_e = self.tweak + 1;
@@ -194,9 +210,8 @@ impl<'c> Garbler<'c> {
         let p_b = b0.color();
         let a1 = a0 ^ self.delta;
         let b1 = b0 ^ self.delta;
+        let [hg0, hg1, he0, he1] = self.hash.hash4([a0, a1, b0, b1], [t_g, t_g, t_e, t_e]);
         // Generator half gate.
-        let hg0 = self.hash.hash(a0, t_g);
-        let hg1 = self.hash.hash(a1, t_g);
         let mut table_g = hg0 ^ hg1;
         if p_b {
             table_g ^= self.delta;
@@ -206,8 +221,6 @@ impl<'c> Garbler<'c> {
             w_g ^= table_g;
         }
         // Evaluator half gate.
-        let he0 = self.hash.hash(b0, t_e);
-        let he1 = self.hash.hash(b1, t_e);
         let table_e = he0 ^ he1 ^ a0;
         let mut w_e = he0;
         if p_b {

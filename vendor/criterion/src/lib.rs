@@ -8,6 +8,11 @@
 //! `criterion_main!` macros. Measurement is a plain warmup + timed-sample
 //! loop reporting mean time per iteration (and derived throughput); there
 //! is no statistical analysis or HTML report.
+//!
+//! Like upstream, passing `--test` (as in
+//! `cargo bench --bench garbling -- --test`) runs every benchmark routine
+//! exactly once with no warmup or timing loop — a smoke mode for CI that
+//! exercises the benchmarked code paths without paying measurement time.
 
 use std::time::{Duration, Instant};
 
@@ -27,6 +32,8 @@ pub enum Throughput {
 /// Timing loop handed to each benchmark closure.
 pub struct Bencher {
     samples: usize,
+    /// Smoke mode (`--test`): run the routine once, skip measurement.
+    test_mode: bool,
     /// Mean seconds per iteration of the most recent `iter` call.
     last_mean: f64,
 }
@@ -34,6 +41,12 @@ pub struct Bencher {
 impl Bencher {
     /// Times `routine`, first warming up, then averaging over batches.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            let start = Instant::now();
+            black_box(routine());
+            self.last_mean = start.elapsed().as_secs_f64();
+            return;
+        }
         // Warmup: run for ~50ms or at least one iteration to settle caches
         // and estimate per-iteration cost.
         let warm_start = Instant::now();
@@ -78,14 +91,20 @@ fn format_time(secs: f64) -> String {
 fn run_and_report(
     id: &str,
     samples: usize,
+    test_mode: bool,
     throughput: Option<Throughput>,
     f: &mut dyn FnMut(&mut Bencher),
 ) {
     let mut bencher = Bencher {
         samples,
+        test_mode,
         last_mean: 0.0,
     };
     f(&mut bencher);
+    if test_mode {
+        println!("{id:<40} test: ok");
+        return;
+    }
     let mean = bencher.last_mean;
     let rate = match throughput {
         Some(Throughput::Elements(n)) if mean > 0.0 => {
@@ -123,7 +142,13 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, id.as_ref());
-        run_and_report(&full, self.criterion.sample_size, self.throughput, &mut f);
+        run_and_report(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.test_mode,
+            self.throughput,
+            &mut f,
+        );
         self
     }
 
@@ -133,11 +158,15 @@ impl BenchmarkGroup<'_> {
 /// Benchmark driver; collects and reports all benchmarks in a target.
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Criterion {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
     }
 }
 
@@ -155,7 +184,7 @@ impl Criterion {
         id: I,
         mut f: F,
     ) -> &mut Self {
-        run_and_report(id.as_ref(), self.sample_size, None, &mut f);
+        run_and_report(id.as_ref(), self.sample_size, self.test_mode, None, &mut f);
         self
     }
 }
@@ -189,10 +218,23 @@ mod tests {
     fn bencher_measures_nonzero_time() {
         let mut bencher = Bencher {
             samples: 3,
+            test_mode: false,
             last_mean: 0.0,
         };
         bencher.iter(|| black_box((0..100u64).sum::<u64>()));
         assert!(bencher.last_mean > 0.0);
+    }
+
+    #[test]
+    fn test_mode_runs_routine_once() {
+        let mut bencher = Bencher {
+            samples: 10,
+            test_mode: true,
+            last_mean: 0.0,
+        };
+        let mut calls = 0u32;
+        bencher.iter(|| calls += 1);
+        assert_eq!(calls, 1, "--test mode must not loop");
     }
 
     #[test]
