@@ -1,0 +1,104 @@
+//! Network-transport benchmarks: the same tiny_mlp secure inference over
+//! in-memory channels, real TCP loopback, and simulated LAN/WAN links —
+//! the numbers behind the transport section of BENCH_BASELINE.md. Every
+//! run asserts the decoded label against the plaintext oracle, so the
+//! `-- --test` smoke mode in CI doubles as a transport correctness check.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepsecure_core::compile::{compile, plain_label, CompileOptions, Compiled};
+use deepsecure_core::protocol::{run_compiled_over, InferenceConfig};
+use deepsecure_nn::{data, zoo};
+use deepsecure_ot::{mem_pair, tcp_pair, NetModel, SimChannel};
+use deepsecure_synth::activation::Activation;
+
+struct Setup {
+    compiled: Arc<Compiled>,
+    g_bits: Vec<Vec<bool>>,
+    e_bits: Vec<Vec<bool>>,
+    cfg: InferenceConfig,
+    expected: usize,
+}
+
+fn setup() -> Setup {
+    let set = data::digits_small(4, 1);
+    let net = zoo::tiny_mlp(set.num_classes);
+    let cfg = InferenceConfig {
+        options: CompileOptions {
+            tanh: Activation::TanhPl,
+            sigmoid: Activation::SigmoidPlan,
+            ..CompileOptions::default()
+        },
+        ..InferenceConfig::default()
+    };
+    let compiled = Arc::new(compile(&net, &cfg.options));
+    let expected = plain_label(&compiled, &net, &set.inputs[0]);
+    Setup {
+        g_bits: vec![compiled.input_bits(&set.inputs[0])],
+        e_bits: vec![compiled.weight_bits(&net)],
+        compiled,
+        cfg,
+        expected,
+    }
+}
+
+fn run_sim(s: &Setup, model: NetModel) {
+    let (ca, cb) = mem_pair();
+    let report = run_compiled_over(
+        Arc::clone(&s.compiled),
+        s.g_bits.clone(),
+        s.e_bits.clone(),
+        &s.cfg,
+        SimChannel::new(ca, model),
+        SimChannel::new(cb, model),
+    )
+    .unwrap();
+    assert_eq!(report.label, s.expected);
+}
+
+fn bench_netbench(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("net");
+    group.sample_size(2);
+    group.bench_function("secure_inference/tiny_mlp/mem", |bench| {
+        bench.iter(|| {
+            let (ca, cb) = mem_pair();
+            let report = run_compiled_over(
+                Arc::clone(&s.compiled),
+                s.g_bits.clone(),
+                s.e_bits.clone(),
+                &s.cfg,
+                ca,
+                cb,
+            )
+            .unwrap();
+            assert_eq!(report.label, s.expected);
+        });
+    });
+    group.bench_function("secure_inference/tiny_mlp/tcp_loopback", |bench| {
+        bench.iter(|| {
+            let (ca, cb) = tcp_pair().expect("loopback pair");
+            let report = run_compiled_over(
+                Arc::clone(&s.compiled),
+                s.g_bits.clone(),
+                s.e_bits.clone(),
+                &s.cfg,
+                ca,
+                cb,
+            )
+            .unwrap();
+            assert_eq!(report.label, s.expected);
+        });
+    });
+    group.bench_function("secure_inference/tiny_mlp/sim_lan_1gbps_1ms", |bench| {
+        bench.iter(|| run_sim(&s, NetModel::lan()));
+    });
+    group.bench_function("secure_inference/tiny_mlp/sim_wan_40mbps_40ms", |bench| {
+        bench.iter(|| run_sim(&s, NetModel::wan()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_netbench);
+criterion_main!(benches);

@@ -5,10 +5,15 @@
 //!   garbled-circuit-ready [`Circuit`], with the public sparsity map
 //!   removing pruned MACs (§3.2.2) and weights entering as evaluator
 //!   (server) input bits.
-//! * [`protocol`] — the two-party execution of Fig. 3: the client garbles,
-//!   wire labels for the server's weights flow through IKNP OT, the server
-//!   evaluates, and the result returns to the client for decoding. All
-//!   phases are timed and byte-counted.
+//! * [`session`] — the two party halves of Fig. 3 as channel-generic
+//!   state machines ([`session::ClientSession`] garbles,
+//!   [`session::ServerSession`] evaluates): the same code runs as two
+//!   threads, two OS processes over TCP, or under a simulated LAN/WAN.
+//! * [`protocol`] — the in-process runners joining the two sessions: the
+//!   client garbles, wire labels for the server's weights flow through
+//!   IKNP OT, the server evaluates, and the result returns to the client
+//!   for decoding. All phases are timed and byte-counted, with a
+//!   per-phase wire breakdown.
 //! * [`outsource`] — the XOR-sharing three-party mode of §3.3 for
 //!   constrained clients.
 //! * [`preprocess`] — Algorithm 1/2 (streaming dictionary projection) and
@@ -26,3 +31,4 @@ pub mod outsource;
 pub mod preprocess;
 pub mod protocol;
 pub mod security;
+pub mod session;

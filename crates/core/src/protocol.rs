@@ -10,21 +10,26 @@
 //! table bundle while register labels carry over, and the client garbles
 //! cycle `c+1` while the server is still evaluating cycle `c` — the
 //! pipelining of Fig. 5, whose timeline this module records.
+//!
+//! The party halves themselves live in [`crate::session`] as
+//! channel-generic state machines; this module provides the in-process
+//! runners that join them — over `mem_pair` ([`run_compiled`]) or over
+//! any caller-supplied channel pair ([`run_compiled_over`], which the
+//! TCP-loopback tests and network benches use). Separate processes skip
+//! the runners entirely and drive the sessions directly (see the
+//! `two_party` binary).
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use deepsecure_bigint::DhGroup;
 use deepsecure_circuit::Circuit;
-use deepsecure_garble::{Evaluator, Garbler};
 use deepsecure_nn::{Network, Tensor};
 use deepsecure_ot::channel::{mem_pair, Channel};
-use deepsecure_ot::ext::{ExtReceiver, ExtSender};
 use deepsecure_ot::{ChannelError, OtError};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::compile::{compile, CompileOptions, Compiled};
+use crate::session::{ClientSession, ServerSession, WireBreakdown};
 
 /// Errors surfaced by protocol executions.
 #[derive(Debug)]
@@ -35,6 +40,14 @@ pub enum ProtocolError {
     Channel(ChannelError),
     /// A party thread panicked.
     PartyPanic(&'static str),
+    /// Both parties failed; the server's error is usually the root cause
+    /// and the client's the downstream symptom.
+    BothParties {
+        /// What the client observed.
+        client: Box<ProtocolError>,
+        /// What the server observed.
+        server: Box<ProtocolError>,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -43,6 +56,10 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::Ot(e) => write!(f, "protocol ot failure: {e}"),
             ProtocolError::Channel(e) => write!(f, "protocol channel failure: {e}"),
             ProtocolError::PartyPanic(who) => write!(f, "{who} thread panicked"),
+            ProtocolError::BothParties { client, server } => write!(
+                f,
+                "both parties failed — server (likely root cause): {server}; client: {client}"
+            ),
         }
     }
 }
@@ -124,6 +141,9 @@ pub struct InferenceReport {
     pub server_sent: u64,
     /// Garbled-table bytes alone (the `α` term).
     pub material_bytes: u64,
+    /// Per-phase wire traffic (base OT / OT-ext / tables / labels /
+    /// output bits; both directions per phase).
+    pub wire: WireBreakdown,
     /// Total wall-clock time.
     pub total_s: f64,
     /// OT setup (base OTs) span.
@@ -176,6 +196,46 @@ pub fn run_compiled(
     evaluator_bits_per_cycle: Vec<Vec<bool>>,
     cfg: &InferenceConfig,
 ) -> Result<InferenceReport, ProtocolError> {
+    let (chan_client, chan_server) = mem_pair();
+    run_compiled_over(
+        compiled,
+        garbler_bits_per_cycle,
+        evaluator_bits_per_cycle,
+        cfg,
+        chan_client,
+        chan_server,
+    )
+}
+
+/// Runs the protocol in-process over a caller-supplied channel pair — the
+/// two endpoints of one duplex link (in-memory, TCP loopback, or a
+/// [`deepsecure_ot::SimChannel`]-modelled LAN/WAN). The server half runs
+/// on a spawned thread with `chan_server`; the client half runs on the
+/// calling thread with `chan_client`.
+///
+/// Both halves are [`ClientSession`] / [`ServerSession`] — exactly the
+/// code separate processes run, so reports from this runner and from the
+/// `two_party` binary are directly comparable.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] on channel/OT failure.
+///
+/// # Panics
+///
+/// Panics if the streams are empty or have mismatched lengths.
+pub fn run_compiled_over<CC, CS>(
+    compiled: Arc<Compiled>,
+    garbler_bits_per_cycle: Vec<Vec<bool>>,
+    evaluator_bits_per_cycle: Vec<Vec<bool>>,
+    cfg: &InferenceConfig,
+    mut chan_client: CC,
+    mut chan_server: CS,
+) -> Result<InferenceReport, ProtocolError>
+where
+    CC: Channel,
+    CS: Channel + Send + 'static,
+{
     assert!(
         !garbler_bits_per_cycle.is_empty(),
         "need at least one cycle"
@@ -185,121 +245,53 @@ pub fn run_compiled(
         evaluator_bits_per_cycle.len(),
         "cycle count mismatch"
     );
-    let cycles = garbler_bits_per_cycle.len();
-    let (mut chan_client, mut chan_server) = mem_pair();
     let epoch = Instant::now();
-    let group = cfg.group.clone();
-    let circuit: Arc<Compiled> = Arc::clone(&compiled);
-
-    // ---- Server (Bob): evaluator. ----
-    let server = std::thread::spawn(move || -> Result<ServerOutcome, ProtocolError> {
-        let c = &circuit.circuit;
-        let mut rng = StdRng::seed_from_u64(0xb0b);
-        let mut ot = ExtReceiver::setup(&mut chan_server, &group, &mut rng)?;
-        let const0 = chan_server.recv_block()?;
-        let const1 = chan_server.recv_block()?;
-        let init_regs = chan_server.recv_blocks(c.registers().len())?;
-        let mut evaluator = Evaluator::new(c);
-        evaluator.set_constant_labels(const0, const1);
-        evaluator.set_initial_registers(init_regs);
-        let n_tables = 2 * c.nonfree_gate_count();
-        let no_decode = vec![false; c.outputs().len()];
-        let mut evals = Vec::with_capacity(cycles);
-        for choice_bits in &evaluator_bits_per_cycle {
-            let tables = chan_server.recv_blocks(n_tables)?;
-            let g_labels = chan_server.recv_blocks(c.garbler_inputs().len())?;
-            let e_labels = ot.receive(&mut chan_server, choice_bits)?;
-            let t0 = epoch.elapsed().as_secs_f64();
-            let colors = evaluator.eval_cycle(&tables, &g_labels, &e_labels, &no_decode);
-            let t1 = epoch.elapsed().as_secs_f64();
-            chan_server.send_bits(&colors)?;
-            evals.push(PhaseSpan {
-                start_s: t0,
-                end_s: t1,
+    let server = ServerSession::new(Arc::clone(&compiled), cfg);
+    let handle =
+        std::thread::spawn(move || server.run(&mut chan_server, &evaluator_bits_per_cycle, epoch));
+    let client = ClientSession::new(compiled, cfg);
+    let cout = match client.run(&mut chan_client, &garbler_bits_per_cycle, epoch) {
+        Ok(cout) => cout,
+        Err(client_err) => {
+            // Drop our endpoint so a server blocked on recv unblocks,
+            // then harvest its error — usually the root cause behind the
+            // client-side symptom.
+            drop(chan_client);
+            return Err(match handle.join() {
+                Ok(Ok(_)) => client_err,
+                Ok(Err(server_err)) => ProtocolError::BothParties {
+                    client: Box::new(client_err),
+                    server: Box::new(server_err),
+                },
+                Err(_) => ProtocolError::BothParties {
+                    client: Box::new(client_err),
+                    server: Box::new(ProtocolError::PartyPanic("server")),
+                },
             });
         }
-        Ok(ServerOutcome {
-            sent: chan_server.bytes_sent(),
-            evals,
-        })
-    });
-
-    // ---- Client (Alice): garbler. ----
-    let c = &compiled.circuit;
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xa11ce);
-    let ot_setup_start = epoch.elapsed().as_secs_f64();
-    let mut ot = ExtSender::setup(&mut chan_client, &cfg.group, &mut rng)?;
-    let ot_setup = PhaseSpan {
-        start_s: ot_setup_start,
-        end_s: epoch.elapsed().as_secs_f64(),
     };
-    let mut garbler = Garbler::new(c, &mut rng);
-    // Must be read before the first garble_cycle: garbling latches the
-    // register labels forward to the next cycle.
-    let initial_registers = garbler.initial_register_labels();
-    let mut material = 0u64;
-    let mut client_cycles: Vec<(PhaseSpan, PhaseSpan)> = Vec::with_capacity(cycles);
-    let mut first = true;
-    let mut cycle_labels: Vec<usize> = Vec::with_capacity(cycles);
-    for g_bits in &garbler_bits_per_cycle {
-        let t0 = epoch.elapsed().as_secs_f64();
-        let cycle = garbler.garble_cycle(&mut rng);
-        let t1 = epoch.elapsed().as_secs_f64();
-        if first {
-            chan_client.send_block(cycle.constant_labels[0])?;
-            chan_client.send_block(cycle.constant_labels[1])?;
-            chan_client.send_blocks(&initial_registers)?;
-            first = false;
-        }
-        material += (cycle.tables.len() * 16) as u64;
-        chan_client.send_blocks(&cycle.tables)?;
-        chan_client.send_blocks(&cycle.garbler_active(g_bits))?;
-        ot.send(&mut chan_client, &cycle.evaluator_input_labels)?;
-        let t2 = epoch.elapsed().as_secs_f64();
-        let colors = chan_client.recv_bits()?;
-        let label_bits: Vec<bool> = colors
-            .iter()
-            .zip(&cycle.output_decode)
-            .map(|(&c, &d)| c ^ d)
-            .collect();
-        cycle_labels.push(compiled.decode_label(&label_bits));
-        client_cycles.push((
-            PhaseSpan {
-                start_s: t0,
-                end_s: t1,
-            },
-            PhaseSpan {
-                start_s: t1,
-                end_s: t2,
-            },
-        ));
-    }
-    let label = *cycle_labels.last().expect("at least one cycle");
-
-    let outcome = server
+    let sout = handle
         .join()
         .map_err(|_| ProtocolError::PartyPanic("server"))??;
     let total_s = epoch.elapsed().as_secs_f64();
-    let cycles_out = client_cycles
+    debug_assert_eq!(cout.wire, sout.wire, "parties disagree on the wire");
+    let cycles_out = cout
+        .cycles
         .into_iter()
-        .zip(outcome.evals)
+        .zip(sout.evals)
         .map(|((garble, ot), eval)| CycleTimeline { garble, ot, eval })
         .collect();
     Ok(InferenceReport {
-        label,
-        cycle_labels,
-        client_sent: chan_client.bytes_sent(),
-        server_sent: outcome.sent,
-        material_bytes: material,
+        label: cout.label,
+        cycle_labels: cout.cycle_labels,
+        client_sent: cout.sent,
+        server_sent: sout.sent,
+        material_bytes: cout.wire.tables,
+        wire: cout.wire,
         total_s,
-        ot_setup,
+        ot_setup: cout.ot_setup,
         cycles: cycles_out,
     })
-}
-
-struct ServerOutcome {
-    sent: u64,
-    evals: Vec<PhaseSpan>,
 }
 
 /// Convenience: secure inference over a raw circuit with single-cycle
@@ -389,6 +381,13 @@ mod tests {
             report.material_bytes,
             report.client_sent
         );
+        // The per-phase breakdown partitions the wire: every byte either
+        // party sent lands in exactly one phase bucket.
+        assert_eq!(report.wire.total(), report.client_sent + report.server_sent);
+        assert_eq!(report.wire.tables, report.material_bytes);
+        assert!(report.wire.base_ot > 0);
+        assert!(report.wire.ot_ext > 0);
+        assert!(report.wire.output_bits > 0);
     }
 
     #[test]
@@ -441,6 +440,57 @@ mod tests {
         for w in report.cycles.windows(2) {
             assert!(w[1].garble.start_s >= w[0].garble.start_s);
         }
+    }
+
+    #[test]
+    fn both_party_failures_are_aggregated() {
+        use deepsecure_ot::MemChannel;
+
+        // A server channel that dies on its first receive: the server
+        // session errors out during base-OT setup, which in turn strands
+        // the client mid-setup. The runner must surface both failures —
+        // the server's root cause, not just the client-side symptom.
+        struct FailOnRecv(MemChannel);
+        impl Channel for FailOnRecv {
+            fn send(&mut self, data: &[u8]) -> Result<(), ChannelError> {
+                self.0.send(data)
+            }
+            fn recv(&mut self, _n: usize) -> Result<Vec<u8>, ChannelError> {
+                Err(ChannelError::msg("injected server-side fault"))
+            }
+            fn bytes_sent(&self) -> u64 {
+                self.0.bytes_sent()
+            }
+            fn bytes_received(&self) -> u64 {
+                self.0.bytes_received()
+            }
+        }
+
+        let compiled = Arc::new(Compiled {
+            circuit: crate::compile::folded_mac(&CompileOptions::default()),
+            weight_order: Vec::new(),
+            format: deepsecure_fixed::Format::Q3_12,
+        });
+        let (cc, cs) = mem_pair();
+        let err = run_compiled_over(
+            compiled,
+            vec![vec![false; 17]],
+            vec![vec![false; 16]],
+            &fast_cfg(),
+            cc,
+            FailOnRecv(cs),
+        )
+        .unwrap_err();
+        match &err {
+            ProtocolError::BothParties { server, .. } => {
+                assert!(
+                    server.to_string().contains("injected server-side fault"),
+                    "server root cause lost: {server}"
+                );
+            }
+            other => panic!("expected BothParties, got: {other}"),
+        }
+        assert!(err.to_string().contains("root cause"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,390 @@
+//! Channel-generic party state machines for the Fig. 3 protocol.
+//!
+//! [`ClientSession`] (Alice: garbles, owns the data sample, decodes the
+//! result) and [`ServerSession`] (Bob: evaluates, his DL parameters enter
+//! through OT) are the two halves of `run_compiled`, factored out so the
+//! *same* code runs as two threads over `mem_pair` (tests, benches), two
+//! OS processes over [`TcpChannel`], or under a [`SimChannel`] link model
+//! — the transport is a type parameter, never a fork in the protocol
+//! logic.
+//!
+//! Sessions measure their own traffic as *deltas* of the channel's byte
+//! counters, so pre-protocol traffic (e.g. the `two_party` handshake) is
+//! never attributed to the protocol, and both parties' [`WireBreakdown`]s
+//! describe the same wire regardless of transport.
+//!
+//! [`TcpChannel`]: deepsecure_ot::TcpChannel
+//! [`SimChannel`]: deepsecure_ot::SimChannel
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use deepsecure_garble::{Evaluator, Garbler};
+use deepsecure_ot::channel::Channel;
+use deepsecure_ot::ext::{ExtReceiver, ExtSender};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::compile::Compiled;
+use crate::protocol::{InferenceConfig, PhaseSpan, ProtocolError};
+
+/// Per-phase wire traffic of one protocol run, in bytes.
+///
+/// Each field counts **both directions** of its phase as observed from one
+/// endpoint (sent + received deltas around the phase), so the two parties
+/// report identical breakdowns and the fields sum to the total traffic of
+/// the run. This is the measured decomposition behind the paper's
+/// communication columns: garbled tables are the `α` term that dominates,
+/// OT-extension the per-weight-bit term, base OT the fixed setup cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireBreakdown {
+    /// One-time base-OT setup (public-key transfers seeding IKNP).
+    pub base_ot: u64,
+    /// IKNP OT-extension traffic (u-matrix + masked label pairs).
+    pub ot_ext: u64,
+    /// Garbled tables (client → server), the dominant `α` term.
+    pub tables: u64,
+    /// Active input labels: constants, initial registers, and the
+    /// garbler's own input labels (client → server).
+    pub input_labels: u64,
+    /// Output color bits (server → client), length prefix included.
+    pub output_bits: u64,
+}
+
+impl WireBreakdown {
+    /// Total protocol traffic, both directions.
+    pub fn total(&self) -> u64 {
+        self.base_ot + self.ot_ext + self.tables + self.input_labels + self.output_bits
+    }
+}
+
+/// Sent + received — the phase-delta yardstick used by both sessions.
+fn traffic<C: Channel>(chan: &C) -> u64 {
+    chan.bytes_sent() + chan.bytes_received()
+}
+
+/// What the client knows after a run: the decoded result plus its side of
+/// the timeline and traffic accounting.
+#[derive(Clone, Debug)]
+pub struct ClientOutcome {
+    /// Decoded inference label of the final cycle.
+    pub label: usize,
+    /// Decoded output value of every cycle.
+    pub cycle_labels: Vec<usize>,
+    /// Bytes this session sent (delta over the run).
+    pub sent: u64,
+    /// Bytes this session received (delta over the run).
+    pub received: u64,
+    /// Per-phase wire traffic (`wire.tables` is the `α` material term).
+    pub wire: WireBreakdown,
+    /// Base-OT setup span (relative to the epoch passed to `run`).
+    pub ot_setup: PhaseSpan,
+    /// Per-cycle `(garble, ot+transfer)` spans.
+    pub cycles: Vec<(PhaseSpan, PhaseSpan)>,
+}
+
+/// What the server knows after a run: timings and traffic, never outputs.
+#[derive(Clone, Debug)]
+pub struct ServerOutcome {
+    /// Bytes this session sent (delta over the run).
+    pub sent: u64,
+    /// Bytes this session received (delta over the run).
+    pub received: u64,
+    /// Per-phase wire traffic (mirrors the client's view).
+    pub wire: WireBreakdown,
+    /// Per-cycle evaluation spans.
+    pub evals: Vec<PhaseSpan>,
+}
+
+/// The garbling party (Alice / the client of the paper).
+#[derive(Debug)]
+pub struct ClientSession {
+    compiled: Arc<Compiled>,
+    cfg: InferenceConfig,
+}
+
+impl ClientSession {
+    /// Builds the client half for one compiled circuit.
+    pub fn new(compiled: Arc<Compiled>, cfg: &InferenceConfig) -> ClientSession {
+        ClientSession {
+            compiled,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Runs the client side over any channel: base-OT setup, then per
+    /// cycle garble → send tables/labels → OT → decode returned colors.
+    ///
+    /// `epoch` anchors the recorded [`PhaseSpan`]s; in-process runners
+    /// share one epoch across both parties to get the Fig. 5 overlap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on channel/OT failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `garbler_bits_per_cycle` is empty or a cycle's bit count
+    /// mismatches the circuit's garbler arity.
+    pub fn run<C: Channel>(
+        &self,
+        chan: &mut C,
+        garbler_bits_per_cycle: &[Vec<bool>],
+        epoch: Instant,
+    ) -> Result<ClientOutcome, ProtocolError> {
+        assert!(
+            !garbler_bits_per_cycle.is_empty(),
+            "need at least one cycle"
+        );
+        let c = &self.compiled.circuit;
+        let sent0 = chan.bytes_sent();
+        let recv0 = chan.bytes_received();
+        let mut wire = WireBreakdown::default();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xa11ce);
+
+        let ot_setup_start = epoch.elapsed().as_secs_f64();
+        let before = traffic(chan);
+        let mut ot = ExtSender::setup(chan, &self.cfg.group, &mut rng)?;
+        wire.base_ot = traffic(chan) - before;
+        let ot_setup = PhaseSpan {
+            start_s: ot_setup_start,
+            end_s: epoch.elapsed().as_secs_f64(),
+        };
+
+        let mut garbler = Garbler::new(c, &mut rng);
+        // Must be read before the first garble_cycle: garbling latches the
+        // register labels forward to the next cycle.
+        let initial_registers = garbler.initial_register_labels();
+        let mut cycles: Vec<(PhaseSpan, PhaseSpan)> =
+            Vec::with_capacity(garbler_bits_per_cycle.len());
+        let mut cycle_labels: Vec<usize> = Vec::with_capacity(garbler_bits_per_cycle.len());
+        let mut first = true;
+        for g_bits in garbler_bits_per_cycle {
+            let t0 = epoch.elapsed().as_secs_f64();
+            let cycle = garbler.garble_cycle(&mut rng);
+            let t1 = epoch.elapsed().as_secs_f64();
+            if first {
+                let before = traffic(chan);
+                chan.send_block(cycle.constant_labels[0])?;
+                chan.send_block(cycle.constant_labels[1])?;
+                chan.send_blocks(&initial_registers)?;
+                wire.input_labels += traffic(chan) - before;
+                first = false;
+            }
+            let before = traffic(chan);
+            chan.send_blocks(&cycle.tables)?;
+            wire.tables += traffic(chan) - before;
+            let before = traffic(chan);
+            chan.send_blocks(&cycle.garbler_active(g_bits))?;
+            wire.input_labels += traffic(chan) - before;
+            let before = traffic(chan);
+            ot.send(chan, &cycle.evaluator_input_labels)?;
+            wire.ot_ext += traffic(chan) - before;
+            let t2 = epoch.elapsed().as_secs_f64();
+            let before = traffic(chan);
+            let colors = chan.recv_bits()?;
+            wire.output_bits += traffic(chan) - before;
+            let label_bits: Vec<bool> = colors
+                .iter()
+                .zip(&cycle.output_decode)
+                .map(|(&col, &d)| col ^ d)
+                .collect();
+            cycle_labels.push(self.compiled.decode_label(&label_bits));
+            cycles.push((
+                PhaseSpan {
+                    start_s: t0,
+                    end_s: t1,
+                },
+                PhaseSpan {
+                    start_s: t1,
+                    end_s: t2,
+                },
+            ));
+        }
+        chan.flush()?;
+        let sent = chan.bytes_sent() - sent0;
+        let received = chan.bytes_received() - recv0;
+        debug_assert_eq!(
+            wire.total(),
+            sent + received,
+            "breakdown must cover all traffic"
+        );
+        Ok(ClientOutcome {
+            label: *cycle_labels.last().expect("at least one cycle"),
+            cycle_labels,
+            sent,
+            received,
+            wire,
+            ot_setup,
+            cycles,
+        })
+    }
+}
+
+/// The evaluating party (Bob / the cloud server of the paper).
+#[derive(Debug)]
+pub struct ServerSession {
+    compiled: Arc<Compiled>,
+    cfg: InferenceConfig,
+}
+
+impl ServerSession {
+    /// Builds the server half for one compiled circuit.
+    pub fn new(compiled: Arc<Compiled>, cfg: &InferenceConfig) -> ServerSession {
+        ServerSession {
+            compiled,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Runs the server side over any channel: base-OT setup, then per
+    /// cycle receive tables/labels → OT-receive own labels → evaluate →
+    /// return output colors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on channel/OT failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evaluator_bits_per_cycle` is empty or a cycle's bit
+    /// count mismatches the circuit's evaluator arity.
+    pub fn run<C: Channel>(
+        &self,
+        chan: &mut C,
+        evaluator_bits_per_cycle: &[Vec<bool>],
+        epoch: Instant,
+    ) -> Result<ServerOutcome, ProtocolError> {
+        assert!(
+            !evaluator_bits_per_cycle.is_empty(),
+            "need at least one cycle"
+        );
+        let c = &self.compiled.circuit;
+        let sent0 = chan.bytes_sent();
+        let recv0 = chan.bytes_received();
+        let mut wire = WireBreakdown::default();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xb0b);
+
+        let before = traffic(chan);
+        let mut ot = ExtReceiver::setup(chan, &self.cfg.group, &mut rng)?;
+        wire.base_ot = traffic(chan) - before;
+
+        let before = traffic(chan);
+        let const0 = chan.recv_block()?;
+        let const1 = chan.recv_block()?;
+        let init_regs = chan.recv_blocks(c.registers().len())?;
+        wire.input_labels += traffic(chan) - before;
+        let mut evaluator = Evaluator::new(c);
+        evaluator.set_constant_labels(const0, const1);
+        evaluator.set_initial_registers(init_regs);
+        let n_tables = 2 * c.nonfree_gate_count();
+        let no_decode = vec![false; c.outputs().len()];
+        let mut evals = Vec::with_capacity(evaluator_bits_per_cycle.len());
+        for choice_bits in evaluator_bits_per_cycle {
+            let before = traffic(chan);
+            let tables = chan.recv_blocks(n_tables)?;
+            wire.tables += traffic(chan) - before;
+            let before = traffic(chan);
+            let g_labels = chan.recv_blocks(c.garbler_inputs().len())?;
+            wire.input_labels += traffic(chan) - before;
+            let before = traffic(chan);
+            let e_labels = ot.receive(chan, choice_bits)?;
+            wire.ot_ext += traffic(chan) - before;
+            let t0 = epoch.elapsed().as_secs_f64();
+            let colors = evaluator.eval_cycle(&tables, &g_labels, &e_labels, &no_decode);
+            let t1 = epoch.elapsed().as_secs_f64();
+            let before = traffic(chan);
+            chan.send_bits(&colors)?;
+            wire.output_bits += traffic(chan) - before;
+            evals.push(PhaseSpan {
+                start_s: t0,
+                end_s: t1,
+            });
+        }
+        // The final color bits are the last thing on the wire: without
+        // this flush a buffered transport would strand them and hang the
+        // client's last receive.
+        chan.flush()?;
+        let sent = chan.bytes_sent() - sent0;
+        let received = chan.bytes_received() - recv0;
+        debug_assert_eq!(
+            wire.total(),
+            sent + received,
+            "breakdown must cover all traffic"
+        );
+        Ok(ServerOutcome {
+            sent,
+            received,
+            wire,
+            evals,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use deepsecure_fixed::Format;
+    use deepsecure_ot::channel::mem_pair;
+
+    use crate::compile::{folded_mac, CompileOptions};
+
+    use super::*;
+
+    fn mac_compiled() -> Arc<Compiled> {
+        Arc::new(Compiled {
+            circuit: folded_mac(&CompileOptions::default()),
+            weight_order: Vec::new(),
+            format: Format::Q3_12,
+        })
+    }
+
+    #[test]
+    fn both_parties_report_the_same_breakdown() {
+        let compiled = mac_compiled();
+        let cfg = InferenceConfig::default();
+        let (mut cc, mut cs) = mem_pair();
+        let epoch = Instant::now();
+        let server = ServerSession::new(Arc::clone(&compiled), &cfg);
+        let e_bits = vec![vec![false; 16]; 2];
+        let handle = std::thread::spawn(move || server.run(&mut cs, &e_bits, epoch));
+        let client = ClientSession::new(Arc::clone(&compiled), &cfg);
+        let g_bits = vec![vec![false; 17]; 2];
+        let cout = client.run(&mut cc, &g_bits, epoch).unwrap();
+        let sout = handle.join().unwrap().unwrap();
+        // Same wire, observed from either end.
+        assert_eq!(cout.wire, sout.wire);
+        assert_eq!(cout.sent, sout.received);
+        assert_eq!(cout.received, sout.sent);
+        assert_eq!(cout.wire.total(), cout.sent + cout.received);
+        assert!(cout.wire.tables > 0);
+        assert!(cout.wire.base_ot > 0);
+        assert!(cout.wire.ot_ext > 0);
+        assert!(cout.wire.output_bits > 0);
+        assert!(cout.wire.input_labels > 0);
+    }
+
+    #[test]
+    fn session_deltas_exclude_pre_protocol_traffic() {
+        let compiled = mac_compiled();
+        let cfg = InferenceConfig::default();
+        let (mut cc, mut cs) = mem_pair();
+        let epoch = Instant::now();
+        // A handshake before the sessions start must not be attributed to
+        // the protocol.
+        let server = ServerSession::new(Arc::clone(&compiled), &cfg);
+        let handle = std::thread::spawn(move || {
+            let hello = cs.recv(5).unwrap();
+            assert_eq!(hello, b"hello");
+            cs.send(b"again").unwrap();
+            let e_bits = vec![vec![false; 16]];
+            server.run(&mut cs, &e_bits, epoch).unwrap()
+        });
+        cc.send(b"hello").unwrap();
+        assert_eq!(cc.recv(5).unwrap(), b"again");
+        let client = ClientSession::new(Arc::clone(&compiled), &cfg);
+        let cout = client.run(&mut cc, &[vec![false; 17]], epoch).unwrap();
+        let sout = handle.join().unwrap();
+        assert_eq!(cout.sent, cc.bytes_sent() - 5);
+        assert_eq!(cout.wire, sout.wire);
+    }
+}

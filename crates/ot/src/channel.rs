@@ -6,19 +6,57 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 
 use deepsecure_crypto::Block;
 
-/// Error raised when the peer disconnects mid-protocol.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Error raised when a channel operation fails mid-protocol.
+///
+/// Carries a human-readable context string (what the channel was doing and
+/// how far it got) plus, where one exists, the underlying [`std::io::Error`]
+/// — so a two-process failure is diagnosable from a single CI log line
+/// instead of an opaque "channel closed".
+#[derive(Debug)]
 pub struct ChannelError {
-    what: &'static str,
+    context: String,
+    source: Option<std::io::Error>,
+}
+
+impl ChannelError {
+    /// A failure with no underlying I/O error (peer hung up, corrupt frame).
+    pub fn msg(context: impl Into<String>) -> ChannelError {
+        ChannelError {
+            context: context.into(),
+            source: None,
+        }
+    }
+
+    /// A failure caused by an underlying I/O error.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> ChannelError {
+        ChannelError {
+            context: context.into(),
+            source: Some(source),
+        }
+    }
+
+    /// What the channel was doing when it failed.
+    pub fn context(&self) -> &str {
+        &self.context
+    }
 }
 
 impl fmt::Display for ChannelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "channel closed while {}", self.what)
+        match &self.source {
+            Some(e) => write!(f, "channel failure while {}: {e}", self.context),
+            None => write!(f, "channel failure while {}", self.context),
+        }
     }
 }
 
-impl std::error::Error for ChannelError {}
+impl std::error::Error for ChannelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.source
+            .as_ref()
+            .map(|e| e as &(dyn std::error::Error + 'static))
+    }
+}
 
 /// A reliable, ordered, byte-counted duplex channel.
 ///
@@ -35,10 +73,28 @@ pub trait Channel {
 
     /// Receives exactly `n` bytes (blocking).
     ///
+    /// Implementations that buffer writes (e.g. [`crate::TcpChannel`]) must
+    /// flush any pending output before blocking here, so that strictly
+    /// alternating protocols cannot deadlock on buffered data.
+    ///
     /// # Errors
     ///
     /// Fails if the peer disconnects before `n` bytes arrive.
     fn recv(&mut self, n: usize) -> Result<Vec<u8>, ChannelError>;
+
+    /// Pushes any buffered output to the peer.
+    ///
+    /// Unbuffered channels need not override the default no-op. Callers
+    /// must flush after the final send of a session: mid-protocol sends are
+    /// flushed implicitly by the next `recv`, but a trailing send would
+    /// otherwise sit in the buffer forever.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the peer has disconnected.
+    fn flush(&mut self) -> Result<(), ChannelError> {
+        Ok(())
+    }
 
     /// Total bytes sent so far.
     fn bytes_sent(&self) -> u64;
@@ -169,17 +225,23 @@ pub fn mem_pair() -> (MemChannel, MemChannel) {
 impl Channel for MemChannel {
     fn send(&mut self, data: &[u8]) -> Result<(), ChannelError> {
         self.sent += data.len() as u64;
-        self.tx
-            .send(data.to_vec())
-            .map_err(|_| ChannelError { what: "sending" })
+        self.tx.send(data.to_vec()).map_err(|_| {
+            ChannelError::msg(format!(
+                "sending {} bytes over mem channel: peer disconnected",
+                data.len()
+            ))
+        })
     }
 
     fn recv(&mut self, n: usize) -> Result<Vec<u8>, ChannelError> {
         while self.inbox.len() < n {
-            let chunk = self
-                .rx
-                .recv()
-                .map_err(|_| ChannelError { what: "receiving" })?;
+            let buffered = self.inbox.len();
+            let chunk = self.rx.recv().map_err(|_| {
+                ChannelError::msg(format!(
+                    "receiving over mem channel: peer disconnected with \
+                     {buffered} of {n} bytes buffered"
+                ))
+            })?;
             self.inbox.extend(chunk);
         }
         self.received += n as u64;

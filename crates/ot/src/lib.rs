@@ -9,9 +9,13 @@
 //! * [`ext`] — IKNP OT extension: 128 base OTs seed pseudorandom
 //!   correlations that stretch to millions of wire-label transfers using
 //!   only the fixed-key AES hash.
-//! * [`channel`] — the byte-counted in-memory duplex the two (or three,
-//!   in outsourcing mode) parties talk over; the counters are what the
-//!   communication columns of Tables 4–6 measure.
+//! * [`channel`] — the byte-counted duplex the two (or three, in
+//!   outsourcing mode) parties talk over; the counters are what the
+//!   communication columns of Tables 4–6 measure. [`channel::MemChannel`]
+//!   joins in-process threads; [`tcp::TcpChannel`] joins real processes
+//!   over sockets; [`framed::FramedChannel`] adds length-prefixed message
+//!   framing over either; [`sim::SimChannel`] models LAN/WAN latency and
+//!   bandwidth in-process.
 //!
 //! # Example
 //!
@@ -42,8 +46,14 @@
 pub mod base;
 pub mod channel;
 pub mod ext;
+pub mod framed;
+pub mod sim;
+pub mod tcp;
 
 pub use channel::{mem_pair, Channel, ChannelError, MemChannel};
+pub use framed::FramedChannel;
+pub use sim::{NetModel, SimChannel};
+pub use tcp::{tcp_pair, TcpChannel};
 
 /// Errors produced by the OT protocols.
 #[derive(Debug)]

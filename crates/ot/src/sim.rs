@@ -1,0 +1,227 @@
+//! In-process network condition modelling: wrap any [`Channel`] with a
+//! configurable latency/bandwidth [`NetModel`] and the protocol pays
+//! realistic wall-clock costs without leaving the process — the LAN/WAN
+//! rows of the paper-style benchmarks come from this wrapper over
+//! `mem_pair`, with no flaky external traffic shaping.
+
+use std::time::Duration;
+
+use crate::channel::{Channel, ChannelError};
+
+/// Sleeping for sub-millisecond debts costs more scheduler noise than it
+/// models; serialization time is accumulated and paid in ≥1 ms slices.
+const PACING_QUANTUM: Duration = Duration::from_millis(1);
+
+/// A symmetric link model applied by [`SimChannel`].
+#[derive(Clone, Copy, Debug)]
+pub struct NetModel {
+    /// One-way propagation delay, paid once per turnaround (each receive
+    /// that follows this endpoint's sends waits for the peer's message to
+    /// travel; back-to-back receives are assumed pipelined).
+    pub latency: Duration,
+    /// Link rate in bits/second; `None` models an infinitely fast link.
+    /// Serialization time (`bytes * 8 / rate`) is paid in the sender.
+    pub bits_per_second: Option<u64>,
+}
+
+impl NetModel {
+    /// An ideal link: no latency, infinite bandwidth (wrapper overhead
+    /// only — useful for counter tests).
+    pub fn ideal() -> NetModel {
+        NetModel {
+            latency: Duration::ZERO,
+            bits_per_second: None,
+        }
+    }
+
+    /// The conventional LAN setting: 1 Gbps, 1 ms one-way.
+    pub fn lan() -> NetModel {
+        NetModel {
+            latency: Duration::from_millis(1),
+            bits_per_second: Some(1_000_000_000),
+        }
+    }
+
+    /// The conventional WAN setting: 40 Mbps, 40 ms one-way.
+    pub fn wan() -> NetModel {
+        NetModel {
+            latency: Duration::from_millis(40),
+            bits_per_second: Some(40_000_000),
+        }
+    }
+
+    /// Time to push `bytes` through the link at the modelled rate.
+    pub fn serialization_time(&self, bytes: u64) -> Duration {
+        match self.bits_per_second {
+            Some(bps) => Duration::from_secs_f64(bytes as f64 * 8.0 / bps as f64),
+            None => Duration::ZERO,
+        }
+    }
+}
+
+/// Wraps a channel, sleeping to model the [`NetModel`]'s costs.
+///
+/// Byte counters delegate to the wrapped channel *exactly* — simulation
+/// changes when bytes move, never how many.
+#[derive(Debug)]
+pub struct SimChannel<C: Channel> {
+    inner: C,
+    model: NetModel,
+    /// Serialization time owed but not yet slept (debt-based pacing).
+    debt: Duration,
+    /// Whether the next receive is a turnaround (pays one latency).
+    turnaround: bool,
+}
+
+impl<C: Channel> SimChannel<C> {
+    /// Wraps `inner`. Wrap *both* endpoints of a pair so each direction
+    /// pays its own costs.
+    pub fn new(inner: C, model: NetModel) -> SimChannel<C> {
+        SimChannel {
+            inner,
+            model,
+            debt: Duration::ZERO,
+            // The session's first receive waits on a message that had to
+            // travel the link.
+            turnaround: true,
+        }
+    }
+
+    /// The link model in force.
+    pub fn model(&self) -> NetModel {
+        self.model
+    }
+
+    /// Shared access to the wrapped channel.
+    pub fn get_ref(&self) -> &C {
+        &self.inner
+    }
+
+    /// Unwraps the channel, discarding any unpaid pacing debt.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+
+    fn settle_debt(&mut self) {
+        if !self.debt.is_zero() {
+            std::thread::sleep(self.debt);
+            self.debt = Duration::ZERO;
+        }
+    }
+}
+
+impl<C: Channel> Channel for SimChannel<C> {
+    fn send(&mut self, data: &[u8]) -> Result<(), ChannelError> {
+        self.inner.send(data)?;
+        self.debt += self.model.serialization_time(data.len() as u64);
+        if self.debt >= PACING_QUANTUM {
+            self.settle_debt();
+        }
+        self.turnaround = true;
+        Ok(())
+    }
+
+    fn recv(&mut self, n: usize) -> Result<Vec<u8>, ChannelError> {
+        if self.turnaround {
+            self.settle_debt();
+            if !self.model.latency.is_zero() {
+                std::thread::sleep(self.model.latency);
+            }
+            self.turnaround = false;
+        }
+        self.inner.recv(n)
+    }
+
+    fn flush(&mut self) -> Result<(), ChannelError> {
+        self.inner.flush()?;
+        self.settle_debt();
+        Ok(())
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.inner.bytes_sent()
+    }
+
+    fn bytes_received(&self) -> u64 {
+        self.inner.bytes_received()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    use crate::channel::mem_pair;
+
+    use super::*;
+
+    #[test]
+    fn counters_match_wrapped_channel_exactly() {
+        let (a, b) = mem_pair();
+        let mut sa = SimChannel::new(a, NetModel::lan());
+        let mut sb = SimChannel::new(b, NetModel::lan());
+        sa.send(&[1u8; 300]).unwrap();
+        sa.send_u64(42).unwrap();
+        sb.send_bits(&[true, false, true]).unwrap();
+        assert_eq!(sb.recv(300).unwrap(), vec![1u8; 300]);
+        assert_eq!(sb.recv_u64().unwrap(), 42);
+        assert_eq!(sa.recv_bits().unwrap(), vec![true, false, true]);
+        // The wrapper adds time, never bytes: counters are the inner
+        // channel's counters, bit for bit.
+        assert_eq!(sa.bytes_sent(), sa.get_ref().bytes_sent());
+        assert_eq!(sa.bytes_received(), sa.get_ref().bytes_received());
+        assert_eq!(sb.bytes_sent(), sb.get_ref().bytes_sent());
+        assert_eq!(sb.bytes_received(), sb.get_ref().bytes_received());
+        assert_eq!(sa.bytes_sent(), 300 + 8); // payload + one u64
+        assert_eq!(sb.bytes_sent(), 8 + 1); // length prefix + packed bits
+        assert_eq!(sa.bytes_sent(), sb.bytes_received());
+        assert_eq!(sb.bytes_sent(), sa.bytes_received());
+    }
+
+    #[test]
+    fn latency_is_paid_per_turnaround() {
+        let (a, b) = mem_pair();
+        let model = NetModel {
+            latency: Duration::from_millis(5),
+            bits_per_second: None,
+        };
+        let mut sa = SimChannel::new(a, model);
+        let mut sb = SimChannel::new(b, model);
+        sb.send(b"xy").unwrap();
+        let start = Instant::now();
+        // Turnaround receive pays latency once; the follow-up chunk of the
+        // same inbound burst does not.
+        assert_eq!(sa.recv(1).unwrap(), b"x");
+        assert_eq!(sa.recv(1).unwrap(), b"y");
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(5), "{elapsed:?}");
+        assert!(elapsed < Duration::from_millis(50), "{elapsed:?}");
+    }
+
+    #[test]
+    fn bandwidth_paces_large_sends() {
+        let (a, _b) = mem_pair();
+        // 1 Mbit/s: 12_500 bytes = 100 ms of serialization.
+        let model = NetModel {
+            latency: Duration::ZERO,
+            bits_per_second: Some(1_000_000),
+        };
+        let mut sa = SimChannel::new(a, model);
+        let start = Instant::now();
+        sa.send(&vec![0u8; 12_500]).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(95));
+    }
+
+    #[test]
+    fn ideal_model_adds_no_delay_on_ping_pong() {
+        let (a, b) = mem_pair();
+        let mut sa = SimChannel::new(a, NetModel::ideal());
+        let mut sb = SimChannel::new(b, NetModel::ideal());
+        for _ in 0..100 {
+            sa.send(b"p").unwrap();
+            assert_eq!(sb.recv(1).unwrap(), b"p");
+            sb.send(b"q").unwrap();
+            assert_eq!(sa.recv(1).unwrap(), b"q");
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Real socket transport: the byte-counted [`Channel`] over TCP.
+//!
+//! This is what separates the two parties into genuinely distinct
+//! processes (the `two_party` binary) while running the *same* session
+//! code as the in-memory tests. Writes go through a [`BufWriter`] so the
+//! per-gate sends of the garbling stream coalesce into few syscalls; the
+//! buffer is flushed automatically before any blocking read, which is what
+//! keeps strictly alternating protocols (base OT, IKNP) deadlock-free.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::channel::{Channel, ChannelError};
+
+/// Write-buffer capacity. Garbled-table sends are tens of KiB; one
+/// buffer's worth per syscall keeps the hot path out of the kernel.
+const WRITE_BUF: usize = 1 << 16;
+
+/// A byte-counted duplex [`Channel`] over one TCP connection.
+///
+/// The counters count protocol payload bytes exactly as [`super::channel::MemChannel`]
+/// does — a loopback run and an in-memory run of the same protocol report
+/// identical totals (TCP/IP header overhead is not modelled; framing, if
+/// any, is accounted by [`crate::FramedChannel`]).
+pub struct TcpChannel {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    peer: SocketAddr,
+    sent: u64,
+    received: u64,
+    /// Bytes written since the last flush — flushed lazily on `recv`.
+    pending: bool,
+}
+
+impl std::fmt::Debug for TcpChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpChannel")
+            .field("peer", &self.peer)
+            .field("sent", &self.sent)
+            .field("received", &self.received)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TcpChannel {
+    /// Wraps an established stream (disables Nagle: the protocol is a
+    /// ping-pong of latency-critical messages).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the socket options cannot be read or set.
+    pub fn from_stream(stream: TcpStream) -> std::io::Result<TcpChannel> {
+        stream.set_nodelay(true)?;
+        let peer = stream.peer_addr()?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::with_capacity(WRITE_BUF, stream);
+        Ok(TcpChannel {
+            reader,
+            writer,
+            peer,
+            sent: 0,
+            received: 0,
+            pending: false,
+        })
+    }
+
+    /// Connects to a listening peer.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection cannot be established.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<TcpChannel> {
+        TcpChannel::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Connects, retrying on refusal until `timeout` elapses — lets a
+    /// client process start before its server has bound the port.
+    /// Permanent errors (unresolvable host, unreachable network) surface
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first permanent error, or the last refusal once
+    /// `timeout` has elapsed.
+    pub fn connect_retry<A: ToSocketAddrs + Clone>(
+        addr: A,
+        timeout: Duration,
+    ) -> std::io::Result<TcpChannel> {
+        let start = Instant::now();
+        loop {
+            match TcpChannel::connect(addr.clone()) {
+                Ok(chan) => return Ok(chan),
+                // Only the listener-not-up-yet races are worth waiting
+                // out; anything else the first attempt already decided.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionRefused
+                            | std::io::ErrorKind::ConnectionReset
+                            | std::io::ErrorKind::TimedOut
+                    ) && start.elapsed() < timeout =>
+                {
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Accepts one connection from a bound listener.
+    ///
+    /// # Errors
+    ///
+    /// Fails if accepting or configuring the connection fails.
+    pub fn accept(listener: &TcpListener) -> std::io::Result<TcpChannel> {
+        let (stream, _) = listener.accept()?;
+        TcpChannel::from_stream(stream)
+    }
+
+    /// The remote endpoint's address.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+}
+
+impl Channel for TcpChannel {
+    fn send(&mut self, data: &[u8]) -> Result<(), ChannelError> {
+        self.writer.write_all(data).map_err(|e| {
+            ChannelError::io(format!("sending {} bytes to {}", data.len(), self.peer), e)
+        })?;
+        self.sent += data.len() as u64;
+        self.pending = true;
+        Ok(())
+    }
+
+    fn recv(&mut self, n: usize) -> Result<Vec<u8>, ChannelError> {
+        // A blocking read while our own output sits in the write buffer
+        // would deadlock an alternating protocol: push it out first.
+        if self.pending {
+            self.flush()?;
+        }
+        let mut buf = vec![0u8; n];
+        self.reader.read_exact(&mut buf).map_err(|e| {
+            let context = if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                format!(
+                    "receiving {n} bytes from {}: peer disconnected mid-message",
+                    self.peer
+                )
+            } else {
+                format!("receiving {n} bytes from {}", self.peer)
+            };
+            ChannelError::io(context, e)
+        })?;
+        self.received += n as u64;
+        Ok(buf)
+    }
+
+    fn flush(&mut self) -> Result<(), ChannelError> {
+        self.writer
+            .flush()
+            .map_err(|e| ChannelError::io(format!("flushing to {}", self.peer), e))?;
+        self.pending = false;
+        Ok(())
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn bytes_received(&self) -> u64 {
+        self.received
+    }
+}
+
+/// Creates a connected loopback pair on an ephemeral port — the TCP
+/// analogue of [`crate::mem_pair`], used by tests and benches.
+///
+/// # Errors
+///
+/// Fails if the loopback listener cannot be bound or connected to.
+pub fn tcp_pair() -> std::io::Result<(TcpChannel, TcpChannel)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    // The kernel completes the handshake into the accept backlog, so the
+    // sequential connect-then-accept cannot deadlock.
+    let a = TcpChannel::connect(addr)?;
+    let b = TcpChannel::accept(&listener)?;
+    Ok((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_roundtrip_and_counters() {
+        let (mut a, mut b) = tcp_pair().unwrap();
+        a.send(b"hello").unwrap();
+        a.send(b" world").unwrap();
+        // recv flushes a's buffer lazily — but b's recv can't flush a's
+        // writer; the data must already be on the wire after a.flush().
+        a.flush().unwrap();
+        assert_eq!(b.recv(11).unwrap(), b"hello world");
+        assert_eq!(a.bytes_sent(), 11);
+        assert_eq!(b.bytes_received(), 11);
+    }
+
+    #[test]
+    fn duplex_ping_pong_with_lazy_flush() {
+        let (mut a, mut b) = tcp_pair().unwrap();
+        let t = std::thread::spawn(move || {
+            // No explicit flush: b's recv must flush its pending send.
+            b.send(b"pong").unwrap();
+            assert_eq!(b.recv(4).unwrap(), b"ping");
+            b
+        });
+        a.send(b"ping").unwrap();
+        assert_eq!(a.recv(4).unwrap(), b"pong");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn disconnect_surfaces_peer_and_cause() {
+        let (a, mut b) = tcp_pair().unwrap();
+        drop(a);
+        let err = b.recv(1).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("127.0.0.1"), "missing peer: {text}");
+        assert!(text.contains("disconnected"), "missing cause: {text}");
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn block_helpers_work_over_tcp() {
+        use deepsecure_crypto::Block;
+        let (mut a, mut b) = tcp_pair().unwrap();
+        let t = std::thread::spawn(move || {
+            a.send_blocks(&[Block::from(7u128), Block::from(9u128)])
+                .unwrap();
+            a.send_bits(&[true, false, true]).unwrap();
+            a.flush().unwrap();
+            a
+        });
+        assert_eq!(
+            b.recv_blocks(2).unwrap(),
+            vec![Block::from(7u128), Block::from(9u128)]
+        );
+        assert_eq!(b.recv_bits().unwrap(), vec![true, false, true]);
+        t.join().unwrap();
+    }
+}

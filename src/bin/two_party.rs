@@ -1,0 +1,367 @@
+//! DeepSecure as two real processes: `garbler` (the client, Alice — owns
+//! the data sample and decodes the result) and `evaluator` (the cloud
+//! server, Bob — owns the DL parameters, which enter through OT).
+//!
+//! Both subcommands drive the channel-generic sessions of
+//! `deepsecure_core::session` over a [`TcpChannel`], preceded by a framed
+//! handshake that pins down the model and circuit shape. For the demo,
+//! both processes derive the same deterministic model (same synthetic
+//! dataset, same training seed), which is what lets `--check` replay the
+//! run in-memory inside the garbler process and assert the decoded label
+//! and wire-byte totals match bit for bit.
+//!
+//! ```sh
+//! two_party evaluator --listen 127.0.0.1:7700 --model tiny_mlp
+//! two_party garbler --connect 127.0.0.1:7700 --model tiny_mlp --input 0 --check
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use deepsecure::core::compile::{compile, plain_label, CompileOptions, Compiled};
+use deepsecure::core::protocol::{run_compiled, InferenceConfig};
+use deepsecure::core::session::{ClientSession, ServerSession, WireBreakdown};
+use deepsecure::nn::train::TrainConfig;
+use deepsecure::nn::{data, train, zoo, Network};
+use deepsecure::ot::{Channel, FramedChannel, TcpChannel};
+use deepsecure::synth::activation::Activation;
+
+const USAGE: &str = "\
+usage:
+  two_party evaluator --listen HOST:PORT [--model NAME]
+  two_party garbler --connect HOST:PORT [--model NAME] [--input N] [--check]
+
+models: tiny_mlp (default), tiny_cnn
+
+The evaluator serves exactly one inference, then exits. `--check` makes
+the garbler replay the run in-memory (both parties as threads) and fail
+unless the decoded label and the wire-byte totals match the TCP run.";
+
+/// Handshake protocol tag; bump on any wire-format change.
+const HELLO_PREFIX: &str = "DSEC/1";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("two_party: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Cli {
+    role: String,
+    addr: String,
+    model: String,
+    input: usize,
+    check: bool,
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let role = match args.first().map(String::as_str) {
+        Some("garbler") => "garbler",
+        Some("evaluator") => "evaluator",
+        _ => return Err(format!("expected a role subcommand\n{USAGE}")),
+    };
+    let mut cli = Cli {
+        role: role.to_string(),
+        addr: String::new(),
+        model: "tiny_mlp".to_string(),
+        input: 0,
+        check: false,
+    };
+    let addr_flag = if role == "garbler" {
+        "--connect"
+    } else {
+        "--listen"
+    };
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            f if f == addr_flag => cli.addr = value(f)?,
+            "--model" => cli.model = value("--model")?,
+            "--input" if role == "garbler" => {
+                let v = value("--input")?;
+                cli.input = v
+                    .parse()
+                    .map_err(|_| format!("--input takes a sample index, got {v:?}"))?;
+            }
+            "--check" if role == "garbler" => cli.check = true,
+            other => return Err(format!("unknown flag {other:?} for {role}\n{USAGE}")),
+        }
+    }
+    if cli.addr.is_empty() {
+        return Err(format!("{role} requires {addr_flag} HOST:PORT\n{USAGE}"));
+    }
+    Ok(cli)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cli = parse(args)?;
+    let (net, set) = load_model(&cli.model)?;
+    // Reject a bad sample index before paying for circuit compilation.
+    if cli.role == "garbler" && cli.input >= set.len() {
+        return Err(format!(
+            "--input {} out of range (the {} dataset has {} samples)",
+            cli.input,
+            cli.model,
+            set.len()
+        ));
+    }
+    let cfg = inference_config();
+    let compiled = Arc::new(compile(&net, &cfg.options));
+    let fingerprint = circuit_fingerprint(&compiled);
+    if cli.role == "garbler" {
+        run_garbler(&cli, &net, &set, &cfg, compiled, fingerprint)
+    } else {
+        run_evaluator(&cli, &net, &cfg, compiled, fingerprint)
+    }
+}
+
+/// Both parties must pick the same compile options; the fingerprint
+/// handshake catches accidental drift.
+fn inference_config() -> InferenceConfig {
+    InferenceConfig {
+        options: CompileOptions {
+            tanh: Activation::TanhPl,
+            sigmoid: Activation::SigmoidPlan,
+            ..CompileOptions::default()
+        },
+        ..InferenceConfig::default()
+    }
+}
+
+/// Deterministic model + dataset per name: both processes train the same
+/// weights from the same seed, standing in for a pre-shared model.
+fn load_model(name: &str) -> Result<(Network, data::Dataset), String> {
+    let (mut net, set, train_cfg) = match name {
+        "tiny_mlp" => {
+            let set = data::digits_small(32, 31);
+            let net = zoo::tiny_mlp(set.num_classes);
+            (
+                net,
+                set,
+                TrainConfig {
+                    epochs: 20,
+                    lr: 0.1,
+                    seed: 5,
+                },
+            )
+        }
+        "tiny_cnn" => {
+            let set = data::digits_small(24, 22);
+            let net = zoo::tiny_cnn(set.num_classes);
+            (
+                net,
+                set,
+                TrainConfig {
+                    epochs: 15,
+                    lr: 0.05,
+                    seed: 2,
+                },
+            )
+        }
+        other => return Err(format!("unknown model {other:?}\n{USAGE}")),
+    };
+    train::train(&mut net, &set, &train_cfg);
+    Ok((net, set))
+}
+
+/// Order-sensitive FNV-1a over the circuit's shape: enough to catch two
+/// processes compiling different circuits before any labels move.
+fn circuit_fingerprint(compiled: &Compiled) -> u64 {
+    let c = &compiled.circuit;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in [
+        c.garbler_inputs().len() as u64,
+        c.evaluator_inputs().len() as u64,
+        c.outputs().len() as u64,
+        c.registers().len() as u64,
+        c.nonfree_gate_count() as u64,
+        compiled.weight_order.len() as u64,
+    ] {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn run_garbler(
+    cli: &Cli,
+    net: &Network,
+    set: &data::Dataset,
+    cfg: &InferenceConfig,
+    compiled: Arc<Compiled>,
+    fingerprint: u64,
+) -> Result<(), String> {
+    let sample = &set.inputs[cli.input]; // bounds-checked in `run`
+    let input_bits = compiled.input_bits(sample);
+
+    let chan = TcpChannel::connect_retry(cli.addr.as_str(), Duration::from_secs(15))
+        .map_err(|e| format!("connecting to evaluator at {}: {e}", cli.addr))?;
+    eprintln!("garbler: connected to evaluator at {}", chan.peer_addr());
+    let mut framed = FramedChannel::new(chan);
+    framed
+        .send_frame(format!("{HELLO_PREFIX} {} {fingerprint:016x}", cli.model).as_bytes())
+        .map_err(|e| format!("handshake send: {e}"))?;
+    let reply = framed
+        .recv_frame()
+        .map_err(|e| format!("handshake reply: {e}"))?;
+    let reply = String::from_utf8_lossy(&reply).into_owned();
+    if reply != format!("OK {fingerprint:016x}") {
+        return Err(format!("evaluator rejected the handshake: {reply}"));
+    }
+    let mut chan = framed.into_inner();
+
+    let client = ClientSession::new(Arc::clone(&compiled), cfg);
+    let epoch = Instant::now();
+    let out = client
+        .run(&mut chan, std::slice::from_ref(&input_bits), epoch)
+        .map_err(|e| format!("protocol: {e}"))?;
+    let total_s = epoch.elapsed().as_secs_f64();
+
+    println!(
+        "garbler: model {}, input #{} -> label {}",
+        cli.model, cli.input, out.label
+    );
+    println!(
+        "  wall clock   {total_s:.3} s (ot setup {:.3} s)",
+        out.ot_setup.duration_s()
+    );
+    println!(
+        "  traffic      sent {} B, received {} B",
+        out.sent, out.received
+    );
+    print_breakdown(&out.wire);
+
+    if cli.check {
+        let weight_bits = compiled.weight_bits(net);
+        let report = run_compiled(
+            Arc::clone(&compiled),
+            vec![input_bits],
+            vec![weight_bits],
+            cfg,
+        )
+        .map_err(|e| format!("in-memory replay: {e}"))?;
+        let oracle = plain_label(&compiled, net, sample);
+        let mut fail = Vec::new();
+        if out.label != report.label {
+            fail.push(format!(
+                "label: tcp {} != in-memory {}",
+                out.label, report.label
+            ));
+        }
+        if report.label != oracle {
+            fail.push(format!(
+                "label: in-memory {} != plaintext oracle {oracle}",
+                report.label
+            ));
+        }
+        if out.sent != report.client_sent {
+            fail.push(format!(
+                "client bytes: tcp {} != in-memory {}",
+                out.sent, report.client_sent
+            ));
+        }
+        if out.received != report.server_sent {
+            fail.push(format!(
+                "server bytes: tcp {} != in-memory {}",
+                out.received, report.server_sent
+            ));
+        }
+        if out.wire != report.wire {
+            fail.push(format!(
+                "wire breakdown: tcp {:?} != in-memory {:?}",
+                out.wire, report.wire
+            ));
+        }
+        if fail.is_empty() {
+            println!(
+                "  check        OK: label {} and {} wire bytes identical to the in-memory run",
+                out.label,
+                out.sent + out.received
+            );
+        } else {
+            return Err(format!(
+                "two-process run diverged:\n  {}",
+                fail.join("\n  ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn run_evaluator(
+    cli: &Cli,
+    net: &Network,
+    cfg: &InferenceConfig,
+    compiled: Arc<Compiled>,
+    fingerprint: u64,
+) -> Result<(), String> {
+    let listener = std::net::TcpListener::bind(cli.addr.as_str())
+        .map_err(|e| format!("binding {}: {e}", cli.addr))?;
+    eprintln!(
+        "evaluator: model {}, listening on {}",
+        cli.model,
+        listener.local_addr().map_err(|e| e.to_string())?
+    );
+    let chan = TcpChannel::accept(&listener).map_err(|e| format!("accepting garbler: {e}"))?;
+    eprintln!("evaluator: garbler connected from {}", chan.peer_addr());
+    let mut framed = FramedChannel::new(chan);
+    let hello = framed.recv_frame().map_err(|e| format!("handshake: {e}"))?;
+    let hello = String::from_utf8_lossy(&hello).into_owned();
+    let want = format!("{HELLO_PREFIX} {} {fingerprint:016x}", cli.model);
+    if hello != want {
+        let _ = framed.send_frame(format!("ERR expected {want:?}, got {hello:?}").as_bytes());
+        let _ = framed.flush();
+        return Err(format!(
+            "garbler handshake mismatch: expected {want:?}, got {hello:?} \
+             (different --model or code version?)"
+        ));
+    }
+    framed
+        .send_frame(format!("OK {fingerprint:016x}").as_bytes())
+        .map_err(|e| format!("handshake ack: {e}"))?;
+    let mut chan = framed.into_inner();
+
+    let weight_bits = compiled.weight_bits(net);
+    let server = ServerSession::new(compiled, cfg);
+    let epoch = Instant::now();
+    let out = server
+        .run(&mut chan, std::slice::from_ref(&weight_bits), epoch)
+        .map_err(|e| format!("protocol: {e}"))?;
+    println!(
+        "evaluator: served 1 inference in {:.3} s (evaluation {:.3} s)",
+        epoch.elapsed().as_secs_f64(),
+        out.evals.iter().map(|s| s.duration_s()).sum::<f64>()
+    );
+    println!(
+        "  traffic      sent {} B, received {} B",
+        out.sent, out.received
+    );
+    print_breakdown(&out.wire);
+    Ok(())
+}
+
+fn print_breakdown(wire: &WireBreakdown) {
+    println!(
+        "  wire bytes   base-ot {} | ot-ext {} | tables {} | input-labels {} | output-bits {} \
+         | total {}",
+        wire.base_ot,
+        wire.ot_ext,
+        wire.tables,
+        wire.input_labels,
+        wire.output_bits,
+        wire.total()
+    );
+}

@@ -117,6 +117,46 @@ fn pruned_model_still_infers_securely() {
 }
 
 #[test]
+fn secure_inference_over_tcp_loopback_matches_in_memory() {
+    // The full protocol over a real socket pair on an ephemeral loopback
+    // port, via the same channel-generic sessions the in-memory runner
+    // uses: the decoded label must match the plaintext oracle, and the
+    // wire-byte accounting must be identical to the MemChannel run.
+    use deepsecure::core::protocol::{run_compiled, run_compiled_over};
+    use deepsecure::ot::tcp_pair;
+    use std::sync::Arc;
+
+    let (net, test) = trained_mlp();
+    let cfg = fast_cfg();
+    let compiled = Arc::new(compile(&net, &cfg.options));
+    let x = &test.inputs[0];
+    let g_bits = vec![compiled.input_bits(x)];
+    let e_bits = vec![compiled.weight_bits(&net)];
+
+    let mem = run_compiled(Arc::clone(&compiled), g_bits.clone(), e_bits.clone(), &cfg)
+        .expect("in-memory run");
+    let (chan_client, chan_server) = tcp_pair().expect("loopback pair");
+    let tcp = run_compiled_over(
+        Arc::clone(&compiled),
+        g_bits,
+        e_bits,
+        &cfg,
+        chan_client,
+        chan_server,
+    )
+    .expect("tcp run");
+
+    assert_eq!(tcp.label, plain_label(&compiled, &net, x));
+    assert_eq!(tcp.label, mem.label);
+    // Transport must not change what crosses the wire, only how.
+    assert_eq!(tcp.client_sent, mem.client_sent);
+    assert_eq!(tcp.server_sent, mem.server_sent);
+    assert_eq!(tcp.material_bytes, mem.material_bytes);
+    assert_eq!(tcp.wire, mem.wire);
+    assert_eq!(tcp.wire.total(), tcp.client_sent + tcp.server_sent);
+}
+
+#[test]
 fn streamed_dense_layer_on_folded_mac() {
     // §3.5 end to end: a whole dense layer streamed through the constant-
     // size MAC core over the real protocol, one weight per clock cycle.
