@@ -1,0 +1,70 @@
+//! Serving benchmarks: the online-phase latency of one request against a
+//! warm precompute pool, versus a full cold session (connect + base-OT
+//! setup + one request) — the offline/online split of BENCH_BASELINE's
+//! serving table. Every query asserts its label against the plaintext
+//! oracle, so the `-- --test` smoke mode in CI doubles as a serving
+//! correctness check.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepsecure_core::compile::plain_label;
+use deepsecure_serve::client::{ClientModel, ServeClient};
+use deepsecure_serve::server::{ServeConfig, Server};
+
+fn bench_serving(c: &mut Criterion) {
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        models: vec!["tiny_mlp".to_string()],
+        pool_target: 3,
+        seed: 31,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+    assert!(
+        handle.wait_pool_warm(Duration::from_secs(120)),
+        "precompute pool never warmed"
+    );
+    let addr = handle.local_addr().to_string();
+    let model = Arc::new(ClientModel::load("tiny_mlp").expect("model"));
+    let expected = plain_label(
+        &model.demo.compiled,
+        &model.demo.net,
+        &model.demo.dataset.inputs[0],
+    );
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(5);
+    group.bench_function("tiny_mlp/online_query_warm_pool", |bench| {
+        // One persistent session: the base OT is paid outside the timed
+        // loop, each iteration is exactly one online phase.
+        let mut client =
+            ServeClient::connect(&addr, &model, 900, Duration::from_secs(15)).expect("connect");
+        bench.iter(|| {
+            let out = client.query(0).expect("query");
+            assert_eq!(out.label, expected);
+        });
+        client.finish().expect("finish");
+    });
+    group.bench_function("tiny_mlp/cold_session_connect_setup_query", |bench| {
+        let mut seed = 2000u64;
+        bench.iter(|| {
+            seed += 1;
+            let mut client = ServeClient::connect(&addr, &model, seed, Duration::from_secs(15))
+                .expect("connect");
+            let out = client.query(0).expect("query");
+            assert_eq!(out.label, expected);
+            client.finish().expect("finish");
+        });
+    });
+    group.finish();
+
+    handle.shutdown();
+    let _ = server_thread.join();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -8,6 +8,26 @@
 //! — the transport is a type parameter, never a fork in the protocol
 //! logic.
 //!
+//! # Offline/online split
+//!
+//! DeepSecure's garbling is input-independent, so both halves also come
+//! apart into a **setup** phase (base-OT / IKNP seeding, garbling) and an
+//! **online** phase (OT extension + table streaming + evaluation):
+//!
+//! * [`GarbledMaterial::garble`] produces a run's tables and labels with
+//!   no channel at all — a precompute pool can stockpile them.
+//! * [`ClientSession::setup`] / [`ServerSession::setup`] run the one-time
+//!   base-OT seeding on a fresh connection (the client side can feed it
+//!   offline-generated [`SenderPrecomp`] keypairs via
+//!   [`ClientSession::setup_with`]).
+//! * [`ClientSession::run_online`] / [`ServerSession::run_online`] then
+//!   execute one inference per call, **reusing** the setup across
+//!   requests on the same connection — the serving layer's per-query hot
+//!   path.
+//!
+//! [`ClientSession::run`] / [`ServerSession::run`] compose the pieces
+//! back into the original single-shot behaviour.
+//!
 //! Sessions measure their own traffic as *deltas* of the channel's byte
 //! counters, so pre-protocol traffic (e.g. the `two_party` handshake) is
 //! never attributed to the protocol, and both parties' [`WireBreakdown`]s
@@ -19,11 +39,12 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use deepsecure_garble::{Evaluator, Garbler};
+use deepsecure_crypto::Block;
+use deepsecure_garble::{Evaluator, GarbledCycle, Garbler};
 use deepsecure_ot::channel::Channel;
-use deepsecure_ot::ext::{ExtReceiver, ExtSender};
+use deepsecure_ot::ext::{ExtReceiver, ExtSender, SenderPrecomp};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::compile::Compiled;
 use crate::protocol::{InferenceConfig, PhaseSpan, ProtocolError};
@@ -58,9 +79,101 @@ impl WireBreakdown {
     }
 }
 
+impl std::ops::AddAssign for WireBreakdown {
+    /// Field-wise accumulation — what server-level stats sum per request.
+    fn add_assign(&mut self, rhs: WireBreakdown) {
+        self.base_ot += rhs.base_ot;
+        self.ot_ext += rhs.ot_ext;
+        self.tables += rhs.tables;
+        self.input_labels += rhs.input_labels;
+        self.output_bits += rhs.output_bits;
+    }
+}
+
 /// Sent + received — the phase-delta yardstick used by both sessions.
 fn traffic<C: Channel>(chan: &C) -> u64 {
     chan.bytes_sent() + chan.bytes_received()
+}
+
+/// Input-independent garbled material for one protocol run: every cycle's
+/// tables and labels plus the initial register labels — producible long
+/// before the inputs (or even the peer) exist.
+///
+/// Consumed by [`ClientSession::run_online`]: wire labels are one-time
+/// pads, so one material must never serve two runs.
+pub struct GarbledMaterial {
+    cycles: Vec<GarbledCycle>,
+    initial_registers: Vec<Block>,
+}
+
+impl std::fmt::Debug for GarbledMaterial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GarbledMaterial")
+            .field("cycles", &self.cycles.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl GarbledMaterial {
+    /// Garbles `n_cycles` clock cycles of the compiled circuit offline.
+    pub fn garble<R: Rng + ?Sized>(
+        compiled: &Compiled,
+        n_cycles: usize,
+        rng: &mut R,
+    ) -> GarbledMaterial {
+        let mut garbler = Garbler::new(&compiled.circuit, rng);
+        // Must be read before the first garble_cycle: garbling latches the
+        // register labels forward to the next cycle.
+        let initial_registers = garbler.initial_register_labels();
+        let cycles = (0..n_cycles).map(|_| garbler.garble_cycle(rng)).collect();
+        GarbledMaterial {
+            cycles,
+            initial_registers,
+        }
+    }
+
+    /// Number of clock cycles this material covers.
+    pub fn num_cycles(&self) -> usize {
+        self.cycles.len()
+    }
+}
+
+/// A client session's completed base-OT setup: the live IKNP sender plus
+/// the setup's traffic and timeline. Reused across every
+/// [`ClientSession::run_online`] call on the same connection.
+#[derive(Debug)]
+pub struct ClientSetup {
+    ot: ExtSender,
+    /// Bytes this endpoint sent during setup.
+    pub sent: u64,
+    /// Bytes this endpoint received during setup.
+    pub received: u64,
+    /// Setup span (relative to the epoch passed in).
+    pub span: PhaseSpan,
+}
+
+impl ClientSetup {
+    /// Both directions of the base-OT setup — the `base_ot` wire term.
+    pub fn base_ot_bytes(&self) -> u64 {
+        self.sent + self.received
+    }
+}
+
+/// A server session's completed base-OT setup (IKNP receiver side).
+#[derive(Debug)]
+pub struct ServerSetup {
+    ot: ExtReceiver,
+    /// Bytes this endpoint sent during setup.
+    pub sent: u64,
+    /// Bytes this endpoint received during setup.
+    pub received: u64,
+}
+
+impl ServerSetup {
+    /// Both directions of the base-OT setup — the `base_ot` wire term.
+    pub fn base_ot_bytes(&self) -> u64 {
+        self.sent + self.received
+    }
 }
 
 /// What the client knows after a run: the decoded result plus its side of
@@ -76,10 +189,12 @@ pub struct ClientOutcome {
     /// Bytes this session received (delta over the run).
     pub received: u64,
     /// Per-phase wire traffic (`wire.tables` is the `α` material term).
+    /// Online-only runs report `base_ot == 0`; the setup accounts for it.
     pub wire: WireBreakdown,
     /// Base-OT setup span (relative to the epoch passed to `run`).
     pub ot_setup: PhaseSpan,
-    /// Per-cycle `(garble, ot+transfer)` spans.
+    /// Per-cycle `(garble, ot+transfer)` spans. Online-only runs report
+    /// zero-width garble spans (the garbling happened offline).
     pub cycles: Vec<(PhaseSpan, PhaseSpan)>,
 }
 
@@ -90,7 +205,8 @@ pub struct ServerOutcome {
     pub sent: u64,
     /// Bytes this session received (delta over the run).
     pub received: u64,
-    /// Per-phase wire traffic (mirrors the client's view).
+    /// Per-phase wire traffic (mirrors the client's view). Online-only
+    /// runs report `base_ot == 0`; the setup accounts for it.
     pub wire: WireBreakdown,
     /// Per-cycle evaluation spans.
     pub evals: Vec<PhaseSpan>,
@@ -103,6 +219,51 @@ pub struct ClientSession {
     cfg: InferenceConfig,
 }
 
+/// Streams one garbled cycle (tables, active labels, OT extension) and
+/// decodes the returned color bits — the per-cycle online hot path shared
+/// by [`ClientSession::run`] and [`ClientSession::run_online`].
+///
+/// Returns the decoded label bits plus the instant (relative to `epoch`)
+/// at which this side's *sending* work ended — i.e. after the OT send,
+/// before blocking on the returned colors — so the recorded OT span
+/// excludes the server's evaluation time (the Fig. 5 convention).
+fn client_cycle<C: Channel>(
+    chan: &mut C,
+    ot: &mut ExtSender,
+    cycle: &GarbledCycle,
+    g_bits: &[bool],
+    first_payload: Option<(&[Block; 2], &[Block])>,
+    wire: &mut WireBreakdown,
+    epoch: Instant,
+) -> Result<(Vec<bool>, f64), ProtocolError> {
+    if let Some((const_labels, initial_registers)) = first_payload {
+        let before = traffic(chan);
+        chan.send_block(const_labels[0])?;
+        chan.send_block(const_labels[1])?;
+        chan.send_blocks(initial_registers)?;
+        wire.input_labels += traffic(chan) - before;
+    }
+    let before = traffic(chan);
+    chan.send_blocks(&cycle.tables)?;
+    wire.tables += traffic(chan) - before;
+    let before = traffic(chan);
+    chan.send_blocks(&cycle.garbler_active(g_bits))?;
+    wire.input_labels += traffic(chan) - before;
+    let before = traffic(chan);
+    ot.send(chan, &cycle.evaluator_input_labels)?;
+    wire.ot_ext += traffic(chan) - before;
+    let ot_end_s = epoch.elapsed().as_secs_f64();
+    let before = traffic(chan);
+    let colors = chan.recv_bits()?;
+    wire.output_bits += traffic(chan) - before;
+    let label_bits = colors
+        .iter()
+        .zip(&cycle.output_decode)
+        .map(|(&col, &d)| col ^ d)
+        .collect();
+    Ok((label_bits, ot_end_s))
+}
+
 impl ClientSession {
     /// Builds the client half for one compiled circuit.
     pub fn new(compiled: Arc<Compiled>, cfg: &InferenceConfig) -> ClientSession {
@@ -112,8 +273,144 @@ impl ClientSession {
         }
     }
 
-    /// Runs the client side over any channel: base-OT setup, then per
-    /// cycle garble → send tables/labels → OT → decode returned colors.
+    /// Runs the one-time base-OT setup (IKNP sender side), generating the
+    /// keypairs on the spot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on channel/OT failure.
+    pub fn setup<C: Channel>(
+        &self,
+        chan: &mut C,
+        epoch: Instant,
+    ) -> Result<ClientSetup, ProtocolError> {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xa11ce);
+        let pre = SenderPrecomp::generate(&self.cfg.group, &mut rng);
+        self.setup_with(chan, pre, epoch)
+    }
+
+    /// Runs the base-OT setup with offline-generated [`SenderPrecomp`]
+    /// material — only the three batched flights stay on the wire path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on channel/OT failure.
+    pub fn setup_with<C: Channel>(
+        &self,
+        chan: &mut C,
+        pre: SenderPrecomp,
+        epoch: Instant,
+    ) -> Result<ClientSetup, ProtocolError> {
+        let start_s = epoch.elapsed().as_secs_f64();
+        let sent0 = chan.bytes_sent();
+        let recv0 = chan.bytes_received();
+        let ot = ExtSender::setup_with(chan, pre)?;
+        Ok(ClientSetup {
+            ot,
+            sent: chan.bytes_sent() - sent0,
+            received: chan.bytes_received() - recv0,
+            span: PhaseSpan {
+                start_s,
+                end_s: epoch.elapsed().as_secs_f64(),
+            },
+        })
+    }
+
+    /// Runs one **online** inference over an established setup, streaming
+    /// pre-garbled material: table transfer + OT extension + decode, with
+    /// no garbling and no public-key operations on the critical path. The
+    /// setup is reusable: call again with fresh material for the next
+    /// request on the same connection.
+    ///
+    /// The outcome's `wire.base_ot` is zero — setup traffic is accounted
+    /// once, by the [`ClientSetup`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on channel/OT failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the material's cycle count mismatches
+    /// `garbler_bits_per_cycle`, or either is empty.
+    pub fn run_online<C: Channel>(
+        &self,
+        chan: &mut C,
+        setup: &mut ClientSetup,
+        material: GarbledMaterial,
+        garbler_bits_per_cycle: &[Vec<bool>],
+        epoch: Instant,
+    ) -> Result<ClientOutcome, ProtocolError> {
+        assert!(
+            !garbler_bits_per_cycle.is_empty(),
+            "need at least one cycle"
+        );
+        assert_eq!(
+            material.cycles.len(),
+            garbler_bits_per_cycle.len(),
+            "material cycles must match input cycles"
+        );
+        let sent0 = chan.bytes_sent();
+        let recv0 = chan.bytes_received();
+        let mut wire = WireBreakdown::default();
+        let mut cycles = Vec::with_capacity(garbler_bits_per_cycle.len());
+        let mut cycle_labels = Vec::with_capacity(garbler_bits_per_cycle.len());
+        for (i, (cycle, g_bits)) in material
+            .cycles
+            .iter()
+            .zip(garbler_bits_per_cycle)
+            .enumerate()
+        {
+            let t0 = epoch.elapsed().as_secs_f64();
+            let first_payload = (i == 0).then_some((
+                &cycle.constant_labels,
+                material.initial_registers.as_slice(),
+            ));
+            let (label_bits, ot_end_s) = client_cycle(
+                chan,
+                &mut setup.ot,
+                cycle,
+                g_bits,
+                first_payload,
+                &mut wire,
+                epoch,
+            )?;
+            cycle_labels.push(self.compiled.decode_label(&label_bits));
+            // Zero-width garble span: the garbling happened offline.
+            cycles.push((
+                PhaseSpan {
+                    start_s: t0,
+                    end_s: t0,
+                },
+                PhaseSpan {
+                    start_s: t0,
+                    end_s: ot_end_s,
+                },
+            ));
+        }
+        chan.flush()?;
+        let sent = chan.bytes_sent() - sent0;
+        let received = chan.bytes_received() - recv0;
+        debug_assert_eq!(
+            wire.total(),
+            sent + received,
+            "breakdown must cover all online traffic"
+        );
+        Ok(ClientOutcome {
+            label: *cycle_labels.last().expect("at least one cycle"),
+            cycle_labels,
+            sent,
+            received,
+            wire,
+            ot_setup: setup.span,
+            cycles,
+        })
+    }
+
+    /// Runs the full client side over any channel: base-OT setup, then per
+    /// cycle garble → send tables/labels → OT → decode returned colors
+    /// (the garbling of cycle `c+1` overlaps the server's evaluation of
+    /// cycle `c`, the Fig. 5 pipelining).
     ///
     /// `epoch` anchors the recorded [`PhaseSpan`]s; in-process runners
     /// share one epoch across both parties to get the Fig. 5 overlap.
@@ -136,59 +433,37 @@ impl ClientSession {
             !garbler_bits_per_cycle.is_empty(),
             "need at least one cycle"
         );
-        let c = &self.compiled.circuit;
         let sent0 = chan.bytes_sent();
         let recv0 = chan.bytes_received();
-        let mut wire = WireBreakdown::default();
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xa11ce);
-
-        let ot_setup_start = epoch.elapsed().as_secs_f64();
-        let before = traffic(chan);
-        let mut ot = ExtSender::setup(chan, &self.cfg.group, &mut rng)?;
-        wire.base_ot = traffic(chan) - before;
-        let ot_setup = PhaseSpan {
-            start_s: ot_setup_start,
-            end_s: epoch.elapsed().as_secs_f64(),
+        let mut setup = self.setup(chan, epoch)?;
+        let mut wire = WireBreakdown {
+            base_ot: setup.base_ot_bytes(),
+            ..WireBreakdown::default()
         };
-
-        let mut garbler = Garbler::new(c, &mut rng);
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x9a4b1e);
+        let mut garbler = Garbler::new(&self.compiled.circuit, &mut rng);
         // Must be read before the first garble_cycle: garbling latches the
         // register labels forward to the next cycle.
         let initial_registers = garbler.initial_register_labels();
-        let mut cycles: Vec<(PhaseSpan, PhaseSpan)> =
-            Vec::with_capacity(garbler_bits_per_cycle.len());
-        let mut cycle_labels: Vec<usize> = Vec::with_capacity(garbler_bits_per_cycle.len());
+        let mut cycles = Vec::with_capacity(garbler_bits_per_cycle.len());
+        let mut cycle_labels = Vec::with_capacity(garbler_bits_per_cycle.len());
         let mut first = true;
         for g_bits in garbler_bits_per_cycle {
             let t0 = epoch.elapsed().as_secs_f64();
             let cycle = garbler.garble_cycle(&mut rng);
             let t1 = epoch.elapsed().as_secs_f64();
-            if first {
-                let before = traffic(chan);
-                chan.send_block(cycle.constant_labels[0])?;
-                chan.send_block(cycle.constant_labels[1])?;
-                chan.send_blocks(&initial_registers)?;
-                wire.input_labels += traffic(chan) - before;
-                first = false;
-            }
-            let before = traffic(chan);
-            chan.send_blocks(&cycle.tables)?;
-            wire.tables += traffic(chan) - before;
-            let before = traffic(chan);
-            chan.send_blocks(&cycle.garbler_active(g_bits))?;
-            wire.input_labels += traffic(chan) - before;
-            let before = traffic(chan);
-            ot.send(chan, &cycle.evaluator_input_labels)?;
-            wire.ot_ext += traffic(chan) - before;
-            let t2 = epoch.elapsed().as_secs_f64();
-            let before = traffic(chan);
-            let colors = chan.recv_bits()?;
-            wire.output_bits += traffic(chan) - before;
-            let label_bits: Vec<bool> = colors
-                .iter()
-                .zip(&cycle.output_decode)
-                .map(|(&col, &d)| col ^ d)
-                .collect();
+            let first_payload =
+                first.then_some((&cycle.constant_labels, initial_registers.as_slice()));
+            first = false;
+            let (label_bits, ot_end_s) = client_cycle(
+                chan,
+                &mut setup.ot,
+                &cycle,
+                g_bits,
+                first_payload,
+                &mut wire,
+                epoch,
+            )?;
             cycle_labels.push(self.compiled.decode_label(&label_bits));
             cycles.push((
                 PhaseSpan {
@@ -197,7 +472,7 @@ impl ClientSession {
                 },
                 PhaseSpan {
                     start_s: t1,
-                    end_s: t2,
+                    end_s: ot_end_s,
                 },
             ));
         }
@@ -215,7 +490,7 @@ impl ClientSession {
             sent,
             received,
             wire,
-            ot_setup,
+            ot_setup: setup.span,
             cycles,
         })
     }
@@ -237,9 +512,30 @@ impl ServerSession {
         }
     }
 
-    /// Runs the server side over any channel: base-OT setup, then per
-    /// cycle receive tables/labels → OT-receive own labels → evaluate →
-    /// return output colors.
+    /// Runs the one-time base-OT setup (IKNP receiver side).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on channel/OT failure.
+    pub fn setup<C: Channel>(&self, chan: &mut C) -> Result<ServerSetup, ProtocolError> {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xb0b);
+        let sent0 = chan.bytes_sent();
+        let recv0 = chan.bytes_received();
+        let ot = ExtReceiver::setup(chan, &self.cfg.group, &mut rng)?;
+        Ok(ServerSetup {
+            ot,
+            sent: chan.bytes_sent() - sent0,
+            received: chan.bytes_received() - recv0,
+        })
+    }
+
+    /// Runs one **online** inference over an established setup: receive
+    /// tables/labels → OT-receive own labels → evaluate → return output
+    /// colors. The setup is reusable across requests on one connection;
+    /// each call expects the peer to stream fresh garbled material.
+    ///
+    /// The outcome's `wire.base_ot` is zero — setup traffic is accounted
+    /// once, by the [`ServerSetup`].
     ///
     /// # Errors
     ///
@@ -249,9 +545,10 @@ impl ServerSession {
     ///
     /// Panics if `evaluator_bits_per_cycle` is empty or a cycle's bit
     /// count mismatches the circuit's evaluator arity.
-    pub fn run<C: Channel>(
+    pub fn run_online<C: Channel>(
         &self,
         chan: &mut C,
+        setup: &mut ServerSetup,
         evaluator_bits_per_cycle: &[Vec<bool>],
         epoch: Instant,
     ) -> Result<ServerOutcome, ProtocolError> {
@@ -263,11 +560,6 @@ impl ServerSession {
         let sent0 = chan.bytes_sent();
         let recv0 = chan.bytes_received();
         let mut wire = WireBreakdown::default();
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xb0b);
-
-        let before = traffic(chan);
-        let mut ot = ExtReceiver::setup(chan, &self.cfg.group, &mut rng)?;
-        wire.base_ot = traffic(chan) - before;
 
         let before = traffic(chan);
         let const0 = chan.recv_block()?;
@@ -288,7 +580,7 @@ impl ServerSession {
             let g_labels = chan.recv_blocks(c.garbler_inputs().len())?;
             wire.input_labels += traffic(chan) - before;
             let before = traffic(chan);
-            let e_labels = ot.receive(chan, choice_bits)?;
+            let e_labels = setup.ot.receive(chan, choice_bits)?;
             wire.ot_ext += traffic(chan) - before;
             let t0 = epoch.elapsed().as_secs_f64();
             let colors = evaluator.eval_cycle(&tables, &g_labels, &e_labels, &no_decode);
@@ -310,7 +602,7 @@ impl ServerSession {
         debug_assert_eq!(
             wire.total(),
             sent + received,
-            "breakdown must cover all traffic"
+            "breakdown must cover all online traffic"
         );
         Ok(ServerOutcome {
             sent,
@@ -318,6 +610,33 @@ impl ServerSession {
             wire,
             evals,
         })
+    }
+
+    /// Runs the full server side over any channel: base-OT setup, then per
+    /// cycle receive tables/labels → OT-receive own labels → evaluate →
+    /// return output colors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on channel/OT failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evaluator_bits_per_cycle` is empty or a cycle's bit
+    /// count mismatches the circuit's evaluator arity.
+    pub fn run<C: Channel>(
+        &self,
+        chan: &mut C,
+        evaluator_bits_per_cycle: &[Vec<bool>],
+        epoch: Instant,
+    ) -> Result<ServerOutcome, ProtocolError> {
+        let mut setup = self.setup(chan)?;
+        let (setup_sent, setup_received) = (setup.sent, setup.received);
+        let mut out = self.run_online(chan, &mut setup, evaluator_bits_per_cycle, epoch)?;
+        out.wire.base_ot = setup_sent + setup_received;
+        out.sent += setup_sent;
+        out.received += setup_received;
+        Ok(out)
     }
 }
 
@@ -386,5 +705,114 @@ mod tests {
         let sout = handle.join().unwrap();
         assert_eq!(cout.sent, cc.bytes_sent() - 5);
         assert_eq!(cout.wire, sout.wire);
+    }
+
+    #[test]
+    fn split_setup_and_online_reuse_one_connection_for_many_requests() {
+        // Two requests over one setup: the serving layer's shape. Each
+        // request streams fresh offline-garbled material; the base OT
+        // happens exactly once and appears in no request's breakdown.
+        let compiled = mac_compiled();
+        let cfg = InferenceConfig::default();
+        let (mut cc, mut cs) = mem_pair();
+        let epoch = Instant::now();
+        const REQUESTS: usize = 2;
+
+        let server = ServerSession::new(Arc::clone(&compiled), &cfg);
+        let handle = std::thread::spawn(move || {
+            let mut setup = server.setup(&mut cs).unwrap();
+            let base = setup.base_ot_bytes();
+            let outs: Vec<ServerOutcome> = (0..REQUESTS)
+                .map(|_| {
+                    let e_bits = vec![vec![false; 16]];
+                    server
+                        .run_online(&mut cs, &mut setup, &e_bits, epoch)
+                        .unwrap()
+                })
+                .collect();
+            (base, outs)
+        });
+
+        let client = ClientSession::new(Arc::clone(&compiled), &cfg);
+        let mut setup = client.setup(&mut cc, epoch).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let couts: Vec<ClientOutcome> = (0..REQUESTS)
+            .map(|_| {
+                let material = GarbledMaterial::garble(&compiled, 1, &mut rng);
+                assert_eq!(material.num_cycles(), 1);
+                let g_bits = vec![vec![false; 17]];
+                client
+                    .run_online(&mut cc, &mut setup, material, &g_bits, epoch)
+                    .unwrap()
+            })
+            .collect();
+        let (server_base, souts) = handle.join().unwrap();
+
+        assert_eq!(setup.base_ot_bytes(), server_base);
+        assert!(server_base > 0, "setup must carry the base-OT traffic");
+        for (cout, sout) in couts.iter().zip(&souts) {
+            assert_eq!(cout.wire, sout.wire);
+            assert_eq!(cout.wire.base_ot, 0, "base OT paid once, not per request");
+            assert!(cout.wire.tables > 0);
+            assert!(cout.wire.ot_ext > 0);
+            // Zero-width garble spans: material came from offline garbling.
+            for (garble, _) in &cout.cycles {
+                assert_eq!(garble.duration_s(), 0.0);
+            }
+        }
+        // Both requests moved identical byte counts (same circuit shape).
+        assert_eq!(couts[0].wire, couts[1].wire);
+    }
+
+    #[test]
+    fn online_run_matches_full_run_byte_for_byte() {
+        // The split path must be wire-compatible with run(): same label,
+        // same per-phase bytes (base OT accounted in the setup instead).
+        let compiled = mac_compiled();
+        let cfg = InferenceConfig::default();
+
+        let full = {
+            let (mut cc, mut cs) = mem_pair();
+            let epoch = Instant::now();
+            let server = ServerSession::new(Arc::clone(&compiled), &cfg);
+            let e_bits = vec![vec![true; 16]];
+            let handle = std::thread::spawn(move || server.run(&mut cs, &e_bits, epoch).unwrap());
+            let client = ClientSession::new(Arc::clone(&compiled), &cfg);
+            let cout = client.run(&mut cc, &[vec![true; 17]], epoch).unwrap();
+            handle.join().unwrap();
+            cout
+        };
+
+        let split = {
+            let (mut cc, mut cs) = mem_pair();
+            let epoch = Instant::now();
+            let server = ServerSession::new(Arc::clone(&compiled), &cfg);
+            let handle = std::thread::spawn(move || {
+                let mut setup = server.setup(&mut cs).unwrap();
+                let e_bits = vec![vec![true; 16]];
+                let out = server
+                    .run_online(&mut cs, &mut setup, &e_bits, epoch)
+                    .unwrap();
+                (setup.base_ot_bytes(), out)
+            });
+            let client = ClientSession::new(Arc::clone(&compiled), &cfg);
+            let mut setup = client.setup(&mut cc, epoch).unwrap();
+            let mut rng = StdRng::seed_from_u64(7);
+            let material = GarbledMaterial::garble(&compiled, 1, &mut rng);
+            let cout = client
+                .run_online(&mut cc, &mut setup, material, &[vec![true; 17]], epoch)
+                .unwrap();
+            let (server_base, _sout) = handle.join().unwrap();
+            (setup.base_ot_bytes(), server_base, cout)
+        };
+
+        let (client_base, server_base, cout) = split;
+        assert_eq!(cout.label, full.label, "labels must agree across paths");
+        assert_eq!(client_base, full.wire.base_ot);
+        assert_eq!(server_base, full.wire.base_ot);
+        assert_eq!(cout.wire.ot_ext, full.wire.ot_ext);
+        assert_eq!(cout.wire.tables, full.wire.tables);
+        assert_eq!(cout.wire.input_labels, full.wire.input_labels);
+        assert_eq!(cout.wire.output_bits, full.wire.output_bits);
     }
 }

@@ -16,6 +16,38 @@ use crate::{base, OtError};
 /// Security parameter: number of base OTs / matrix columns.
 const KAPPA: usize = 128;
 
+/// The offline half of [`ExtSender::setup`]: the random choice vector `s`
+/// and the base-OT receiver keypairs (all the modular exponentiations that
+/// don't need the peer), generated ahead of any connection.
+///
+/// A precompute pool can stockpile these so the interactive remainder of
+/// the setup — three batched base-OT flights — is all that stays on a new
+/// connection's critical path. Consumed by [`ExtSender::setup_with`]; one
+/// precompute never serves two sessions.
+pub struct SenderPrecomp {
+    s: Vec<bool>,
+    keys: base::ReceiverKeys,
+}
+
+impl std::fmt::Debug for SenderPrecomp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SenderPrecomp")
+            .field("group", &self.keys.group().name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SenderPrecomp {
+    /// Generates the offline material: `s` plus [`KAPPA`] keypairs (one
+    /// modexp each in `group`).
+    pub fn generate<R: Rng + ?Sized>(group: &DhGroup, rng: &mut R) -> SenderPrecomp {
+        SenderPrecomp {
+            s: (0..KAPPA).map(|_| rng.gen()).collect(),
+            keys: base::ReceiverKeys::generate(group, KAPPA, rng),
+        }
+    }
+}
+
 /// The extension sender (holds message pairs).
 pub struct ExtSender {
     s: Vec<bool>,
@@ -59,8 +91,22 @@ impl ExtSender {
         group: &DhGroup,
         rng: &mut R,
     ) -> Result<ExtSender, OtError> {
-        let s: Vec<bool> = (0..KAPPA).map(|_| rng.gen()).collect();
-        let seeds_blocks = base::receive(channel, group, &s, rng)?;
+        ExtSender::setup_with(channel, SenderPrecomp::generate(group, rng))
+    }
+
+    /// The online half of setup: completes the 128 base OTs with
+    /// [`SenderPrecomp`] material generated ahead of time, leaving only
+    /// the three batched flights (and half the modexps) on the wire path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates base-OT failures.
+    pub fn setup_with<C: Channel>(
+        channel: &mut C,
+        pre: SenderPrecomp,
+    ) -> Result<ExtSender, OtError> {
+        let SenderPrecomp { s, keys } = pre;
+        let seeds_blocks = base::receive_with(channel, &s, keys)?;
         Ok(ExtSender {
             s,
             seeds: seeds_blocks.into_iter().map(Prg::from_seed).collect(),
@@ -251,6 +297,35 @@ mod tests {
     #[test]
     fn multiple_batches_reuse_setup() {
         run_ext(vec![false, true, false], 3);
+    }
+
+    #[test]
+    fn precomputed_sender_setup_is_equivalent() {
+        // Offline-generated SenderPrecomp must yield a working extension
+        // identical in behaviour to the inline-randomness setup.
+        let group = DhGroup::modp_768();
+        let (mut ca, mut cb) = mem_pair();
+        let pre = {
+            let mut rng = StdRng::seed_from_u64(123);
+            SenderPrecomp::generate(&group, &mut rng)
+        };
+        let pairs: Vec<(Block, Block)> = (0..9u128)
+            .map(|i| (Block::from(i), Block::from(i + 50)))
+            .collect();
+        let pairs2 = pairs.clone();
+        let sender = std::thread::spawn(move || {
+            let mut s = ExtSender::setup_with(&mut ca, pre).unwrap();
+            s.send(&mut ca, &pairs2).unwrap();
+        });
+        let g2 = group.clone();
+        let mut rng = StdRng::seed_from_u64(124);
+        let mut r = ExtReceiver::setup(&mut cb, &g2, &mut rng).unwrap();
+        let choices: Vec<bool> = (0..9).map(|i| i % 2 == 1).collect();
+        let got = r.receive(&mut cb, &choices).unwrap();
+        sender.join().unwrap();
+        for ((pair, &c), msg) in pairs.iter().zip(&choices).zip(&got) {
+            assert_eq!(*msg, if c { pair.1 } else { pair.0 });
+        }
     }
 
     #[test]

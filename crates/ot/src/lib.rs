@@ -50,7 +50,9 @@ pub mod framed;
 pub mod sim;
 pub mod tcp;
 
+pub use base::ReceiverKeys;
 pub use channel::{mem_pair, Channel, ChannelError, MemChannel};
+pub use ext::SenderPrecomp;
 pub use framed::FramedChannel;
 pub use sim::{NetModel, SimChannel};
 pub use tcp::{tcp_pair, TcpChannel};

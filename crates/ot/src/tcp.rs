@@ -74,21 +74,29 @@ impl TcpChannel {
         TcpChannel::from_stream(TcpStream::connect(addr)?)
     }
 
-    /// Connects, retrying on refusal until `timeout` elapses — lets a
-    /// client process start before its server has bound the port.
+    /// Connects, retrying with capped exponential backoff until `timeout`
+    /// elapses — lets a client process start before its server has bound
+    /// the port without hammering the listener at a fixed cadence.
     /// Permanent errors (unresolvable host, unreachable network) surface
     /// immediately.
     ///
     /// # Errors
     ///
-    /// Returns the first permanent error, or the last refusal once
-    /// `timeout` has elapsed.
+    /// Returns a [`ChannelError`] whose context records the attempt count
+    /// and elapsed time, with the last underlying [`std::io::Error`] as
+    /// its source — either the first permanent error or the final refusal
+    /// once `timeout` has elapsed.
     pub fn connect_retry<A: ToSocketAddrs + Clone>(
         addr: A,
         timeout: Duration,
-    ) -> std::io::Result<TcpChannel> {
+    ) -> Result<TcpChannel, ChannelError> {
+        const INITIAL_BACKOFF: Duration = Duration::from_millis(10);
+        const MAX_BACKOFF: Duration = Duration::from_millis(500);
         let start = Instant::now();
+        let mut backoff = INITIAL_BACKOFF;
+        let mut attempts: u32 = 0;
         loop {
+            attempts += 1;
             match TcpChannel::connect(addr.clone()) {
                 Ok(chan) => return Ok(chan),
                 // Only the listener-not-up-yet races are worth waiting
@@ -99,11 +107,29 @@ impl TcpChannel {
                         std::io::ErrorKind::ConnectionRefused
                             | std::io::ErrorKind::ConnectionReset
                             | std::io::ErrorKind::TimedOut
-                    ) && start.elapsed() < timeout =>
+                    ) =>
                 {
-                    std::thread::sleep(Duration::from_millis(100));
+                    let elapsed = start.elapsed();
+                    if elapsed >= timeout {
+                        return Err(ChannelError::io(
+                            format!(
+                                "connecting: gave up after {attempts} attempts over \
+                                 {:.2} s (capped exponential backoff)",
+                                elapsed.as_secs_f64()
+                            ),
+                            e,
+                        ));
+                    }
+                    // Never sleep past the deadline.
+                    std::thread::sleep(backoff.min(timeout - elapsed));
+                    backoff = (backoff * 2).min(MAX_BACKOFF);
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    return Err(ChannelError::io(
+                        format!("connecting: permanent error on attempt {attempts}"),
+                        e,
+                    ))
+                }
             }
         }
     }
@@ -229,6 +255,44 @@ mod tests {
         assert!(text.contains("127.0.0.1"), "missing peer: {text}");
         assert!(text.contains("disconnected"), "missing cause: {text}");
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn connect_retry_waits_out_a_slow_listener() {
+        // Reserve a port, free it, then rebind it a little later: the
+        // client's first attempts are refused and the backoff loop must
+        // win the race once the listener is up.
+        let addr = {
+            let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap()
+        };
+        let server = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            let listener = TcpListener::bind(addr).unwrap();
+            let _conn = listener.accept().unwrap();
+        });
+        let chan = TcpChannel::connect_retry(addr, Duration::from_secs(10)).unwrap();
+        assert_eq!(chan.peer_addr(), addr);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn connect_retry_exhaustion_reports_attempts_and_last_error() {
+        // Nothing ever listens: the error must carry the retry story in
+        // its context and the final io::Error as its source.
+        let addr = {
+            let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap()
+        };
+        let start = Instant::now();
+        let err = TcpChannel::connect_retry(addr, Duration::from_millis(200)).unwrap_err();
+        assert!(start.elapsed() >= Duration::from_millis(200));
+        let text = err.to_string();
+        assert!(text.contains("attempts"), "missing attempt count: {text}");
+        assert!(
+            std::error::Error::source(&err).is_some(),
+            "last io::Error must be the source"
+        );
     }
 
     #[test]

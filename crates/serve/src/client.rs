@@ -1,0 +1,168 @@
+//! The evaluator client of a serving session — what `loadgen` and the
+//! concurrency tests drive.
+//!
+//! A [`ServeClient`] is one connection: handshake, one base-OT setup
+//! (the *offline* cost, paid once), then any number of [`query`] calls,
+//! each running only the online phase through the channel-generic
+//! [`ServerSession`]. The split is what makes the measured online latency
+//! directly comparable to the server's precompute claim.
+//!
+//! [`query`]: ServeClient::query
+//! [`ServerSession`]: deepsecure_core::session::ServerSession
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use deepsecure_core::protocol::InferenceConfig;
+use deepsecure_core::session::{ServerSession, ServerSetup, WireBreakdown};
+use deepsecure_ot::{Channel, FramedChannel, TcpChannel};
+
+use crate::demo::{self, DemoModel};
+use crate::proto;
+use crate::ServeError;
+
+/// The client-side model bundle: the same deterministic demo model the
+/// server hosts, plus the serialized private weights (the evaluator's OT
+/// choice bits).
+#[derive(Debug)]
+pub struct ClientModel {
+    /// The shared deterministic model.
+    pub demo: DemoModel,
+    /// The evaluator input bit stream (weights, OT choice bits).
+    pub weight_bits: Vec<bool>,
+}
+
+impl ClientModel {
+    /// Builds (trains + compiles) the named model and its weight stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown model names.
+    pub fn load(name: &str) -> Result<ClientModel, String> {
+        let demo = demo::load(name)?;
+        let weight_bits = demo.compiled.weight_bits(&demo.net);
+        Ok(ClientModel { demo, weight_bits })
+    }
+}
+
+/// What one request yielded, client side.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryOutcome {
+    /// The decoded inference label the server reported.
+    pub label: usize,
+    /// Online-phase latency: request sent → label received, seconds.
+    pub online_s: f64,
+    /// The request's online wire traffic (`base_ot` is 0 — setup traffic
+    /// is reported by [`ServeClient::setup_bytes`]).
+    pub wire: WireBreakdown,
+}
+
+/// One live serving session, evaluator side.
+pub struct ServeClient {
+    chan: TcpChannel,
+    session: ServerSession,
+    setup: ServerSetup,
+    e_bits: Vec<Vec<bool>>,
+    samples: usize,
+    epoch: Instant,
+    /// Server-assigned session ID (from the `OK` frame).
+    pub session_id: u64,
+    /// Wall-clock cost of connect + handshake + base-OT setup, seconds —
+    /// the per-session offline cost.
+    pub offline_s: f64,
+}
+
+impl std::fmt::Debug for ServeClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeClient")
+            .field("session_id", &self.session_id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeClient {
+    /// Connects (with retry while the server comes up), handshakes, and
+    /// runs the one-time base-OT setup. `seed` varies the client's OT
+    /// randomness per connection.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection/handshake/OT failure, including the server's
+    /// `ERR` rejection reason.
+    pub fn connect(
+        addr: &str,
+        model: &ClientModel,
+        seed: u64,
+        timeout: Duration,
+    ) -> Result<ServeClient, ServeError> {
+        let t0 = Instant::now();
+        let chan = TcpChannel::connect_retry(addr, timeout)?;
+        let mut framed = FramedChannel::new(chan);
+        framed.send_frame(proto::hello(&model.demo.name, model.demo.fingerprint).as_bytes())?;
+        let session_id =
+            proto::parse_reply(&framed.recv_frame()?).map_err(ServeError::Handshake)?;
+        let mut chan = framed.into_inner();
+        let cfg = InferenceConfig {
+            seed,
+            ..demo::inference_config()
+        };
+        let session = ServerSession::new(Arc::clone(&model.demo.compiled), &cfg);
+        let setup = session.setup(&mut chan)?;
+        Ok(ServeClient {
+            chan,
+            session,
+            setup,
+            e_bits: vec![model.weight_bits.clone()],
+            samples: model.demo.dataset.len(),
+            epoch: t0,
+            session_id,
+            offline_s: t0.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Both directions of the base-OT setup traffic (the session's
+    /// offline bytes; requests report everything else).
+    pub fn setup_bytes(&self) -> u64 {
+        self.setup.base_ot_bytes()
+    }
+
+    /// Runs one online inference for dataset sample `sample`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on channel/protocol failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` is outside the model's dataset.
+    pub fn query(&mut self, sample: usize) -> Result<QueryOutcome, ServeError> {
+        assert!(
+            sample < self.samples,
+            "sample {sample} out of range ({} samples)",
+            self.samples
+        );
+        let t0 = Instant::now();
+        self.chan.send_u64(sample as u64)?;
+        let out =
+            self.session
+                .run_online(&mut self.chan, &mut self.setup, &self.e_bits, self.epoch)?;
+        let label = usize::try_from(self.chan.recv_u64()?)
+            .map_err(|_| ServeError::Handshake("label does not fit a usize".to_string()))?;
+        Ok(QueryOutcome {
+            label,
+            online_s: t0.elapsed().as_secs_f64(),
+            wire: out.wire,
+        })
+    }
+
+    /// Ends the session cleanly (the server counts it as completed).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the DONE marker cannot be sent.
+    pub fn finish(mut self) -> Result<(), ServeError> {
+        self.chan.send_u64(proto::DONE)?;
+        self.chan.flush()?;
+        Ok(())
+    }
+}

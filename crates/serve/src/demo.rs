@@ -1,0 +1,161 @@
+//! Deterministic demo models shared by every multi-process binary.
+//!
+//! Both endpoints of a session derive the same trained network from the
+//! same synthetic dataset and training seed — standing in for a model the
+//! parties pre-shared out of band. The compiled circuit's shape is hashed
+//! into a fingerprint so two processes that drifted (different `--model`,
+//! different code version) fail the handshake before any labels move.
+
+use std::sync::Arc;
+
+use deepsecure_core::compile::{compile, CompileOptions, Compiled};
+use deepsecure_core::protocol::InferenceConfig;
+use deepsecure_nn::train::TrainConfig;
+use deepsecure_nn::{data, train, zoo, Network};
+use deepsecure_synth::activation::Activation;
+
+/// The zoo models every binary can serve.
+pub const MODEL_NAMES: &[&str] = &["tiny_mlp", "tiny_cnn"];
+
+/// One deterministic demo model: network, dataset, compiled circuit and
+/// its shape fingerprint.
+#[derive(Debug)]
+pub struct DemoModel {
+    /// Zoo name (`tiny_mlp`, `tiny_cnn`).
+    pub name: String,
+    /// The trained network (weights identical in every process).
+    pub net: Network,
+    /// The synthetic dataset the inputs come from.
+    pub dataset: data::Dataset,
+    /// The compiled argmax circuit.
+    pub compiled: Arc<Compiled>,
+    /// Order-sensitive hash of the circuit's shape.
+    pub fingerprint: u64,
+}
+
+/// The compile options every demo binary must agree on; the fingerprint
+/// handshake catches accidental drift.
+pub fn inference_config() -> InferenceConfig {
+    InferenceConfig {
+        options: CompileOptions {
+            tanh: Activation::TanhPl,
+            sigmoid: Activation::SigmoidPlan,
+            ..CompileOptions::default()
+        },
+        ..InferenceConfig::default()
+    }
+}
+
+/// The untrained network, dataset, and training recipe of a model name —
+/// cheap (no training, no compilation).
+fn spec(name: &str) -> Result<(Network, data::Dataset, TrainConfig), String> {
+    match name {
+        "tiny_mlp" => {
+            let set = data::digits_small(32, 31);
+            let net = zoo::tiny_mlp(set.num_classes);
+            Ok((
+                net,
+                set,
+                TrainConfig {
+                    epochs: 20,
+                    lr: 0.1,
+                    seed: 5,
+                },
+            ))
+        }
+        "tiny_cnn" => {
+            let set = data::digits_small(24, 22);
+            let net = zoo::tiny_cnn(set.num_classes);
+            Ok((
+                net,
+                set,
+                TrainConfig {
+                    epochs: 15,
+                    lr: 0.05,
+                    seed: 2,
+                },
+            ))
+        }
+        other => Err(format!(
+            "unknown model {other:?} (known: {})",
+            MODEL_NAMES.join(", ")
+        )),
+    }
+}
+
+/// Sample count of the model's dataset — lets CLIs validate an `--input`
+/// index before paying for [`load`]'s training and circuit compilation.
+///
+/// # Errors
+///
+/// Returns a message listing the known names when `name` is unknown.
+pub fn dataset_size(name: &str) -> Result<usize, String> {
+    spec(name).map(|(_, set, _)| set.len())
+}
+
+/// Builds (trains + compiles) the named demo model.
+///
+/// # Errors
+///
+/// Returns a message listing the known names when `name` is unknown.
+pub fn load(name: &str) -> Result<DemoModel, String> {
+    let (mut net, dataset, train_cfg) = spec(name)?;
+    train::train(&mut net, &dataset, &train_cfg);
+    let compiled = Arc::new(compile(&net, &inference_config().options));
+    let fingerprint = circuit_fingerprint(&compiled);
+    Ok(DemoModel {
+        name: name.to_string(),
+        net,
+        dataset,
+        compiled,
+        fingerprint,
+    })
+}
+
+/// Order-sensitive FNV-1a over the circuit's shape: enough to catch two
+/// processes compiling different circuits before any labels move.
+pub fn circuit_fingerprint(compiled: &Compiled) -> u64 {
+    let c = &compiled.circuit;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in [
+        c.garbler_inputs().len() as u64,
+        c.evaluator_inputs().len() as u64,
+        c.outputs().len() as u64,
+        c.registers().len() as u64,
+        c.nonfree_gate_count() as u64,
+        compiled.weight_order.len() as u64,
+    ] {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_model_lists_the_zoo() {
+        let err = load("resnet151").unwrap_err();
+        assert!(err.contains("tiny_mlp"), "{err}");
+        assert!(err.contains("tiny_cnn"), "{err}");
+    }
+
+    #[test]
+    fn fingerprint_is_shape_sensitive() {
+        // Two different zoo models must never collide (they differ in
+        // every shape field).
+        let a = load("tiny_mlp").unwrap();
+        // Loading twice is deterministic.
+        let b = load("tiny_mlp").unwrap();
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(
+            a.compiled.weight_bits(&a.net),
+            b.compiled.weight_bits(&b.net),
+            "training must be deterministic across loads"
+        );
+    }
+}

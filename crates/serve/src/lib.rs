@@ -1,0 +1,102 @@
+//! `deepsecure-serve` — a concurrent secure-inference serving layer.
+//!
+//! DeepSecure's garbling phase is input-independent (§3.1), so the paper's
+//! cost model puts the heavy work — garbled tables, OT setup — **offline**
+//! and leaves only a cheap online phase per query. This crate turns that
+//! observation into a deployment shape:
+//!
+//! * [`server`] — a multi-threaded TCP server hosting the garbling party.
+//!   Every accepted connection is one session: a framed handshake pins the
+//!   model and circuit fingerprint, a one-time base-OT setup seeds IKNP,
+//!   and then each request runs only the online phase (OT extension +
+//!   table streaming + evaluation) against pre-garbled material.
+//! * [`pool`] — the precompute pool: a background worker keeps N
+//!   [`GarbledMaterial`] instances per zoo model and a stock of base-OT
+//!   keypair precomputations ([`SenderPrecomp`]) so neither garbling nor
+//!   the offline modexp half of the OT setup ever sits on a connection's
+//!   critical path.
+//! * [`registry`] — per-session IDs and the active-session table behind
+//!   graceful shutdown (stop accepting, drain the sessions in flight).
+//! * [`stats`] — per-request `WireBreakdown`/latency aggregation into
+//!   server-level counters.
+//! * [`proto`] — the framed request protocol shared by server and
+//!   clients.
+//! * [`client`] — [`client::ServeClient`]: the evaluator side of a
+//!   session, driven by the `loadgen` binary and the concurrency tests.
+//!   Each client is handled by the existing channel-generic
+//!   [`ServerSession`] state machine — serving changed who *listens*, not
+//!   the Fig. 3 roles.
+//! * [`demo`] — the deterministic demo models (shared with `two_party`):
+//!   both endpoints derive the same trained network from the same seed,
+//!   standing in for pre-shared model parameters.
+//!
+//! [`GarbledMaterial`]: deepsecure_core::session::GarbledMaterial
+//! [`SenderPrecomp`]: deepsecure_ot::SenderPrecomp
+//! [`ServerSession`]: deepsecure_core::session::ServerSession
+
+pub mod client;
+pub mod demo;
+pub mod pool;
+pub mod proto;
+pub mod registry;
+pub mod server;
+pub mod stats;
+
+use deepsecure_core::protocol::ProtocolError;
+use deepsecure_ot::ChannelError;
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport failure outside the protocol proper.
+    Channel(ChannelError),
+    /// The secure-inference protocol itself failed.
+    Protocol(ProtocolError),
+    /// The peer spoke the framing but violated the request protocol.
+    Handshake(String),
+    /// Socket-level failure (bind/accept/configure).
+    Io(std::io::Error),
+    /// A model name the server does not host / cannot build.
+    Model(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Channel(e) => write!(f, "serve channel failure: {e}"),
+            ServeError::Protocol(e) => write!(f, "serve protocol failure: {e}"),
+            ServeError::Handshake(m) => write!(f, "serve handshake failure: {m}"),
+            ServeError::Io(e) => write!(f, "serve io failure: {e}"),
+            ServeError::Model(m) => write!(f, "serve model failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Channel(e) => Some(e),
+            ServeError::Protocol(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            ServeError::Handshake(_) | ServeError::Model(_) => None,
+        }
+    }
+}
+
+impl From<ChannelError> for ServeError {
+    fn from(e: ChannelError) -> ServeError {
+        ServeError::Channel(e)
+    }
+}
+
+impl From<ProtocolError> for ServeError {
+    fn from(e: ProtocolError) -> ServeError {
+        ServeError::Protocol(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> ServeError {
+        ServeError::Io(e)
+    }
+}

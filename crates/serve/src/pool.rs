@@ -1,0 +1,349 @@
+//! The precompute pool: input-independent work done before clients arrive.
+//!
+//! Two stocks are kept warm by a background worker thread:
+//!
+//! * **Base-OT precomputations** ([`SenderPrecomp`]) — the IKNP-sender
+//!   keypair modexps, model-independent, one consumed per new session's
+//!   setup.
+//! * **Garbled material** ([`GarbledMaterial`]) — per hosted model, one
+//!   consumed per request; keeping `target` instances per model means a
+//!   request's critical path never garbles.
+//!
+//! `take_*` never blocks on the worker: on a miss (burst deeper than the
+//! stock) the caller generates inline and the miss is counted — the pool
+//! degrades to the unpooled behaviour instead of queueing latency. Hits
+//! and misses are reported through [`PoolStats`], which is how tests and
+//! the serving stats prove the pool actually carried the load.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use deepsecure_bigint::DhGroup;
+use deepsecure_core::compile::Compiled;
+use deepsecure_core::session::GarbledMaterial;
+use deepsecure_ot::SenderPrecomp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Hit/miss and production counters of the pool.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolStats {
+    /// Sessions that found a precomputed base-OT stock item.
+    pub base_hits: u64,
+    /// Sessions that had to generate base-OT material inline.
+    pub base_misses: u64,
+    /// Requests that found pre-garbled material.
+    pub material_hits: u64,
+    /// Requests that had to garble inline.
+    pub material_misses: u64,
+    /// Items the background worker produced (both kinds).
+    pub produced: u64,
+}
+
+/// One hosted model's material queue.
+struct ModelSlot {
+    compiled: Arc<Compiled>,
+    cycles: usize,
+    ready: VecDeque<GarbledMaterial>,
+}
+
+struct State {
+    base: VecDeque<SenderPrecomp>,
+    models: HashMap<String, ModelSlot>,
+    stats: PoolStats,
+    stop: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled on take (work for the producer) and on produce (progress
+    /// for `wait_warm`) and on stop.
+    work: Condvar,
+    group: DhGroup,
+    target: usize,
+    /// Per-item seed counter: every generated instance gets a distinct
+    /// RNG stream derived from the pool seed.
+    seed_counter: AtomicU64,
+    seed: u64,
+}
+
+impl Shared {
+    fn next_rng(&self) -> StdRng {
+        let n = self.seed_counter.fetch_add(1, Ordering::Relaxed);
+        StdRng::seed_from_u64(self.seed ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+}
+
+/// What the worker found to refill next.
+enum Job {
+    Base,
+    Material {
+        model: String,
+        compiled: Arc<Compiled>,
+        cycles: usize,
+    },
+}
+
+/// The background precompute pool. Stops (and joins its worker) on drop.
+pub struct PrecomputePool {
+    shared: Arc<Shared>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for PrecomputePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrecomputePool")
+            .field("target", &self.shared.target)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PrecomputePool {
+    /// Starts the pool and its worker thread. `models` maps a name to its
+    /// compiled circuit and per-run cycle count; `target` is the stock
+    /// level kept per queue (base stock and each model's material stock).
+    pub fn start(
+        group: DhGroup,
+        models: Vec<(String, Arc<Compiled>, usize)>,
+        target: usize,
+        seed: u64,
+    ) -> PrecomputePool {
+        let state = State {
+            base: VecDeque::new(),
+            models: models
+                .into_iter()
+                .map(|(name, compiled, cycles)| {
+                    (
+                        name,
+                        ModelSlot {
+                            compiled,
+                            cycles,
+                            ready: VecDeque::new(),
+                        },
+                    )
+                })
+                .collect(),
+            stats: PoolStats::default(),
+            stop: false,
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(state),
+            work: Condvar::new(),
+            group,
+            target,
+            seed_counter: AtomicU64::new(1),
+            seed,
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::spawn(move || worker_loop(&worker_shared));
+        PrecomputePool {
+            shared,
+            worker: Mutex::new(Some(worker)),
+        }
+    }
+
+    /// Takes base-OT precompute for one new session (inline generation on
+    /// a miss — never blocks on the worker).
+    pub fn take_base(&self) -> SenderPrecomp {
+        {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            if let Some(pre) = st.base.pop_front() {
+                st.stats.base_hits += 1;
+                self.shared.work.notify_all();
+                return pre;
+            }
+            st.stats.base_misses += 1;
+        }
+        SenderPrecomp::generate(&self.shared.group, &mut self.shared.next_rng())
+    }
+
+    /// Takes garbled material for one request of `model` (inline garbling
+    /// on a miss). Returns `None` for a model the pool does not host.
+    pub fn take_material(&self, model: &str) -> Option<GarbledMaterial> {
+        let (compiled, cycles) = {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            let slot = st.models.get_mut(model)?;
+            if let Some(m) = slot.ready.pop_front() {
+                st.stats.material_hits += 1;
+                self.shared.work.notify_all();
+                return Some(m);
+            }
+            let pair = (Arc::clone(&slot.compiled), slot.cycles);
+            st.stats.material_misses += 1;
+            pair
+        };
+        Some(GarbledMaterial::garble(
+            &compiled,
+            cycles,
+            &mut self.shared.next_rng(),
+        ))
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PoolStats {
+        self.shared.state.lock().expect("pool lock").stats
+    }
+
+    /// Blocks until every queue is at target (or `timeout` passes);
+    /// returns whether the pool is warm. Benchmarks and tests use this to
+    /// measure the pooled regime, not the warm-up transient.
+    pub fn wait_warm(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock().expect("pool lock");
+        loop {
+            let warm = st.base.len() >= self.shared.target
+                && st
+                    .models
+                    .values()
+                    .all(|slot| slot.ready.len() >= self.shared.target);
+            if warm {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .shared
+                .work
+                .wait_timeout(st, deadline - now)
+                .expect("pool lock");
+            st = guard;
+        }
+    }
+
+    /// Stops the worker and joins it. Idempotent; also run by drop.
+    pub fn stop(&self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            st.stop = true;
+        }
+        self.shared.work.notify_all();
+        if let Some(handle) = self.worker.lock().expect("worker lock").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PrecomputePool {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        // Find one deficit under the lock…
+        let job = {
+            let mut st = shared.state.lock().expect("pool lock");
+            loop {
+                if st.stop {
+                    return;
+                }
+                if st.base.len() < shared.target {
+                    break Job::Base;
+                }
+                if let Some((name, slot)) = st
+                    .models
+                    .iter()
+                    .find(|(_, slot)| slot.ready.len() < shared.target)
+                {
+                    break Job::Material {
+                        model: name.clone(),
+                        compiled: Arc::clone(&slot.compiled),
+                        cycles: slot.cycles,
+                    };
+                }
+                // Fully stocked: sleep until a take makes room.
+                let (guard, _) = shared
+                    .work
+                    .wait_timeout(st, Duration::from_millis(200))
+                    .expect("pool lock");
+                st = guard;
+            }
+        };
+        // …generate outside it (this is the expensive part)…
+        match job {
+            Job::Base => {
+                let pre = SenderPrecomp::generate(&shared.group, &mut shared.next_rng());
+                let mut st = shared.state.lock().expect("pool lock");
+                st.base.push_back(pre);
+                st.stats.produced += 1;
+            }
+            Job::Material {
+                model,
+                compiled,
+                cycles,
+            } => {
+                let material = GarbledMaterial::garble(&compiled, cycles, &mut shared.next_rng());
+                let mut st = shared.state.lock().expect("pool lock");
+                if let Some(slot) = st.models.get_mut(&model) {
+                    slot.ready.push_back(material);
+                    st.stats.produced += 1;
+                }
+            }
+        }
+        // …and wake anyone in `wait_warm`.
+        shared.work.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use deepsecure_core::compile::{folded_mac, CompileOptions};
+    use deepsecure_fixed::Format;
+
+    use super::*;
+
+    fn mac_compiled() -> Arc<Compiled> {
+        Arc::new(Compiled {
+            circuit: folded_mac(&CompileOptions::default()),
+            weight_order: Vec::new(),
+            format: Format::Q3_12,
+        })
+    }
+
+    #[test]
+    fn pool_warms_up_and_serves_hits() {
+        let pool = PrecomputePool::start(
+            DhGroup::modp_768(),
+            vec![("mac".to_string(), mac_compiled(), 1)],
+            2,
+            99,
+        );
+        assert!(pool.wait_warm(Duration::from_secs(60)), "pool never warmed");
+        let _base = pool.take_base();
+        let material = pool.take_material("mac").expect("hosted model");
+        assert_eq!(material.num_cycles(), 1);
+        let stats = pool.stats();
+        assert_eq!(stats.base_hits, 1);
+        assert_eq!(stats.base_misses, 0);
+        assert_eq!(stats.material_hits, 1);
+        assert_eq!(stats.material_misses, 0);
+        assert!(stats.produced >= 4);
+        assert!(pool.take_material("unknown").is_none());
+        pool.stop();
+    }
+
+    #[test]
+    fn misses_generate_inline_and_are_counted() {
+        // target 0: the worker never stocks anything, every take is a
+        // miss, and the caller still gets usable material immediately.
+        let pool = PrecomputePool::start(
+            DhGroup::modp_768(),
+            vec![("mac".to_string(), mac_compiled(), 2)],
+            0,
+            7,
+        );
+        let _base = pool.take_base();
+        let m = pool.take_material("mac").unwrap();
+        assert_eq!(m.num_cycles(), 2);
+        let stats = pool.stats();
+        assert_eq!(stats.base_misses, 1);
+        assert_eq!(stats.material_misses, 1);
+        assert_eq!(stats.base_hits + stats.material_hits, 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! The framed request protocol between `deepsecure_serve` and its
+//! evaluator clients.
+//!
+//! One connection is one session:
+//!
+//! 1. client → `DSRV/1 <model> <fingerprint:016x>` (framed) — the same
+//!    model-plus-circuit-shape pinning scheme as the `two_party` binary.
+//! 2. server → `OK <session-id>` or `ERR <reason>` (framed).
+//! 3. Both sides run the one-time base-OT setup on the raw byte stream.
+//! 4. Per request: client sends the sample index as a `u64`, both sides
+//!    run the online phase, server answers with the decoded label as a
+//!    `u64`. [`DONE`] instead of an index ends the session cleanly.
+
+/// Handshake protocol tag; bump on any wire-format change.
+pub const HELLO_PREFIX: &str = "DSRV/1";
+
+/// Sent in place of a sample index to end the session.
+pub const DONE: u64 = u64::MAX;
+
+/// Builds the client hello line.
+pub fn hello(model: &str, fingerprint: u64) -> String {
+    format!("{HELLO_PREFIX} {model} {fingerprint:016x}")
+}
+
+/// Parses a client hello into `(model, fingerprint)`.
+///
+/// # Errors
+///
+/// Describes the malformed part of the frame.
+pub fn parse_hello(frame: &[u8]) -> Result<(String, u64), String> {
+    let text = std::str::from_utf8(frame).map_err(|_| "hello is not UTF-8".to_string())?;
+    let mut parts = text.split(' ');
+    match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(HELLO_PREFIX), Some(model), Some(fp), None) => {
+            let fingerprint = u64::from_str_radix(fp, 16)
+                .map_err(|_| format!("bad fingerprint {fp:?} in hello {text:?}"))?;
+            Ok((model.to_string(), fingerprint))
+        }
+        _ => Err(format!(
+            "malformed hello {text:?} (want {HELLO_PREFIX:?} MODEL FINGERPRINT)"
+        )),
+    }
+}
+
+/// Builds the server's acceptance reply.
+pub fn ok(session_id: u64) -> String {
+    format!("OK {session_id}")
+}
+
+/// Builds the server's rejection reply.
+pub fn err(reason: &str) -> String {
+    format!("ERR {reason}")
+}
+
+/// Parses the server reply into a session id, or the server's rejection
+/// reason as the error.
+///
+/// # Errors
+///
+/// Returns the `ERR` reason, or a description of a malformed frame.
+pub fn parse_reply(frame: &[u8]) -> Result<u64, String> {
+    let text = std::str::from_utf8(frame).map_err(|_| "reply is not UTF-8".to_string())?;
+    if let Some(reason) = text.strip_prefix("ERR ") {
+        return Err(format!("server rejected the session: {reason}"));
+    }
+    text.strip_prefix("OK ")
+        .and_then(|sid| sid.parse().ok())
+        .ok_or_else(|| format!("malformed server reply {text:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_roundtrip() {
+        let line = hello("tiny_mlp", 0xdead_beef_0042_1177);
+        let (model, fp) = parse_hello(line.as_bytes()).unwrap();
+        assert_eq!(model, "tiny_mlp");
+        assert_eq!(fp, 0xdead_beef_0042_1177);
+    }
+
+    #[test]
+    fn reply_roundtrip_and_rejection() {
+        assert_eq!(parse_reply(ok(17).as_bytes()).unwrap(), 17);
+        let e = parse_reply(err("fingerprint mismatch").as_bytes()).unwrap_err();
+        assert!(e.contains("fingerprint mismatch"), "{e}");
+    }
+
+    #[test]
+    fn malformed_frames_are_described() {
+        assert!(parse_hello(b"HTTP/1.1 GET /").is_err());
+        assert!(parse_hello(&[0xff, 0xfe]).is_err());
+        assert!(parse_hello(b"DSRV/1 tiny_mlp zzzz")
+            .unwrap_err()
+            .contains("fingerprint"));
+        assert!(parse_reply(b"maybe").is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! The session registry: per-session IDs and the active-session table.
+//!
+//! Every accepted connection registers before its handshake reply (the
+//! ID is what the `OK` frame carries) and deregisters when its handler
+//! returns — on success *and* on failure, via a guard. Graceful shutdown
+//! reads `active()` to know when the drain is complete; operators read
+//! `snapshot()` to see who is connected.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// What the server knows about one live session.
+#[derive(Clone, Debug)]
+pub struct SessionInfo {
+    /// Peer address of the evaluator client.
+    pub peer: SocketAddr,
+    /// Model the session pinned at handshake.
+    pub model: String,
+    /// Requests served so far on this session.
+    pub requests: u64,
+}
+
+/// Registry of live sessions keyed by server-assigned ID.
+#[derive(Debug, Default)]
+pub struct SessionRegistry {
+    next_id: AtomicU64,
+    active: Mutex<HashMap<u64, SessionInfo>>,
+}
+
+impl SessionRegistry {
+    /// An empty registry; IDs start at 1.
+    pub fn new() -> SessionRegistry {
+        SessionRegistry {
+            next_id: AtomicU64::new(1),
+            active: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Registers a new session and returns its ID.
+    pub fn register(&self, peer: SocketAddr, model: &str) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.active.lock().expect("registry lock").insert(
+            id,
+            SessionInfo {
+                peer,
+                model: model.to_string(),
+                requests: 0,
+            },
+        );
+        id
+    }
+
+    /// Bumps a session's served-request counter.
+    pub fn note_request(&self, id: u64) {
+        if let Some(info) = self.active.lock().expect("registry lock").get_mut(&id) {
+            info.requests += 1;
+        }
+    }
+
+    /// Removes a session; returns its final info if it was registered.
+    pub fn deregister(&self, id: u64) -> Option<SessionInfo> {
+        self.active.lock().expect("registry lock").remove(&id)
+    }
+
+    /// Number of live sessions.
+    pub fn active(&self) -> usize {
+        self.active.lock().expect("registry lock").len()
+    }
+
+    /// The live sessions, sorted by ID.
+    pub fn snapshot(&self) -> Vec<(u64, SessionInfo)> {
+        let mut out: Vec<(u64, SessionInfo)> = self
+            .active
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(&id, info)| (id, info.clone()))
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    #[test]
+    fn ids_are_unique_and_lifecycle_tracks() {
+        let reg = SessionRegistry::new();
+        let a = reg.register(addr(1000), "tiny_mlp");
+        let b = reg.register(addr(1001), "tiny_cnn");
+        assert_ne!(a, b);
+        assert_eq!(reg.active(), 2);
+        reg.note_request(a);
+        reg.note_request(a);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].1.requests, 2);
+        let info = reg.deregister(a).unwrap();
+        assert_eq!(info.model, "tiny_mlp");
+        assert_eq!(info.requests, 2);
+        assert_eq!(reg.active(), 1);
+        assert!(reg.deregister(a).is_none(), "double deregister is a no-op");
+    }
+}

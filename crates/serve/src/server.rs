@@ -1,0 +1,382 @@
+//! The multi-threaded serving loop: accept, handshake, setup, then online
+//! inferences against the precompute pool.
+//!
+//! The server hosts the **garbling** party of Fig. 3 — the role whose
+//! work (tables, IKNP-sender setup) is input-independent and therefore
+//! precomputable; each connecting evaluator client runs the existing
+//! channel-generic `ServerSession`. Serving flips who *listens*, never
+//! the protocol roles.
+//!
+//! One OS thread per connection: sessions are long-lived (one base-OT
+//! setup amortized over many requests), counts are moderate, and the
+//! protocol is blocking by design — a thread per session keeps the
+//! channel-generic session code untouched.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use deepsecure_core::protocol::InferenceConfig;
+use deepsecure_core::session::ClientSession;
+use deepsecure_ot::{Channel, FramedChannel, TcpChannel};
+
+use crate::demo::{self, DemoModel};
+use crate::pool::{PoolStats, PrecomputePool};
+use crate::proto;
+use crate::registry::{SessionInfo, SessionRegistry};
+use crate::stats::ServeStats;
+use crate::ServeError;
+
+/// Serving configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address (`HOST:PORT`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Zoo models to host (each is trained + compiled at startup).
+    pub models: Vec<String>,
+    /// Precomputed instances kept per queue (base OT, and garbled
+    /// material per model).
+    pub pool_target: usize,
+    /// Graceful auto-shutdown after this many sessions have finished
+    /// (counting failures) — what the CI end-to-end job uses.
+    pub max_sessions: Option<u64>,
+    /// Per-read socket timeout on every session. A client that wedges
+    /// (connects and then never speaks) fails its session after this
+    /// long instead of pinning a handler thread forever — which is also
+    /// what bounds how long a graceful shutdown can wait on the drain.
+    pub idle_timeout: Option<Duration>,
+    /// Pool / protocol randomness seed.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            models: vec!["tiny_mlp".to_string()],
+            pool_target: 2,
+            max_sessions: None,
+            idle_timeout: Some(Duration::from_secs(120)),
+            seed: 7,
+        }
+    }
+}
+
+/// One hosted model plus its precomputed per-sample garbler input bits.
+struct HostedModel {
+    demo: DemoModel,
+    input_bits: Vec<Vec<bool>>,
+}
+
+struct Shared {
+    addr: SocketAddr,
+    cfg: InferenceConfig,
+    models: HashMap<String, HostedModel>,
+    pool: PrecomputePool,
+    registry: SessionRegistry,
+    stats: Mutex<ServeStats>,
+    shutdown: AtomicBool,
+    max_sessions: Option<u64>,
+    idle_timeout: Option<Duration>,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // Poke the blocking accept() so the loop observes the flag.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// A bound, pool-warmed-up-in-the-background serving instance. Call
+/// [`Server::run`] to start accepting (usually on its own thread) and
+/// keep a [`ServerHandle`] for shutdown and stats.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.shared.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A cloneable remote control for a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.shared.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Builds every hosted model (training + compilation — the startup
+    /// cost amortized over all sessions), binds the listener, and starts
+    /// the precompute worker.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown model name or if the address cannot be bound.
+    pub fn bind(config: &ServeConfig) -> Result<Server, ServeError> {
+        let cfg = demo::inference_config();
+        let mut models = HashMap::new();
+        for name in &config.models {
+            let demo = demo::load(name).map_err(ServeError::Model)?;
+            let input_bits = demo
+                .dataset
+                .inputs
+                .iter()
+                .map(|x| demo.compiled.input_bits(x))
+                .collect();
+            models.insert(name.clone(), HostedModel { demo, input_bits });
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let pool = PrecomputePool::start(
+            cfg.group.clone(),
+            models
+                .iter()
+                .map(|(name, hosted)| (name.clone(), Arc::clone(&hosted.demo.compiled), 1))
+                .collect(),
+            config.pool_target,
+            config.seed,
+        );
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                addr,
+                cfg,
+                models,
+                pool,
+                registry: SessionRegistry::new(),
+                stats: Mutex::new(ServeStats::default()),
+                shutdown: AtomicBool::new(false),
+                max_sessions: config.max_sessions,
+                idle_timeout: config.idle_timeout,
+            }),
+        })
+    }
+
+    /// The bound listen address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A handle for shutdown/stats, usable from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Accepts sessions until shutdown is requested, then drains: stops
+    /// accepting, joins every in-flight session handler, stops the pool,
+    /// and returns the final stats.
+    pub fn run(self) -> ServeStats {
+        let Server { listener, shared } = self;
+        let mut handlers = Vec::new();
+        loop {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        // The shutdown poke (or a late client) — drop it.
+                        drop(stream);
+                        break;
+                    }
+                    // Long-lived servers must not accumulate one
+                    // JoinHandle per finished session.
+                    handlers.retain(|h: &std::thread::JoinHandle<()>| !h.is_finished());
+                    let sh = Arc::clone(&shared);
+                    handlers.push(std::thread::spawn(move || {
+                        handle_connection(&sh, stream, peer);
+                    }));
+                }
+                Err(e) => {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    eprintln!("serve: accept failed: {e}");
+                }
+            }
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        shared.pool.stop();
+        let final_stats = shared.stats.lock().expect("stats lock").clone();
+        final_stats
+    }
+}
+
+impl ServerHandle {
+    /// The bound listen address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Requests graceful shutdown: stop accepting, drain live sessions.
+    pub fn shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Snapshot of the aggregated serving stats.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats.lock().expect("stats lock").clone()
+    }
+
+    /// Number of sessions currently being served.
+    pub fn active_sessions(&self) -> usize {
+        self.shared.registry.active()
+    }
+
+    /// The live sessions (ID, peer, model, requests so far).
+    pub fn sessions(&self) -> Vec<(u64, SessionInfo)> {
+        self.shared.registry.snapshot()
+    }
+
+    /// Precompute pool counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.shared.pool.stats()
+    }
+
+    /// Blocks until the precompute pool is fully stocked (or the timeout
+    /// passes); returns whether it is warm.
+    pub fn wait_pool_warm(&self, timeout: std::time::Duration) -> bool {
+        self.shared.pool.wait_warm(timeout)
+    }
+}
+
+/// Deregisters a session on every exit path of its handler.
+struct RegistryGuard<'a> {
+    registry: &'a SessionRegistry,
+    id: u64,
+}
+
+impl Drop for RegistryGuard<'_> {
+    fn drop(&mut self) {
+        self.registry.deregister(self.id);
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream, peer: SocketAddr) {
+    shared.stats.lock().expect("stats lock").open_session();
+    match serve_session(shared, stream, peer) {
+        Ok(()) => shared.stats.lock().expect("stats lock").complete_session(),
+        Err(e) => {
+            shared.stats.lock().expect("stats lock").fail_session();
+            eprintln!("serve: session from {peer} failed: {e}");
+        }
+    }
+    if let Some(max) = shared.max_sessions {
+        let finished = {
+            let st = shared.stats.lock().expect("stats lock");
+            st.sessions_completed + st.sessions_failed
+        };
+        if finished >= max {
+            shared.request_shutdown();
+        }
+    }
+}
+
+fn serve_session(shared: &Shared, stream: TcpStream, peer: SocketAddr) -> Result<(), ServeError> {
+    // A wedged client must not pin this handler (and the eventual
+    // graceful drain) forever.
+    stream.set_read_timeout(shared.idle_timeout)?;
+    let chan = TcpChannel::from_stream(stream)?;
+    let mut framed = FramedChannel::new(chan);
+    let hello = framed.recv_frame()?;
+    let (model_name, fingerprint) = match proto::parse_hello(&hello) {
+        Ok(parsed) => parsed,
+        Err(m) => {
+            let _ = framed.send_frame(proto::err(&m).as_bytes());
+            let _ = framed.flush();
+            return Err(ServeError::Handshake(m));
+        }
+    };
+    let Some(hosted) = shared.models.get(&model_name) else {
+        let m = format!("model {model_name:?} not hosted");
+        let _ = framed.send_frame(proto::err(&m).as_bytes());
+        let _ = framed.flush();
+        return Err(ServeError::Handshake(m));
+    };
+    if fingerprint != hosted.demo.fingerprint {
+        let m = format!(
+            "circuit fingerprint mismatch for {model_name}: client {fingerprint:016x}, \
+             server {:016x} (different code version?)",
+            hosted.demo.fingerprint
+        );
+        let _ = framed.send_frame(proto::err(&m).as_bytes());
+        let _ = framed.flush();
+        return Err(ServeError::Handshake(m));
+    }
+    let sid = shared.registry.register(peer, &model_name);
+    let _guard = RegistryGuard {
+        registry: &shared.registry,
+        id: sid,
+    };
+    framed.send_frame(proto::ok(sid).as_bytes())?;
+    let mut chan = framed.into_inner();
+
+    // One-time setup: the precomputed keypairs keep the offline modexp
+    // half off the wire path; only the three batched flights remain.
+    let session = ClientSession::new(Arc::clone(&hosted.demo.compiled), &shared.cfg);
+    let epoch = Instant::now();
+    let pre = shared.pool.take_base();
+    let t_setup = Instant::now();
+    let mut setup = session.setup_with(&mut chan, pre, epoch)?;
+    shared
+        .stats
+        .lock()
+        .expect("stats lock")
+        .record_setup(t_setup.elapsed().as_secs_f64(), setup.base_ot_bytes());
+
+    // Request loop: every inference is online-only.
+    loop {
+        let req = chan.recv_u64()?;
+        if req == proto::DONE {
+            return Ok(());
+        }
+        let idx = usize::try_from(req)
+            .ok()
+            .filter(|&i| i < hosted.input_bits.len())
+            .ok_or_else(|| {
+                ServeError::Handshake(format!(
+                    "sample index {req} out of range (dataset has {} samples)",
+                    hosted.input_bits.len()
+                ))
+            })?;
+        let material = shared
+            .pool
+            .take_material(&model_name)
+            .expect("hosted models are registered with the pool");
+        let g_bits = &hosted.input_bits[idx];
+        let t_online = Instant::now();
+        let out = session.run_online(
+            &mut chan,
+            &mut setup,
+            material,
+            std::slice::from_ref(g_bits),
+            epoch,
+        )?;
+        chan.send_u64(out.label as u64)?;
+        chan.flush()?;
+        shared.registry.note_request(sid);
+        shared.stats.lock().expect("stats lock").record_request(
+            &model_name,
+            t_online.elapsed().as_secs_f64(),
+            out.wire,
+        );
+    }
+}

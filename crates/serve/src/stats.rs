@@ -1,0 +1,146 @@
+//! Server-level aggregation of per-request reports.
+//!
+//! Every request's [`WireBreakdown`] and online latency, and every
+//! session's setup cost, fold into one [`ServeStats`] — the serving
+//! analogue of a single run's `InferenceReport`, summed across clients.
+
+use std::collections::BTreeMap;
+
+use deepsecure_core::session::WireBreakdown;
+
+/// Aggregated serving counters; snapshot via `Clone`.
+#[derive(Clone, Debug, Default)]
+pub struct ServeStats {
+    /// Connections accepted (handshake attempted).
+    pub sessions_opened: u64,
+    /// Sessions that ended cleanly (client sent DONE).
+    pub sessions_completed: u64,
+    /// Sessions that ended in an error (bad handshake, disconnect, …).
+    pub sessions_failed: u64,
+    /// Requests served across all sessions.
+    pub requests: u64,
+    /// Sum of every request's online-phase wire traffic (`base_ot` stays
+    /// 0 here; setup traffic is in `setup_bytes`).
+    pub wire: WireBreakdown,
+    /// Sum of every session's base-OT setup traffic, both directions.
+    pub setup_bytes: u64,
+    /// Sessions that actually completed a base-OT setup (sessions that
+    /// die during the handshake never reach one).
+    pub setups: u64,
+    /// Sum of per-request online-phase latency, seconds.
+    pub online_s: f64,
+    /// Sum of per-session setup latency, seconds.
+    pub setup_s: f64,
+    /// Requests per model.
+    pub per_model: BTreeMap<String, u64>,
+}
+
+impl ServeStats {
+    /// A connection was accepted.
+    pub fn open_session(&mut self) {
+        self.sessions_opened += 1;
+    }
+
+    /// A session ended cleanly.
+    pub fn complete_session(&mut self) {
+        self.sessions_completed += 1;
+    }
+
+    /// A session ended in an error.
+    pub fn fail_session(&mut self) {
+        self.sessions_failed += 1;
+    }
+
+    /// A session finished its base-OT setup.
+    pub fn record_setup(&mut self, setup_s: f64, bytes: u64) {
+        self.setup_s += setup_s;
+        self.setup_bytes += bytes;
+        self.setups += 1;
+    }
+
+    /// A request finished its online phase.
+    pub fn record_request(&mut self, model: &str, online_s: f64, wire: WireBreakdown) {
+        self.requests += 1;
+        self.online_s += online_s;
+        self.wire += wire;
+        *self.per_model.entry(model.to_string()).or_insert(0) += 1;
+    }
+
+    /// Mean online latency per request, seconds (0 with no requests).
+    pub fn mean_online_s(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.online_s / self.requests as f64
+        }
+    }
+
+    /// Mean setup latency per completed setup, seconds (sessions that die
+    /// before setup don't dilute the mean).
+    pub fn mean_setup_s(&self) -> f64 {
+        self.setup_s / self.setups.max(1) as f64
+    }
+
+    /// Human-readable multi-line summary (the server's shutdown report).
+    pub fn summary(&self) -> String {
+        let mut lines = vec![
+            format!(
+                "sessions     {} opened, {} completed, {} failed",
+                self.sessions_opened, self.sessions_completed, self.sessions_failed
+            ),
+            format!(
+                "requests     {} total (mean online {:.3} s; mean session setup {:.3} s)",
+                self.requests,
+                self.mean_online_s(),
+                self.mean_setup_s()
+            ),
+            format!(
+                "wire bytes   online: ot-ext {} | tables {} | input-labels {} | \
+                 output-bits {} — setup: base-ot {}",
+                self.wire.ot_ext,
+                self.wire.tables,
+                self.wire.input_labels,
+                self.wire.output_bits,
+                self.setup_bytes
+            ),
+        ];
+        for (model, n) in &self.per_model {
+            lines.push(format!("model        {model}: {n} requests"));
+        }
+        lines.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_sums_requests_and_sessions() {
+        let mut stats = ServeStats::default();
+        stats.open_session();
+        stats.record_setup(0.5, 1000);
+        let wire = WireBreakdown {
+            tables: 100,
+            ot_ext: 10,
+            ..WireBreakdown::default()
+        };
+        stats.record_request("tiny_mlp", 0.2, wire);
+        stats.record_request("tiny_mlp", 0.4, wire);
+        stats.complete_session();
+        // A handshake-only failure must not dilute the setup mean.
+        stats.open_session();
+        stats.fail_session();
+        assert!((stats.mean_setup_s() - 0.5).abs() < 1e-12);
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.wire.tables, 200);
+        assert_eq!(stats.wire.ot_ext, 20);
+        assert_eq!(stats.wire.base_ot, 0, "setup bytes live in setup_bytes");
+        assert_eq!(stats.setup_bytes, 1000);
+        assert!((stats.mean_online_s() - 0.3).abs() < 1e-12);
+        assert_eq!(stats.per_model["tiny_mlp"], 2);
+        let text = stats.summary();
+        assert!(text.contains("2 total"), "{text}");
+        assert!(text.contains("tiny_mlp: 2 requests"), "{text}");
+    }
+}

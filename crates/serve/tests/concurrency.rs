@@ -1,0 +1,209 @@
+//! Concurrency end-to-end tests: N evaluator clients against one server
+//! on loopback, every label checked against the in-memory replay, plus
+//! fault tolerance for clients that die mid-handshake.
+
+use std::io::Write;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use deepsecure_core::compile::plain_label;
+use deepsecure_core::protocol::run_compiled;
+use deepsecure_serve::client::{ClientModel, QueryOutcome, ServeClient};
+use deepsecure_serve::demo;
+use deepsecure_serve::server::{ServeConfig, Server, ServerHandle};
+use deepsecure_serve::stats::ServeStats;
+
+fn start_server(pool_target: usize) -> (ServerHandle, thread::JoinHandle<ServeStats>) {
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        models: vec!["tiny_mlp".to_string()],
+        pool_target,
+        seed: 11,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run());
+    (handle, join)
+}
+
+#[test]
+fn four_concurrent_clients_match_replays_and_reports_are_independent() {
+    let (handle, join) = start_server(2);
+    let addr = handle.local_addr().to_string();
+    let model = Arc::new(ClientModel::load("tiny_mlp").expect("model"));
+    const CLIENTS: usize = 4;
+    const REQUESTS: usize = 2;
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|tid| {
+            let model = Arc::clone(&model);
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let mut client =
+                    ServeClient::connect(&addr, &model, 500 + tid as u64, Duration::from_secs(10))
+                        .expect("connect");
+                let setup_bytes = client.setup_bytes();
+                let sid = client.session_id;
+                let outs: Vec<(usize, QueryOutcome)> = (0..REQUESTS)
+                    .map(|q| {
+                        let sample = (tid * REQUESTS + q) % model.demo.dataset.len();
+                        (sample, client.query(sample).expect("query"))
+                    })
+                    .collect();
+                client.finish().expect("finish");
+                (sid, setup_bytes, outs)
+            })
+        })
+        .collect();
+    let results: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+
+    // One full in-memory protocol replay gives the wire-byte oracle (the
+    // byte counts are sample-independent for a fixed circuit).
+    let cfg = demo::inference_config();
+    let replay = run_compiled(
+        Arc::clone(&model.demo.compiled),
+        vec![model
+            .demo
+            .compiled
+            .input_bits(&model.demo.dataset.inputs[0])],
+        vec![model.weight_bits.clone()],
+        &cfg,
+    )
+    .expect("replay");
+
+    let mut seen_sids = std::collections::HashSet::new();
+    for (sid, setup_bytes, outs) in &results {
+        assert!(seen_sids.insert(*sid), "session ids must be unique");
+        // Every session pays the base OT exactly once, and it matches the
+        // replay's base-OT bytes.
+        assert_eq!(*setup_bytes, replay.wire.base_ot);
+        for (sample, out) in outs {
+            // Labels bit-identical to the in-memory path (which the
+            // replay itself asserts against the plaintext oracle).
+            let oracle = plain_label(
+                &model.demo.compiled,
+                &model.demo.net,
+                &model.demo.dataset.inputs[*sample],
+            );
+            assert_eq!(out.label, oracle, "sample {sample} label diverged");
+            // Per-request reports are independent and each covers its own
+            // online phase exactly.
+            assert_eq!(out.wire.base_ot, 0, "base OT must not leak into requests");
+            assert_eq!(out.wire.ot_ext, replay.wire.ot_ext);
+            assert_eq!(out.wire.tables, replay.wire.tables);
+            assert_eq!(out.wire.input_labels, replay.wire.input_labels);
+            assert_eq!(out.wire.output_bits, replay.wire.output_bits);
+            assert!(out.online_s > 0.0);
+        }
+    }
+
+    // Server-level aggregation saw it all.
+    let pool = handle.pool_stats();
+    handle.shutdown();
+    let stats = join.join().unwrap();
+    assert_eq!(stats.sessions_opened, CLIENTS as u64);
+    assert_eq!(stats.sessions_completed, CLIENTS as u64);
+    assert_eq!(stats.sessions_failed, 0);
+    assert_eq!(stats.requests, (CLIENTS * REQUESTS) as u64);
+    assert_eq!(stats.per_model["tiny_mlp"], (CLIENTS * REQUESTS) as u64);
+    assert_eq!(
+        stats.wire.tables,
+        replay.wire.tables * (CLIENTS * REQUESTS) as u64
+    );
+    assert_eq!(stats.setup_bytes, replay.wire.base_ot * CLIENTS as u64);
+    assert_eq!(handle.active_sessions(), 0, "registry must drain");
+    // The pool actually served: every take was either a hit or an inline
+    // miss, and the worker produced stock.
+    assert_eq!(pool.base_hits + pool.base_misses, CLIENTS as u64);
+    assert_eq!(
+        pool.material_hits + pool.material_misses,
+        (CLIENTS * REQUESTS) as u64
+    );
+    assert!(pool.produced > 0, "the background worker never produced");
+}
+
+#[test]
+fn mid_handshake_disconnects_leave_the_server_serving_others() {
+    let (handle, join) = start_server(1);
+    let addr = handle.local_addr().to_string();
+
+    // A client that sends half a frame header and hangs up…
+    {
+        let mut s = std::net::TcpStream::connect(&addr).expect("connect");
+        s.write_all(&[0x03, 0x00]).expect("partial header");
+    }
+    // …and one that connects and says nothing at all.
+    {
+        let _ = std::net::TcpStream::connect(&addr).expect("connect");
+    }
+    // …and one that handshakes a model the server does not host (raw
+    // frames: a 4-byte LE length prefix, as FramedChannel writes them).
+    {
+        use std::io::Read;
+        let mut s = std::net::TcpStream::connect(&addr).expect("connect");
+        let hello = deepsecure_serve::proto::hello("tiny_cnn", 0);
+        s.write_all(&(hello.len() as u32).to_le_bytes()).unwrap();
+        s.write_all(hello.as_bytes()).unwrap();
+        let mut header = [0u8; 4];
+        s.read_exact(&mut header).expect("reply header");
+        let mut reply = vec![0u8; u32::from_le_bytes(header) as usize];
+        s.read_exact(&mut reply).expect("reply body");
+        let err = deepsecure_serve::proto::parse_reply(&reply).unwrap_err();
+        assert!(err.contains("not hosted"), "{err}");
+    }
+
+    // A well-behaved client is still served correctly.
+    let model = ClientModel::load("tiny_mlp").expect("model");
+    let mut client =
+        ServeClient::connect(&addr, &model, 2, Duration::from_secs(10)).expect("connect");
+    let out = client.query(0).expect("query");
+    let oracle = plain_label(
+        &model.demo.compiled,
+        &model.demo.net,
+        &model.demo.dataset.inputs[0],
+    );
+    assert_eq!(out.label, oracle);
+    client.finish().expect("finish");
+
+    handle.shutdown();
+    let stats = join.join().unwrap();
+    assert_eq!(stats.sessions_completed, 1);
+    assert!(
+        stats.sessions_failed >= 3,
+        "expected the three broken sessions to be counted: {stats:?}"
+    );
+    assert_eq!(stats.requests, 1);
+}
+
+#[test]
+fn wedged_client_times_out_and_graceful_shutdown_still_drains() {
+    // A client that connects and never speaks must not pin its handler
+    // thread forever — the per-read idle timeout fails the session, so a
+    // graceful shutdown (which drains in-flight sessions) completes.
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        models: vec!["tiny_mlp".to_string()],
+        pool_target: 0,
+        idle_timeout: Some(Duration::from_millis(400)),
+        seed: 13,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run());
+    let addr = handle.local_addr();
+
+    // Hold the socket open, silently, past the idle timeout.
+    let wedged = std::net::TcpStream::connect(addr).expect("connect");
+    thread::sleep(Duration::from_millis(1500));
+    assert_eq!(handle.active_sessions(), 0, "wedged session must be reaped");
+
+    handle.shutdown();
+    // Must return promptly instead of waiting on the wedged handler.
+    let stats = join.join().unwrap();
+    assert_eq!(stats.sessions_opened, 1);
+    assert_eq!(stats.sessions_failed, 1);
+    drop(wedged);
+}

@@ -1,0 +1,108 @@
+//! The concurrent secure-inference server.
+//!
+//! Hosts the garbling party for any number of simultaneous evaluator
+//! clients. Heavy input-independent work — garbled tables, base-OT
+//! keypair modexps — runs in a background precompute pool *before*
+//! clients arrive, so each request pays only the online phase
+//! (OT extension + table streaming + evaluation).
+//!
+//! ```sh
+//! deepsecure_serve --listen 127.0.0.1:7710 --models tiny_mlp --pool 2
+//! loadgen --connect 127.0.0.1:7710 --model tiny_mlp --clients 4 --requests 2 --check
+//! ```
+
+use std::process::ExitCode;
+
+use deepsecure::serve::server::{ServeConfig, Server};
+
+const USAGE: &str = "\
+usage:
+  deepsecure_serve --listen HOST:PORT [--models NAME[,NAME…]] [--pool N]
+                   [--sessions N] [--seed S]
+
+  --listen    address to serve on (port 0 picks an ephemeral port)
+  --models    comma-separated zoo models to host (default tiny_mlp)
+  --pool      precomputed instances kept warm per queue (default 2)
+  --sessions  exit gracefully after N sessions have finished (default:
+              serve forever)
+  --seed      pool randomness seed (default 7)
+
+Each model is trained and compiled deterministically at startup; clients
+must present the same circuit fingerprint in their handshake.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("deepsecure_serve: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse(args: &[String]) -> Result<ServeConfig, String> {
+    let mut config = ServeConfig {
+        addr: String::new(),
+        ..ServeConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--listen" => config.addr = value("--listen")?,
+            "--models" => {
+                config.models = value("--models")?.split(',').map(str::to_string).collect();
+            }
+            "--pool" => {
+                let v = value("--pool")?;
+                config.pool_target = v
+                    .parse()
+                    .map_err(|_| format!("--pool takes a count, got {v:?}"))?;
+            }
+            "--sessions" => {
+                let v = value("--sessions")?;
+                config.max_sessions = Some(
+                    v.parse()
+                        .map_err(|_| format!("--sessions takes a count, got {v:?}"))?,
+                );
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                config.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed takes a number, got {v:?}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if config.addr.is_empty() {
+        return Err(format!("--listen HOST:PORT is required\n{USAGE}"));
+    }
+    Ok(config)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let config = parse(args)?;
+    eprintln!(
+        "serve: building {} (training + compiling at startup)…",
+        config.models.join(", ")
+    );
+    let server = Server::bind(&config).map_err(|e| e.to_string())?;
+    eprintln!(
+        "serve: listening on {} (pool target {} per queue{})",
+        server.local_addr(),
+        config.pool_target,
+        config
+            .max_sessions
+            .map(|n| format!(", exits after {n} sessions"))
+            .unwrap_or_default()
+    );
+    let stats = server.run();
+    println!("serve: final stats\n{}", stats.summary());
+    Ok(())
+}

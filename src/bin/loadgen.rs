@@ -1,0 +1,274 @@
+//! Load generator for `deepsecure_serve`: K concurrent evaluator clients,
+//! R requests each, reporting requests/s and the online-vs-total latency
+//! split that demonstrates the server's precompute pool.
+//!
+//! With `--check`, every decoded label is compared against a full
+//! in-memory replay of the protocol (both parties as threads over
+//! `mem_pair`) **and** the plaintext oracle, and every request's online
+//! wire breakdown plus the session's base-OT bytes must match the replay
+//! bit for bit — the same discipline as `two_party --check`, across
+//! concurrent sessions.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use deepsecure::core::compile::plain_label;
+use deepsecure::core::protocol::{run_compiled, InferenceReport};
+use deepsecure::serve::client::{ClientModel, QueryOutcome, ServeClient};
+use deepsecure::serve::demo;
+
+const USAGE: &str = "\
+usage:
+  loadgen --connect HOST:PORT [--model NAME] [--clients K] [--requests R]
+          [--check] [--seed S]
+
+  --connect   the deepsecure_serve address
+  --model     zoo model to query (default tiny_mlp)
+  --clients   concurrent client connections (default 4)
+  --requests  requests per client on one connection (default 2)
+  --check     replay each queried sample in-memory and fail on any label
+              or wire-byte divergence
+  --seed      base OT-randomness seed, varied per client (default 1000)";
+
+struct Cli {
+    addr: String,
+    model: String,
+    clients: usize,
+    requests: usize,
+    check: bool,
+    seed: u64,
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        addr: String::new(),
+        model: "tiny_mlp".to_string(),
+        clients: 4,
+        requests: 2,
+        check: false,
+        seed: 1000,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--connect" => cli.addr = value("--connect")?,
+            "--model" => cli.model = value("--model")?,
+            "--clients" => {
+                let v = value("--clients")?;
+                cli.clients = v
+                    .parse()
+                    .ok()
+                    .filter(|&k| k > 0)
+                    .ok_or_else(|| format!("--clients takes a positive count, got {v:?}"))?;
+            }
+            "--requests" => {
+                let v = value("--requests")?;
+                cli.requests = v
+                    .parse()
+                    .ok()
+                    .filter(|&r| r > 0)
+                    .ok_or_else(|| format!("--requests takes a positive count, got {v:?}"))?;
+            }
+            "--check" => cli.check = true,
+            "--seed" => {
+                let v = value("--seed")?;
+                cli.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed takes a number, got {v:?}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if cli.addr.is_empty() {
+        return Err(format!("--connect HOST:PORT is required\n{USAGE}"));
+    }
+    Ok(cli)
+}
+
+/// One client thread's record.
+struct ClientRun {
+    /// Connect + handshake + base-OT setup, seconds.
+    offline_s: f64,
+    /// Base-OT setup traffic, both directions.
+    setup_bytes: u64,
+    /// Whole-session wall clock (offline + all requests), seconds.
+    total_s: f64,
+    /// Per-request `(sample, outcome)`.
+    queries: Vec<(usize, QueryOutcome)>,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("loadgen: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cli = parse(args)?;
+    eprintln!(
+        "loadgen: building model {} (training + compiling)…",
+        cli.model
+    );
+    let model = Arc::new(ClientModel::load(&cli.model)?);
+    let samples = model.demo.dataset.len();
+    println!(
+        "loadgen: model {}, {} clients x {} requests ({} dataset samples)",
+        cli.model, cli.clients, cli.requests, samples
+    );
+
+    let wall = Instant::now();
+    let workers: Vec<_> = (0..cli.clients)
+        .map(|tid| {
+            let model = Arc::clone(&model);
+            let addr = cli.addr.clone();
+            let requests = cli.requests;
+            let seed = cli.seed + tid as u64;
+            std::thread::spawn(move || -> Result<ClientRun, String> {
+                let t0 = Instant::now();
+                let mut client = ServeClient::connect(&addr, &model, seed, Duration::from_secs(15))
+                    .map_err(|e| format!("client {tid}: connect: {e}"))?;
+                let offline_s = client.offline_s;
+                let setup_bytes = client.setup_bytes();
+                let mut queries = Vec::with_capacity(requests);
+                for q in 0..requests {
+                    let sample = (tid * requests + q) % model.demo.dataset.len();
+                    let out = client
+                        .query(sample)
+                        .map_err(|e| format!("client {tid}: query {q}: {e}"))?;
+                    queries.push((sample, out));
+                }
+                client
+                    .finish()
+                    .map_err(|e| format!("client {tid}: finish: {e}"))?;
+                Ok(ClientRun {
+                    offline_s,
+                    setup_bytes,
+                    total_s: t0.elapsed().as_secs_f64(),
+                    queries,
+                })
+            })
+        })
+        .collect();
+    let mut runs = Vec::with_capacity(cli.clients);
+    for worker in workers {
+        runs.push(worker.join().map_err(|_| "client thread panicked")??);
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    let n_requests = (cli.clients * cli.requests) as f64;
+    let online: Vec<f64> = runs
+        .iter()
+        .flat_map(|r| r.queries.iter().map(|(_, o)| o.online_s))
+        .collect();
+    let online_mean = online.iter().sum::<f64>() / n_requests;
+    let online_max = online.iter().cloned().fold(0.0f64, f64::max);
+    let offline_mean = runs.iter().map(|r| r.offline_s).sum::<f64>() / cli.clients as f64;
+    let total_mean = runs.iter().map(|r| r.total_s).sum::<f64>() / cli.clients as f64;
+    println!(
+        "loadgen: {} requests in {wall_s:.2} s -> {:.2} req/s",
+        cli.clients * cli.requests,
+        n_requests / wall_s
+    );
+    println!("  per-session offline (connect + handshake + base OT)  mean {offline_mean:.3} s");
+    println!("  per-request online (OT ext + tables + eval)          mean {online_mean:.3} s  max {online_max:.3} s");
+    println!(
+        "  session end-to-end                                   mean {total_mean:.3} s ({:.0}% spent online)",
+        100.0 * (cli.requests as f64 * online_mean) / total_mean
+    );
+
+    if cli.check {
+        check(&model, &runs)?;
+    }
+    Ok(())
+}
+
+/// Replays every queried sample in-memory and asserts labels and wire
+/// bytes match what the serving path reported.
+fn check(model: &ClientModel, runs: &[ClientRun]) -> Result<(), String> {
+    let cfg = demo::inference_config();
+    let mut replays: HashMap<usize, InferenceReport> = HashMap::new();
+    let mut fail = Vec::new();
+    let mut checked = 0usize;
+    for (tid, run) in runs.iter().enumerate() {
+        for (sample, out) in &run.queries {
+            let replay = match replays.entry(*sample) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let input_bits = model
+                        .demo
+                        .compiled
+                        .input_bits(&model.demo.dataset.inputs[*sample]);
+                    let report = run_compiled(
+                        Arc::clone(&model.demo.compiled),
+                        vec![input_bits],
+                        vec![model.weight_bits.clone()],
+                        &cfg,
+                    )
+                    .map_err(|e| format!("in-memory replay of sample {sample}: {e}"))?;
+                    let oracle = plain_label(
+                        &model.demo.compiled,
+                        &model.demo.net,
+                        &model.demo.dataset.inputs[*sample],
+                    );
+                    if report.label != oracle {
+                        return Err(format!(
+                            "replay of sample {sample} disagrees with the plaintext oracle: \
+                             {} != {oracle}",
+                            report.label
+                        ));
+                    }
+                    e.insert(report)
+                }
+            };
+            checked += 1;
+            if out.label != replay.label {
+                fail.push(format!(
+                    "client {tid} sample {sample}: label {} != replay {}",
+                    out.label, replay.label
+                ));
+            }
+            let w = &out.wire;
+            let r = &replay.wire;
+            if (w.ot_ext, w.tables, w.input_labels, w.output_bits)
+                != (r.ot_ext, r.tables, r.input_labels, r.output_bits)
+            {
+                fail.push(format!(
+                    "client {tid} sample {sample}: online wire {w:?} != replay {r:?}"
+                ));
+            }
+            if w.base_ot != 0 {
+                fail.push(format!(
+                    "client {tid} sample {sample}: online breakdown must not carry base-OT bytes"
+                ));
+            }
+        }
+        let base = replays.values().next().map_or(0, |r| r.wire.base_ot);
+        if run.setup_bytes != base {
+            fail.push(format!(
+                "client {tid}: setup bytes {} != replay base-OT {base}",
+                run.setup_bytes
+            ));
+        }
+    }
+    if fail.is_empty() {
+        println!(
+            "  check OK: {checked}/{checked} labels match the in-memory replays; online \
+             wire bytes and per-session base-OT bytes identical"
+        );
+        Ok(())
+    } else {
+        Err(format!("serving run diverged:\n  {}", fail.join("\n  ")))
+    }
+}

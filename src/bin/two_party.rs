@@ -19,13 +19,11 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use deepsecure::core::compile::{compile, plain_label, CompileOptions, Compiled};
-use deepsecure::core::protocol::{run_compiled, InferenceConfig};
+use deepsecure::core::compile::plain_label;
+use deepsecure::core::protocol::run_compiled;
 use deepsecure::core::session::{ClientSession, ServerSession, WireBreakdown};
-use deepsecure::nn::train::TrainConfig;
-use deepsecure::nn::{data, train, zoo, Network};
 use deepsecure::ot::{Channel, FramedChannel, TcpChannel};
-use deepsecure::synth::activation::Activation;
+use deepsecure::serve::demo::{self, DemoModel};
 
 const USAGE: &str = "\
 usage:
@@ -106,105 +104,29 @@ fn parse(args: &[String]) -> Result<Cli, String> {
 
 fn run(args: &[String]) -> Result<(), String> {
     let cli = parse(args)?;
-    let (net, set) = load_model(&cli.model)?;
-    // Reject a bad sample index before paying for circuit compilation.
-    if cli.role == "garbler" && cli.input >= set.len() {
+    // Reject a bad sample index before paying for training/compilation.
+    let samples = demo::dataset_size(&cli.model).map_err(|e| format!("{e}\n{USAGE}"))?;
+    if cli.role == "garbler" && cli.input >= samples {
         return Err(format!(
-            "--input {} out of range (the {} dataset has {} samples)",
-            cli.input,
-            cli.model,
-            set.len()
+            "--input {} out of range (the {} dataset has {samples} samples)",
+            cli.input, cli.model
         ));
     }
-    let cfg = inference_config();
-    let compiled = Arc::new(compile(&net, &cfg.options));
-    let fingerprint = circuit_fingerprint(&compiled);
+    // The deterministic model zoo (training, compilation, fingerprint) is
+    // shared with the serving stack via `deepsecure::serve::demo`.
+    let model = demo::load(&cli.model).map_err(|e| format!("{e}\n{USAGE}"))?;
     if cli.role == "garbler" {
-        run_garbler(&cli, &net, &set, &cfg, compiled, fingerprint)
+        run_garbler(&cli, &model)
     } else {
-        run_evaluator(&cli, &net, &cfg, compiled, fingerprint)
+        run_evaluator(&cli, &model)
     }
 }
 
-/// Both parties must pick the same compile options; the fingerprint
-/// handshake catches accidental drift.
-fn inference_config() -> InferenceConfig {
-    InferenceConfig {
-        options: CompileOptions {
-            tanh: Activation::TanhPl,
-            sigmoid: Activation::SigmoidPlan,
-            ..CompileOptions::default()
-        },
-        ..InferenceConfig::default()
-    }
-}
-
-/// Deterministic model + dataset per name: both processes train the same
-/// weights from the same seed, standing in for a pre-shared model.
-fn load_model(name: &str) -> Result<(Network, data::Dataset), String> {
-    let (mut net, set, train_cfg) = match name {
-        "tiny_mlp" => {
-            let set = data::digits_small(32, 31);
-            let net = zoo::tiny_mlp(set.num_classes);
-            (
-                net,
-                set,
-                TrainConfig {
-                    epochs: 20,
-                    lr: 0.1,
-                    seed: 5,
-                },
-            )
-        }
-        "tiny_cnn" => {
-            let set = data::digits_small(24, 22);
-            let net = zoo::tiny_cnn(set.num_classes);
-            (
-                net,
-                set,
-                TrainConfig {
-                    epochs: 15,
-                    lr: 0.05,
-                    seed: 2,
-                },
-            )
-        }
-        other => return Err(format!("unknown model {other:?}\n{USAGE}")),
-    };
-    train::train(&mut net, &set, &train_cfg);
-    Ok((net, set))
-}
-
-/// Order-sensitive FNV-1a over the circuit's shape: enough to catch two
-/// processes compiling different circuits before any labels move.
-fn circuit_fingerprint(compiled: &Compiled) -> u64 {
-    let c = &compiled.circuit;
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for v in [
-        c.garbler_inputs().len() as u64,
-        c.evaluator_inputs().len() as u64,
-        c.outputs().len() as u64,
-        c.registers().len() as u64,
-        c.nonfree_gate_count() as u64,
-        compiled.weight_order.len() as u64,
-    ] {
-        for byte in v.to_le_bytes() {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    h
-}
-
-fn run_garbler(
-    cli: &Cli,
-    net: &Network,
-    set: &data::Dataset,
-    cfg: &InferenceConfig,
-    compiled: Arc<Compiled>,
-    fingerprint: u64,
-) -> Result<(), String> {
-    let sample = &set.inputs[cli.input]; // bounds-checked in `run`
+fn run_garbler(cli: &Cli, model: &DemoModel) -> Result<(), String> {
+    let cfg = demo::inference_config();
+    let compiled = Arc::clone(&model.compiled);
+    let fingerprint = model.fingerprint;
+    let sample = &model.dataset.inputs[cli.input]; // bounds-checked in `run`
     let input_bits = compiled.input_bits(sample);
 
     let chan = TcpChannel::connect_retry(cli.addr.as_str(), Duration::from_secs(15))
@@ -223,7 +145,7 @@ fn run_garbler(
     }
     let mut chan = framed.into_inner();
 
-    let client = ClientSession::new(Arc::clone(&compiled), cfg);
+    let client = ClientSession::new(Arc::clone(&compiled), &cfg);
     let epoch = Instant::now();
     let out = client
         .run(&mut chan, std::slice::from_ref(&input_bits), epoch)
@@ -245,15 +167,15 @@ fn run_garbler(
     print_breakdown(&out.wire);
 
     if cli.check {
-        let weight_bits = compiled.weight_bits(net);
+        let weight_bits = compiled.weight_bits(&model.net);
         let report = run_compiled(
             Arc::clone(&compiled),
             vec![input_bits],
             vec![weight_bits],
-            cfg,
+            &cfg,
         )
         .map_err(|e| format!("in-memory replay: {e}"))?;
-        let oracle = plain_label(&compiled, net, sample);
+        let oracle = plain_label(&compiled, &model.net, sample);
         let mut fail = Vec::new();
         if out.label != report.label {
             fail.push(format!(
@@ -301,13 +223,10 @@ fn run_garbler(
     Ok(())
 }
 
-fn run_evaluator(
-    cli: &Cli,
-    net: &Network,
-    cfg: &InferenceConfig,
-    compiled: Arc<Compiled>,
-    fingerprint: u64,
-) -> Result<(), String> {
+fn run_evaluator(cli: &Cli, model: &DemoModel) -> Result<(), String> {
+    let cfg = demo::inference_config();
+    let compiled = Arc::clone(&model.compiled);
+    let fingerprint = model.fingerprint;
     let listener = std::net::TcpListener::bind(cli.addr.as_str())
         .map_err(|e| format!("binding {}: {e}", cli.addr))?;
     eprintln!(
@@ -334,8 +253,8 @@ fn run_evaluator(
         .map_err(|e| format!("handshake ack: {e}"))?;
     let mut chan = framed.into_inner();
 
-    let weight_bits = compiled.weight_bits(net);
-    let server = ServerSession::new(compiled, cfg);
+    let weight_bits = compiled.weight_bits(&model.net);
+    let server = ServerSession::new(compiled, &cfg);
     let epoch = Instant::now();
     let out = server
         .run(&mut chan, std::slice::from_ref(&weight_bits), epoch)

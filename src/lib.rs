@@ -17,6 +17,7 @@
 //! | [`garble`] | `deepsecure-garble` | half-gates garbler/evaluator |
 //! | [`he`] | `deepsecure-he` | CryptoNets (BFV) baseline |
 //! | [`core`] | `deepsecure-core` | compiler, protocol, pre-processing, cost model |
+//! | [`serve`] | `deepsecure-serve` | concurrent inference server + precompute pool |
 //!
 //! # Quickstart
 //!
@@ -43,4 +44,5 @@ pub use deepsecure_he as he;
 pub use deepsecure_linalg as linalg;
 pub use deepsecure_nn as nn;
 pub use deepsecure_ot as ot;
+pub use deepsecure_serve as serve;
 pub use deepsecure_synth as synth;
