@@ -1,17 +1,27 @@
 //! Network-transport benchmarks: the same tiny_mlp secure inference over
 //! in-memory channels, real TCP loopback, and simulated LAN/WAN links —
-//! the numbers behind the transport section of BENCH_BASELINE.md. Every
-//! run asserts the decoded label against the plaintext oracle, so the
-//! `-- --test` smoke mode in CI doubles as a transport correctness check.
+//! the numbers behind the transport section of BENCH_BASELINE.md — each
+//! both **buffered** (whole-cycle table transfer) and **streamed**
+//! (chunked tables overlapping garbling, transfer, and evaluation). Every
+//! run asserts the decoded label against the plaintext oracle, and the
+//! streamed runs additionally assert the per-phase wire bytes match the
+//! buffered run bit for bit, so the `-- --test` smoke mode in CI doubles
+//! as a transport *and* streaming-equivalence check.
 
 use std::sync::Arc;
+use std::sync::OnceLock;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepsecure_core::compile::{compile, plain_label, CompileOptions, Compiled};
 use deepsecure_core::protocol::{run_compiled_over, InferenceConfig};
+use deepsecure_core::session::WireBreakdown;
 use deepsecure_nn::{data, zoo};
-use deepsecure_ot::{mem_pair, tcp_pair, NetModel, SimChannel};
+use deepsecure_ot::{mem_pair, tcp_pair, Channel, NetModel, SimChannel};
 use deepsecure_synth::activation::Activation;
+
+/// Non-free gates per streamed chunk (256 KiB of tables): small enough to
+/// overlap well, large enough to keep per-chunk overhead negligible.
+const CHUNK_GATES: usize = 8192;
 
 struct Setup {
     compiled: Arc<Compiled>,
@@ -19,6 +29,8 @@ struct Setup {
     e_bits: Vec<Vec<bool>>,
     cfg: InferenceConfig,
     expected: usize,
+    /// Buffered run's wire breakdown — the oracle streamed runs must hit.
+    buffered_wire: OnceLock<WireBreakdown>,
 }
 
 fn setup() -> Setup {
@@ -40,21 +52,66 @@ fn setup() -> Setup {
         compiled,
         cfg,
         expected,
+        buffered_wire: OnceLock::new(),
     }
 }
 
-fn run_sim(s: &Setup, model: NetModel) {
-    let (ca, cb) = mem_pair();
+impl Setup {
+    fn cfg_with_chunk(&self, chunk_gates: usize) -> InferenceConfig {
+        InferenceConfig {
+            chunk_gates,
+            ..self.cfg.clone()
+        }
+    }
+}
+
+/// Runs one inference over the channel pair with the given chunking and
+/// checks the label plus (for streamed runs) wire equality with buffered.
+fn run_over<CC, CS>(s: &Setup, chunk_gates: usize, ca: CC, cb: CS)
+where
+    CC: Channel,
+    CS: Channel + Send + 'static,
+{
     let report = run_compiled_over(
         Arc::clone(&s.compiled),
         s.g_bits.clone(),
         s.e_bits.clone(),
-        &s.cfg,
-        SimChannel::new(ca, model),
-        SimChannel::new(cb, model),
+        &s.cfg_with_chunk(chunk_gates),
+        ca,
+        cb,
     )
     .unwrap();
     assert_eq!(report.label, s.expected);
+    if chunk_gates > 0 {
+        // Streaming must reorder the wire, never change it; and it must
+        // hold only one chunk of tables at a time.
+        if let Some(buffered) = s.buffered_wire.get() {
+            assert_eq!(&report.wire, buffered, "streamed wire != buffered wire");
+        }
+        assert_eq!(report.peak_material_bytes, (chunk_gates * 32) as u64);
+    } else {
+        let _ = s.buffered_wire.set(report.wire);
+    }
+}
+
+fn run_mem(s: &Setup, chunk_gates: usize) {
+    let (ca, cb) = mem_pair();
+    run_over(s, chunk_gates, ca, cb);
+}
+
+fn run_tcp(s: &Setup, chunk_gates: usize) {
+    let (ca, cb) = tcp_pair().expect("loopback pair");
+    run_over(s, chunk_gates, ca, cb);
+}
+
+fn run_sim(s: &Setup, chunk_gates: usize, model: NetModel) {
+    let (ca, cb) = mem_pair();
+    run_over(
+        s,
+        chunk_gates,
+        SimChannel::new(ca, model),
+        SimChannel::new(cb, model),
+    );
 }
 
 fn bench_netbench(c: &mut Criterion) {
@@ -62,41 +119,35 @@ fn bench_netbench(c: &mut Criterion) {
     let mut group = c.benchmark_group("net");
     group.sample_size(2);
     group.bench_function("secure_inference/tiny_mlp/mem", |bench| {
-        bench.iter(|| {
-            let (ca, cb) = mem_pair();
-            let report = run_compiled_over(
-                Arc::clone(&s.compiled),
-                s.g_bits.clone(),
-                s.e_bits.clone(),
-                &s.cfg,
-                ca,
-                cb,
-            )
-            .unwrap();
-            assert_eq!(report.label, s.expected);
-        });
+        bench.iter(|| run_mem(&s, 0));
+    });
+    group.bench_function("secure_inference/tiny_mlp/mem_streamed", |bench| {
+        bench.iter(|| run_mem(&s, CHUNK_GATES));
     });
     group.bench_function("secure_inference/tiny_mlp/tcp_loopback", |bench| {
-        bench.iter(|| {
-            let (ca, cb) = tcp_pair().expect("loopback pair");
-            let report = run_compiled_over(
-                Arc::clone(&s.compiled),
-                s.g_bits.clone(),
-                s.e_bits.clone(),
-                &s.cfg,
-                ca,
-                cb,
-            )
-            .unwrap();
-            assert_eq!(report.label, s.expected);
-        });
+        bench.iter(|| run_tcp(&s, 0));
+    });
+    group.bench_function("secure_inference/tiny_mlp/tcp_loopback_streamed", |bench| {
+        bench.iter(|| run_tcp(&s, CHUNK_GATES));
     });
     group.bench_function("secure_inference/tiny_mlp/sim_lan_1gbps_1ms", |bench| {
-        bench.iter(|| run_sim(&s, NetModel::lan()));
+        bench.iter(|| run_sim(&s, 0, NetModel::lan()));
     });
+    group.bench_function(
+        "secure_inference/tiny_mlp/sim_lan_1gbps_1ms_streamed",
+        |bench| {
+            bench.iter(|| run_sim(&s, CHUNK_GATES, NetModel::lan()));
+        },
+    );
     group.bench_function("secure_inference/tiny_mlp/sim_wan_40mbps_40ms", |bench| {
-        bench.iter(|| run_sim(&s, NetModel::wan()));
+        bench.iter(|| run_sim(&s, 0, NetModel::wan()));
     });
+    group.bench_function(
+        "secure_inference/tiny_mlp/sim_wan_40mbps_40ms_streamed",
+        |bench| {
+            bench.iter(|| run_sim(&s, CHUNK_GATES, NetModel::wan()));
+        },
+    );
     group.finish();
 }
 

@@ -312,15 +312,22 @@ impl Builder {
     ///
     /// Panics if any register was left unconnected.
     pub fn finish(self) -> Circuit {
+        // Destructuring drops the hash-consing maps here — on a
+        // multi-million-gate circuit they are hundreds of MB the rest of
+        // finish() must not sit on top of.
         let Builder {
             next,
-            gates,
+            mut gates,
             garbler_inputs,
             evaluator_inputs,
             outputs,
             registers,
             ..
         } = self;
+        // Return the growth slack of the gate list before allocating the
+        // finish-phase structures (a doubling Vec holds up to ~2× its
+        // final size).
+        gates.shrink_to_fit();
 
         let registers: Vec<(Wire, Wire, bool)> = registers
             .into_iter()
@@ -332,8 +339,6 @@ impl Builder {
         for w in &outputs {
             live[w.index()] = true;
         }
-        let gate_of: HashMap<Wire, usize> =
-            gates.iter().enumerate().map(|(i, g)| (g.out, i)).collect();
         loop {
             // Backward sweep over gates.
             for g in gates.iter().rev() {
@@ -353,27 +358,37 @@ impl Builder {
                 break;
             }
         }
-        let _ = gate_of;
 
         // Dense renumbering: constants, inputs, live register outputs, live
-        // gate outputs.
-        let mut map: HashMap<Wire, Wire> = HashMap::new();
+        // gate outputs. Wire ids are dense already, so a flat Vec is the
+        // map — a HashMap here costs ~6× the memory on big circuits.
+        const UNMAPPED: u32 = u32::MAX;
+        let mut map: Vec<u32> = vec![UNMAPPED; next as usize];
         let mut next_id = 0u32;
-        let assign = |w: Wire, map: &mut HashMap<Wire, Wire>, next_id: &mut u32| {
-            let nw = Wire(*next_id);
-            *next_id += 1;
-            map.insert(w, nw);
-            nw
+        let mut assign = |w: Wire, map: &mut Vec<u32>| {
+            let nw = next_id;
+            next_id += 1;
+            map[w.index()] = nw;
+            Wire(nw)
         };
-        assign(CONST_0, &mut map, &mut next_id);
-        assign(CONST_1, &mut map, &mut next_id);
+        let lookup = |w: Wire, map: &[u32]| {
+            let nw = map[w.index()];
+            // Hard check even in release: a liveness-sweep bug would
+            // otherwise emit a structurally corrupt circuit that only
+            // fails far downstream (the HashMap this replaced panicked
+            // here too, and the branch is free next to the old hashing).
+            assert_ne!(nw, UNMAPPED, "wire {w:?} used before defined");
+            Wire(nw)
+        };
+        assign(CONST_0, &mut map);
+        assign(CONST_1, &mut map);
         let new_garbler: Vec<Wire> = garbler_inputs
             .iter()
-            .map(|&w| assign(w, &mut map, &mut next_id))
+            .map(|&w| assign(w, &mut map))
             .collect();
         let new_evaluator: Vec<Wire> = evaluator_inputs
             .iter()
-            .map(|&w| assign(w, &mut map, &mut next_id))
+            .map(|&w| assign(w, &mut map))
             .collect();
         let live_registers: Vec<&(Wire, Wire, bool)> = registers
             .iter()
@@ -381,16 +396,17 @@ impl Builder {
             .collect();
         let new_q: Vec<Wire> = live_registers
             .iter()
-            .map(|(q, _, _)| assign(*q, &mut map, &mut next_id))
+            .map(|(q, _, _)| assign(*q, &mut map))
             .collect();
-        let mut new_gates = Vec::new();
+        let live_gate_count = gates.iter().filter(|g| live[g.out.index()]).count();
+        let mut new_gates = Vec::with_capacity(live_gate_count);
         for g in &gates {
             if !live[g.out.index()] {
                 continue;
             }
-            let a = map[&g.a];
-            let b = map[&g.b];
-            let out = assign(g.out, &mut map, &mut next_id);
+            let a = lookup(g.a, &map);
+            let b = lookup(g.b, &map);
+            let out = assign(g.out, &mut map);
             new_gates.push(Gate {
                 kind: g.kind,
                 a,
@@ -398,12 +414,12 @@ impl Builder {
                 out,
             });
         }
-        let new_outputs: Vec<Wire> = outputs.iter().map(|w| map[w]).collect();
+        let new_outputs: Vec<Wire> = outputs.iter().map(|&w| lookup(w, &map)).collect();
         let new_registers: Vec<Register> = live_registers
             .iter()
             .zip(new_q)
             .map(|((_, d, init), q)| Register {
-                d: map[d],
+                d: lookup(*d, &map),
                 q,
                 init: *init,
             })

@@ -88,6 +88,13 @@ pub struct InferenceConfig {
     pub group: DhGroup,
     /// Garbler randomness seed.
     pub seed: u64,
+    /// Non-free gates per garbled-table chunk. `0` (the default) buffers
+    /// each cycle's whole table stream in one send; `> 0` streams tables
+    /// in chunks so garbling, transfer, and evaluation overlap and peak
+    /// resident material is O(chunk). **Both parties must agree** — chunk
+    /// boundaries are derived, not framed, which is what keeps the
+    /// streamed wire byte-identical to the buffered one.
+    pub chunk_gates: usize,
 }
 
 impl Default for InferenceConfig {
@@ -96,6 +103,7 @@ impl Default for InferenceConfig {
             options: CompileOptions::default(),
             group: DhGroup::modp_768(),
             seed: 0,
+            chunk_gates: 0,
         }
     }
 }
@@ -141,6 +149,10 @@ pub struct InferenceReport {
     pub server_sent: u64,
     /// Garbled-table bytes alone (the `α` term).
     pub material_bytes: u64,
+    /// High-water mark of garbled-table bytes either party held at once
+    /// (max over both sides): equals `material_bytes` on buffered runs,
+    /// one chunk on streamed live runs — the O(chunk) memory measurement.
+    pub peak_material_bytes: u64,
     /// Per-phase wire traffic (base OT / OT-ext / tables / labels /
     /// output bits; both directions per phase).
     pub wire: WireBreakdown,
@@ -287,6 +299,7 @@ where
         client_sent: cout.sent,
         server_sent: sout.sent,
         material_bytes: cout.wire.tables,
+        peak_material_bytes: cout.peak_material_bytes.max(sout.peak_material_bytes),
         wire: cout.wire,
         total_s,
         ot_setup: cout.ot_setup,

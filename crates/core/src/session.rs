@@ -28,6 +28,22 @@
 //! [`ClientSession::run`] / [`ServerSession::run`] compose the pieces
 //! back into the original single-shot behaviour.
 //!
+//! # Chunk streaming
+//!
+//! With `InferenceConfig::chunk_gates > 0` each cycle runs as a streaming
+//! pipeline instead of a buffered one: active input labels and the OT
+//! extension travel first, then the garbled tables flow in chunks of
+//! `chunk_gates` non-free gates — produced by the incremental
+//! [`Garbler::begin_cycle`] API (or sliced from precomputed material) and
+//! consumed by the evaluator's feed path as they arrive. Garbling,
+//! transfer, and evaluation overlap in time and peak resident material
+//! drops from O(circuit) to O(chunk) (measured: `peak_material_bytes` on
+//! both outcomes). Chunk boundaries are *derived* from the circuit's
+//! non-free gate count and the agreed `chunk_gates` — never framed — so
+//! a streamed run moves bit-identical per-phase wire bytes to a buffered
+//! one; both parties must simply agree on the value (binaries pin it in
+//! their handshakes).
+//!
 //! Sessions measure their own traffic as *deltas* of the channel's byte
 //! counters, so pre-protocol traffic (e.g. the `two_party` handshake) is
 //! never attributed to the protocol, and both parties' [`WireBreakdown`]s
@@ -40,7 +56,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use deepsecure_crypto::Block;
-use deepsecure_garble::{Evaluator, GarbledCycle, Garbler};
+use deepsecure_garble::{CycleGarbling, Evaluator, GarbledCycle, Garbler};
 use deepsecure_ot::channel::Channel;
 use deepsecure_ot::ext::{ExtReceiver, ExtSender, SenderPrecomp};
 use rand::rngs::StdRng;
@@ -48,6 +64,33 @@ use rand::{Rng, SeedableRng};
 
 use crate::compile::Compiled;
 use crate::protocol::{InferenceConfig, PhaseSpan, ProtocolError};
+
+/// High-water mark of garbled-table bytes resident in a session's own
+/// buffers — the measured number behind the streaming pipeline's O(chunk)
+/// memory claim. Counts table blocks held (material, chunk buffers),
+/// not transient serialization copies, identically on every path.
+#[derive(Clone, Copy, Debug, Default)]
+struct PeakBytes {
+    current: u64,
+    peak: u64,
+}
+
+impl PeakBytes {
+    fn alloc(&mut self, bytes: u64) {
+        self.current += bytes;
+        self.peak = self.peak.max(self.current);
+    }
+
+    fn free(&mut self, bytes: u64) {
+        self.current = self.current.saturating_sub(bytes);
+    }
+
+    /// A buffer that lives only within one step (alloc + free).
+    fn observe(&mut self, bytes: u64) {
+        self.alloc(bytes);
+        self.free(bytes);
+    }
+}
 
 /// Per-phase wire traffic of one protocol run, in bytes.
 ///
@@ -136,6 +179,52 @@ impl GarbledMaterial {
     pub fn num_cycles(&self) -> usize {
         self.cycles.len()
     }
+
+    /// Total garbled-table bytes across every cycle (what holding this
+    /// material resident costs).
+    pub fn table_bytes(&self) -> u64 {
+        self.cycles
+            .iter()
+            .map(|c| (c.tables.len() * 16) as u64)
+            .sum()
+    }
+}
+
+/// Where a run's garbled material comes from.
+///
+/// The serving pool hands [`MaterialSource::Precomputed`] for models cheap
+/// enough to stockpile whole (the classic offline/online split), and
+/// [`MaterialSource::Live`] for models whose tables are too large to pin
+/// per pooled instance — those garble **while streaming**, chunk by chunk,
+/// holding O(chunk) table bytes instead of O(circuit).
+#[derive(Debug)]
+pub enum MaterialSource {
+    /// Fully pre-garbled offline; resident cost is the whole material.
+    Precomputed(GarbledMaterial),
+    /// Garbled on the fly during the run; `seed` derives the garbler's
+    /// RNG stream (the same seed reproduces the same labels and tables).
+    Live {
+        /// Clock cycles to garble (must match the per-cycle input bits).
+        n_cycles: usize,
+        /// Garbler RNG seed.
+        seed: u64,
+    },
+}
+
+impl From<GarbledMaterial> for MaterialSource {
+    fn from(material: GarbledMaterial) -> MaterialSource {
+        MaterialSource::Precomputed(material)
+    }
+}
+
+impl MaterialSource {
+    /// Clock cycles this source will produce.
+    pub fn num_cycles(&self) -> usize {
+        match self {
+            MaterialSource::Precomputed(m) => m.num_cycles(),
+            MaterialSource::Live { n_cycles, .. } => *n_cycles,
+        }
+    }
 }
 
 /// A client session's completed base-OT setup: the live IKNP sender plus
@@ -196,6 +285,10 @@ pub struct ClientOutcome {
     /// Per-cycle `(garble, ot+transfer)` spans. Online-only runs report
     /// zero-width garble spans (the garbling happened offline).
     pub cycles: Vec<(PhaseSpan, PhaseSpan)>,
+    /// High-water mark of garbled-table bytes this session held at once:
+    /// the whole material on buffered runs, one chunk buffer on streamed
+    /// live runs — the measured O(chunk) memory claim.
+    pub peak_material_bytes: u64,
 }
 
 /// What the server knows after a run: timings and traffic, never outputs.
@@ -208,8 +301,13 @@ pub struct ServerOutcome {
     /// Per-phase wire traffic (mirrors the client's view). Online-only
     /// runs report `base_ot == 0`; the setup accounts for it.
     pub wire: WireBreakdown,
-    /// Per-cycle evaluation spans.
+    /// Per-cycle evaluation spans. On chunk-streamed runs the span covers
+    /// feeding the arriving chunks, so it includes table transfer time —
+    /// that interleaving is the point of streaming.
     pub evals: Vec<PhaseSpan>,
+    /// High-water mark of garbled-table bytes this session held at once:
+    /// a whole cycle's tables on buffered runs, one chunk on streamed.
+    pub peak_material_bytes: u64,
 }
 
 /// The garbling party (Alice / the client of the paper).
@@ -264,6 +362,137 @@ fn client_cycle<C: Channel>(
     Ok((label_bits, ot_end_s))
 }
 
+/// Sends the cycle-stream prologue of the **streamed** order: first-cycle
+/// payload (constants + initial registers), the garbler's active input
+/// labels, then the OT extension — everything the evaluator needs *before*
+/// the first table chunk, so it can evaluate while later chunks are still
+/// in flight. Returns the instant the OT send ended.
+fn client_stream_prologue<C: Channel>(
+    chan: &mut C,
+    ot: &mut ExtSender,
+    g_active: &[Block],
+    evaluator_input_labels: &[(Block, Block)],
+    first_payload: Option<(&[Block; 2], &[Block])>,
+    wire: &mut WireBreakdown,
+    epoch: Instant,
+) -> Result<f64, ProtocolError> {
+    if let Some((const_labels, initial_registers)) = first_payload {
+        let before = traffic(chan);
+        chan.send_block(const_labels[0])?;
+        chan.send_block(const_labels[1])?;
+        chan.send_blocks(initial_registers)?;
+        wire.input_labels += traffic(chan) - before;
+    }
+    let before = traffic(chan);
+    chan.send_blocks(g_active)?;
+    wire.input_labels += traffic(chan) - before;
+    let before = traffic(chan);
+    ot.send(chan, evaluator_input_labels)?;
+    wire.ot_ext += traffic(chan) - before;
+    Ok(epoch.elapsed().as_secs_f64())
+}
+
+/// Decodes the returned output colors (the cycle epilogue shared by both
+/// streamed paths).
+fn client_stream_epilogue<C: Channel>(
+    chan: &mut C,
+    output_decode: &[bool],
+    wire: &mut WireBreakdown,
+) -> Result<Vec<bool>, ProtocolError> {
+    let before = traffic(chan);
+    let colors = chan.recv_bits()?;
+    wire.output_bits += traffic(chan) - before;
+    Ok(colors
+        .iter()
+        .zip(output_decode)
+        .map(|(&col, &d)| col ^ d)
+        .collect())
+}
+
+/// Streams one **precomputed** cycle in the chunked order: prologue, then
+/// the stored table stream sliced into `chunk_gates`-gate chunks (2 rows
+/// per non-free gate), then the decoded colors. Byte-for-byte the same
+/// wire content as [`client_cycle`], split across sends.
+#[allow(clippy::too_many_arguments)]
+fn client_cycle_streamed_ready<C: Channel>(
+    chan: &mut C,
+    ot: &mut ExtSender,
+    cycle: &GarbledCycle,
+    g_bits: &[bool],
+    first_payload: Option<(&[Block; 2], &[Block])>,
+    chunk_gates: usize,
+    wire: &mut WireBreakdown,
+    epoch: Instant,
+) -> Result<(Vec<bool>, f64), ProtocolError> {
+    let ot_end_s = client_stream_prologue(
+        chan,
+        ot,
+        &cycle.garbler_active(g_bits),
+        &cycle.evaluator_input_labels,
+        first_payload,
+        wire,
+        epoch,
+    )?;
+    let before = traffic(chan);
+    for chunk in cycle.tables.chunks(2 * chunk_gates) {
+        chan.send_blocks(chunk)?;
+    }
+    wire.tables += traffic(chan) - before;
+    let label_bits = client_stream_epilogue(chan, &cycle.output_decode, wire)?;
+    Ok((label_bits, ot_end_s))
+}
+
+/// Streams one cycle garbled **on the fly**: prologue from the freshly
+/// assigned input labels, then garble-a-chunk / send-a-chunk until the
+/// gate walk completes — at no point does more than one chunk of tables
+/// exist on this side. Returns the decoded label bits, the OT-send end,
+/// and the chunk-streaming window.
+#[allow(clippy::too_many_arguments)]
+fn client_cycle_streamed_live<C: Channel, R: Rng + ?Sized>(
+    chan: &mut C,
+    ot: &mut ExtSender,
+    garbler: &mut Garbler<'_>,
+    rng: &mut R,
+    g_bits: &[bool],
+    initial_registers: Option<&[Block]>,
+    chunk_gates: usize,
+    wire: &mut WireBreakdown,
+    peak: &mut PeakBytes,
+    epoch: Instant,
+) -> Result<(Vec<bool>, f64, PhaseSpan), ProtocolError> {
+    let mut cycle: CycleGarbling<'_, '_> = garbler.begin_cycle(rng);
+    let const_labels = cycle.constant_labels();
+    let first_payload = initial_registers.map(|regs| (&const_labels, regs));
+    let ot_end_s = client_stream_prologue(
+        chan,
+        ot,
+        &cycle.garbler_active(g_bits),
+        cycle.evaluator_input_labels(),
+        first_payload,
+        wire,
+        epoch,
+    )?;
+    let stream_start_s = epoch.elapsed().as_secs_f64();
+    let before = traffic(chan);
+    let mut buf: Vec<Block> = Vec::with_capacity(2 * chunk_gates.min(1 << 20));
+    loop {
+        buf.clear();
+        if cycle.garble_chunk(chunk_gates, &mut buf) == 0 {
+            break;
+        }
+        peak.observe((buf.len() * 16) as u64);
+        chan.send_blocks(&buf)?;
+    }
+    wire.tables += traffic(chan) - before;
+    let output_decode = cycle.finish();
+    let stream_span = PhaseSpan {
+        start_s: stream_start_s,
+        end_s: epoch.elapsed().as_secs_f64(),
+    };
+    let label_bits = client_stream_epilogue(chan, &output_decode, wire)?;
+    Ok((label_bits, ot_end_s, stream_span))
+}
+
 impl ClientSession {
     /// Builds the client half for one compiled circuit.
     pub fn new(compiled: Arc<Compiled>, cfg: &InferenceConfig) -> ClientSession {
@@ -316,14 +545,23 @@ impl ClientSession {
         })
     }
 
-    /// Runs one **online** inference over an established setup, streaming
-    /// pre-garbled material: table transfer + OT extension + decode, with
-    /// no garbling and no public-key operations on the critical path. The
-    /// setup is reusable: call again with fresh material for the next
-    /// request on the same connection.
+    /// Runs one **online** inference over an established setup. The
+    /// [`MaterialSource`] decides where tables come from (pre-garbled
+    /// offline, or garbled live while streaming); the session's
+    /// `chunk_gates` config decides how they travel:
     ///
-    /// The outcome's `wire.base_ot` is zero — setup traffic is accounted
-    /// once, by the [`ClientSetup`].
+    /// * `chunk_gates == 0` — **buffered**: each cycle's whole table
+    ///   stream is one send, in the classic order (tables → labels → OT).
+    /// * `chunk_gates > 0` — **streamed**: labels and OT go first, then
+    ///   the tables in chunks of `chunk_gates` non-free gates, so the
+    ///   evaluator works while later chunks (and, with a live source, the
+    ///   garbling itself) are still in flight. Chunk boundaries are
+    ///   deterministic from the circuit and the agreed `chunk_gates`, so
+    ///   streaming adds **zero** wire bytes over the buffered path.
+    ///
+    /// The setup is reusable: call again with a fresh source for the next
+    /// request on the same connection. The outcome's `wire.base_ot` is
+    /// zero — setup traffic is accounted once, by the [`ClientSetup`].
     ///
     /// # Errors
     ///
@@ -331,62 +569,146 @@ impl ClientSession {
     ///
     /// # Panics
     ///
-    /// Panics if the material's cycle count mismatches
+    /// Panics if the source's cycle count mismatches
     /// `garbler_bits_per_cycle`, or either is empty.
     pub fn run_online<C: Channel>(
         &self,
         chan: &mut C,
         setup: &mut ClientSetup,
-        material: GarbledMaterial,
+        source: impl Into<MaterialSource>,
         garbler_bits_per_cycle: &[Vec<bool>],
         epoch: Instant,
     ) -> Result<ClientOutcome, ProtocolError> {
+        let source = source.into();
         assert!(
             !garbler_bits_per_cycle.is_empty(),
             "need at least one cycle"
         );
         assert_eq!(
-            material.cycles.len(),
+            source.num_cycles(),
             garbler_bits_per_cycle.len(),
             "material cycles must match input cycles"
         );
+        let chunk_gates = self.cfg.chunk_gates;
         let sent0 = chan.bytes_sent();
         let recv0 = chan.bytes_received();
         let mut wire = WireBreakdown::default();
+        let mut peak = PeakBytes::default();
         let mut cycles = Vec::with_capacity(garbler_bits_per_cycle.len());
         let mut cycle_labels = Vec::with_capacity(garbler_bits_per_cycle.len());
-        for (i, (cycle, g_bits)) in material
-            .cycles
-            .iter()
-            .zip(garbler_bits_per_cycle)
-            .enumerate()
-        {
-            let t0 = epoch.elapsed().as_secs_f64();
-            let first_payload = (i == 0).then_some((
-                &cycle.constant_labels,
-                material.initial_registers.as_slice(),
-            ));
-            let (label_bits, ot_end_s) = client_cycle(
-                chan,
-                &mut setup.ot,
-                cycle,
-                g_bits,
-                first_payload,
-                &mut wire,
-                epoch,
-            )?;
-            cycle_labels.push(self.compiled.decode_label(&label_bits));
-            // Zero-width garble span: the garbling happened offline.
-            cycles.push((
-                PhaseSpan {
-                    start_s: t0,
-                    end_s: t0,
-                },
-                PhaseSpan {
-                    start_s: t0,
-                    end_s: ot_end_s,
-                },
-            ));
+        match source {
+            MaterialSource::Precomputed(material) => {
+                // The whole material is resident for the run's duration;
+                // cycles are dropped as they ship.
+                peak.alloc(material.table_bytes());
+                let initial_registers = material.initial_registers;
+                for (i, (cycle, g_bits)) in material
+                    .cycles
+                    .into_iter()
+                    .zip(garbler_bits_per_cycle)
+                    .enumerate()
+                {
+                    let t0 = epoch.elapsed().as_secs_f64();
+                    let first_payload =
+                        (i == 0).then_some((&cycle.constant_labels, initial_registers.as_slice()));
+                    let (label_bits, ot_end_s) = if chunk_gates == 0 {
+                        client_cycle(
+                            chan,
+                            &mut setup.ot,
+                            &cycle,
+                            g_bits,
+                            first_payload,
+                            &mut wire,
+                            epoch,
+                        )?
+                    } else {
+                        client_cycle_streamed_ready(
+                            chan,
+                            &mut setup.ot,
+                            &cycle,
+                            g_bits,
+                            first_payload,
+                            chunk_gates,
+                            &mut wire,
+                            epoch,
+                        )?
+                    };
+                    cycle_labels.push(self.compiled.decode_label(&label_bits));
+                    // Zero-width garble span: the garbling happened offline.
+                    cycles.push((
+                        PhaseSpan {
+                            start_s: t0,
+                            end_s: t0,
+                        },
+                        PhaseSpan {
+                            start_s: t0,
+                            end_s: ot_end_s,
+                        },
+                    ));
+                    peak.free((cycle.tables.len() * 16) as u64);
+                }
+            }
+            MaterialSource::Live { n_cycles: _, seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut garbler = Garbler::new(&self.compiled.circuit, &mut rng);
+                // Must be read before the first cycle garbles: garbling
+                // latches the register labels forward to the next cycle.
+                let initial_registers = garbler.initial_register_labels();
+                for (i, g_bits) in garbler_bits_per_cycle.iter().enumerate() {
+                    let t0 = epoch.elapsed().as_secs_f64();
+                    if chunk_gates == 0 {
+                        let cycle = garbler.garble_cycle(&mut rng);
+                        peak.observe((cycle.tables.len() * 16) as u64);
+                        let t1 = epoch.elapsed().as_secs_f64();
+                        let first_payload = (i == 0)
+                            .then_some((&cycle.constant_labels, initial_registers.as_slice()));
+                        let (label_bits, ot_end_s) = client_cycle(
+                            chan,
+                            &mut setup.ot,
+                            &cycle,
+                            g_bits,
+                            first_payload,
+                            &mut wire,
+                            epoch,
+                        )?;
+                        cycle_labels.push(self.compiled.decode_label(&label_bits));
+                        cycles.push((
+                            PhaseSpan {
+                                start_s: t0,
+                                end_s: t1,
+                            },
+                            PhaseSpan {
+                                start_s: t1,
+                                end_s: ot_end_s,
+                            },
+                        ));
+                    } else {
+                        let (label_bits, ot_end_s, stream_span) = client_cycle_streamed_live(
+                            chan,
+                            &mut setup.ot,
+                            &mut garbler,
+                            &mut rng,
+                            g_bits,
+                            (i == 0).then_some(initial_registers.as_slice()),
+                            chunk_gates,
+                            &mut wire,
+                            &mut peak,
+                            epoch,
+                        )?;
+                        cycle_labels.push(self.compiled.decode_label(&label_bits));
+                        // The garble span is the chunk-streaming window
+                        // (garbling and transfer interleave by design);
+                        // the OT span precedes it in the streamed order.
+                        cycles.push((
+                            stream_span,
+                            PhaseSpan {
+                                start_s: t0,
+                                end_s: ot_end_s,
+                            },
+                        ));
+                    }
+                }
+            }
         }
         chan.flush()?;
         let sent = chan.bytes_sent() - sent0;
@@ -404,13 +726,21 @@ impl ClientSession {
             wire,
             ot_setup: setup.span,
             cycles,
+            peak_material_bytes: peak.peak,
         })
     }
 
     /// Runs the full client side over any channel: base-OT setup, then per
-    /// cycle garble → send tables/labels → OT → decode returned colors
+    /// cycle garble → ship tables/labels → OT → decode returned colors
     /// (the garbling of cycle `c+1` overlaps the server's evaluation of
-    /// cycle `c`, the Fig. 5 pipelining).
+    /// cycle `c`, the Fig. 5 pipelining). With `chunk_gates > 0` each
+    /// cycle itself streams: garble a chunk, send a chunk — garbling,
+    /// transfer, and the peer's evaluation overlap *within* a cycle, and
+    /// at most one chunk of tables is ever resident.
+    ///
+    /// Composes [`ClientSession::setup`] with a live-garbling
+    /// [`ClientSession::run_online`], which is what keeps the single-shot
+    /// and the split serving paths wire-compatible.
     ///
     /// `epoch` anchors the recorded [`PhaseSpan`]s; in-process runners
     /// share one epoch across both parties to get the Fig. 5 overlap.
@@ -433,66 +763,21 @@ impl ClientSession {
             !garbler_bits_per_cycle.is_empty(),
             "need at least one cycle"
         );
-        let sent0 = chan.bytes_sent();
-        let recv0 = chan.bytes_received();
         let mut setup = self.setup(chan, epoch)?;
-        let mut wire = WireBreakdown {
-            base_ot: setup.base_ot_bytes(),
-            ..WireBreakdown::default()
-        };
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x9a4b1e);
-        let mut garbler = Garbler::new(&self.compiled.circuit, &mut rng);
-        // Must be read before the first garble_cycle: garbling latches the
-        // register labels forward to the next cycle.
-        let initial_registers = garbler.initial_register_labels();
-        let mut cycles = Vec::with_capacity(garbler_bits_per_cycle.len());
-        let mut cycle_labels = Vec::with_capacity(garbler_bits_per_cycle.len());
-        let mut first = true;
-        for g_bits in garbler_bits_per_cycle {
-            let t0 = epoch.elapsed().as_secs_f64();
-            let cycle = garbler.garble_cycle(&mut rng);
-            let t1 = epoch.elapsed().as_secs_f64();
-            let first_payload =
-                first.then_some((&cycle.constant_labels, initial_registers.as_slice()));
-            first = false;
-            let (label_bits, ot_end_s) = client_cycle(
-                chan,
-                &mut setup.ot,
-                &cycle,
-                g_bits,
-                first_payload,
-                &mut wire,
-                epoch,
-            )?;
-            cycle_labels.push(self.compiled.decode_label(&label_bits));
-            cycles.push((
-                PhaseSpan {
-                    start_s: t0,
-                    end_s: t1,
-                },
-                PhaseSpan {
-                    start_s: t1,
-                    end_s: ot_end_s,
-                },
-            ));
-        }
-        chan.flush()?;
-        let sent = chan.bytes_sent() - sent0;
-        let received = chan.bytes_received() - recv0;
-        debug_assert_eq!(
-            wire.total(),
-            sent + received,
-            "breakdown must cover all traffic"
-        );
-        Ok(ClientOutcome {
-            label: *cycle_labels.last().expect("at least one cycle"),
-            cycle_labels,
-            sent,
-            received,
-            wire,
-            ot_setup: setup.span,
-            cycles,
-        })
+        let mut out = self.run_online(
+            chan,
+            &mut setup,
+            MaterialSource::Live {
+                n_cycles: garbler_bits_per_cycle.len(),
+                seed: self.cfg.seed ^ 0x9a4b1e,
+            },
+            garbler_bits_per_cycle,
+            epoch,
+        )?;
+        out.wire.base_ot = setup.base_ot_bytes();
+        out.sent += setup.sent;
+        out.received += setup.received;
+        Ok(out)
     }
 }
 
@@ -529,13 +814,19 @@ impl ServerSession {
         })
     }
 
-    /// Runs one **online** inference over an established setup: receive
-    /// tables/labels → OT-receive own labels → evaluate → return output
-    /// colors. The setup is reusable across requests on one connection;
-    /// each call expects the peer to stream fresh garbled material.
+    /// Runs one **online** inference over an established setup. With
+    /// `chunk_gates == 0` (buffered): receive a cycle's whole table
+    /// stream → labels → OT → evaluate. With `chunk_gates > 0`
+    /// (streamed): labels and OT first, then consume the tables chunk by
+    /// chunk as they arrive, evaluating the gates each chunk unblocks —
+    /// peak resident material drops from O(circuit) to O(chunk). Chunk
+    /// boundaries are computed from the circuit's non-free gate count and
+    /// the agreed `chunk_gates`, so no framing bytes are added.
     ///
-    /// The outcome's `wire.base_ot` is zero — setup traffic is accounted
-    /// once, by the [`ServerSetup`].
+    /// The setup is reusable across requests on one connection; each call
+    /// expects the peer to stream fresh garbled material. The outcome's
+    /// `wire.base_ot` is zero — setup traffic is accounted once, by the
+    /// [`ServerSetup`].
     ///
     /// # Errors
     ///
@@ -557,9 +848,11 @@ impl ServerSession {
             "need at least one cycle"
         );
         let c = &self.compiled.circuit;
+        let chunk_gates = self.cfg.chunk_gates;
         let sent0 = chan.bytes_sent();
         let recv0 = chan.bytes_received();
         let mut wire = WireBreakdown::default();
+        let mut peak = PeakBytes::default();
 
         let before = traffic(chan);
         let const0 = chan.recv_block()?;
@@ -569,29 +862,65 @@ impl ServerSession {
         let mut evaluator = Evaluator::new(c);
         evaluator.set_constant_labels(const0, const1);
         evaluator.set_initial_registers(init_regs);
-        let n_tables = 2 * c.nonfree_gate_count();
+        let nonfree = c.nonfree_gate_count();
         let no_decode = vec![false; c.outputs().len()];
         let mut evals = Vec::with_capacity(evaluator_bits_per_cycle.len());
         for choice_bits in evaluator_bits_per_cycle {
-            let before = traffic(chan);
-            let tables = chan.recv_blocks(n_tables)?;
-            wire.tables += traffic(chan) - before;
-            let before = traffic(chan);
-            let g_labels = chan.recv_blocks(c.garbler_inputs().len())?;
-            wire.input_labels += traffic(chan) - before;
-            let before = traffic(chan);
-            let e_labels = setup.ot.receive(chan, choice_bits)?;
-            wire.ot_ext += traffic(chan) - before;
-            let t0 = epoch.elapsed().as_secs_f64();
-            let colors = evaluator.eval_cycle(&tables, &g_labels, &e_labels, &no_decode);
-            let t1 = epoch.elapsed().as_secs_f64();
+            let colors;
+            let span;
+            if chunk_gates == 0 {
+                let before = traffic(chan);
+                peak.alloc((2 * nonfree * 16) as u64);
+                let tables = chan.recv_blocks(2 * nonfree)?;
+                wire.tables += traffic(chan) - before;
+                let before = traffic(chan);
+                let g_labels = chan.recv_blocks(c.garbler_inputs().len())?;
+                wire.input_labels += traffic(chan) - before;
+                let before = traffic(chan);
+                let e_labels = setup.ot.receive(chan, choice_bits)?;
+                wire.ot_ext += traffic(chan) - before;
+                let t0 = epoch.elapsed().as_secs_f64();
+                colors = evaluator.eval_cycle(&tables, &g_labels, &e_labels, &no_decode);
+                let t1 = epoch.elapsed().as_secs_f64();
+                drop(tables);
+                peak.free((2 * nonfree * 16) as u64);
+                span = PhaseSpan {
+                    start_s: t0,
+                    end_s: t1,
+                };
+            } else {
+                // Streamed order: everything the gate walk needs arrives
+                // before the first chunk.
+                let before = traffic(chan);
+                let g_labels = chan.recv_blocks(c.garbler_inputs().len())?;
+                wire.input_labels += traffic(chan) - before;
+                let before = traffic(chan);
+                let e_labels = setup.ot.receive(chan, choice_bits)?;
+                wire.ot_ext += traffic(chan) - before;
+                let t0 = epoch.elapsed().as_secs_f64();
+                let mut cycle = evaluator.begin_cycle(&g_labels, &e_labels);
+                let mut remaining = nonfree;
+                let mut table_bytes = 0u64;
+                while remaining > 0 {
+                    let k = remaining.min(chunk_gates);
+                    let before = traffic(chan);
+                    let chunk = chan.recv_blocks(2 * k)?;
+                    table_bytes += traffic(chan) - before;
+                    peak.observe((chunk.len() * 16) as u64);
+                    cycle.feed(&chunk);
+                    remaining -= k;
+                }
+                wire.tables += table_bytes;
+                colors = cycle.finish(&no_decode);
+                span = PhaseSpan {
+                    start_s: t0,
+                    end_s: epoch.elapsed().as_secs_f64(),
+                };
+            }
             let before = traffic(chan);
             chan.send_bits(&colors)?;
             wire.output_bits += traffic(chan) - before;
-            evals.push(PhaseSpan {
-                start_s: t0,
-                end_s: t1,
-            });
+            evals.push(span);
         }
         // The final color bits are the last thing on the wire: without
         // this flush a buffered transport would strand them and hang the
@@ -609,6 +938,7 @@ impl ServerSession {
             received,
             wire,
             evals,
+            peak_material_bytes: peak.peak,
         })
     }
 
@@ -762,6 +1092,130 @@ mod tests {
         }
         // Both requests moved identical byte counts (same circuit shape).
         assert_eq!(couts[0].wire, couts[1].wire);
+    }
+
+    /// One full run over `mem_pair` with the given chunk setting.
+    fn run_with_chunk(chunk_gates: usize, n_cycles: usize) -> (ClientOutcome, ServerOutcome) {
+        let compiled = mac_compiled();
+        let cfg = InferenceConfig {
+            chunk_gates,
+            ..InferenceConfig::default()
+        };
+        let (mut cc, mut cs) = mem_pair();
+        let epoch = Instant::now();
+        let server = ServerSession::new(Arc::clone(&compiled), &cfg);
+        let e_bits = vec![vec![true; 16]; n_cycles];
+        let handle = std::thread::spawn(move || server.run(&mut cs, &e_bits, epoch).unwrap());
+        let client = ClientSession::new(Arc::clone(&compiled), &cfg);
+        let g_bits = vec![vec![true; 17]; n_cycles];
+        let cout = client.run(&mut cc, &g_bits, epoch).unwrap();
+        let sout = handle.join().unwrap();
+        assert_eq!(cout.wire, sout.wire, "parties disagree on the wire");
+        (cout, sout)
+    }
+
+    #[test]
+    fn streamed_run_is_wire_identical_to_buffered_per_phase() {
+        // Chunk sizes: 1 gate, a small one, and one far larger than the
+        // circuit (a single chunk) — every streamed variant must move
+        // exactly the buffered bytes in every phase and decode the same
+        // labels, single-cycle and multi-cycle (register latching).
+        for n_cycles in [1usize, 3] {
+            let (buffered, buf_s) = run_with_chunk(0, n_cycles);
+            if n_cycles == 1 {
+                assert_eq!(
+                    buffered.peak_material_bytes, buffered.wire.tables,
+                    "a buffered single-cycle client holds the whole stream"
+                );
+            }
+            for chunk in [1usize, 7, 1 << 24] {
+                let (streamed, str_s) = run_with_chunk(chunk, n_cycles);
+                assert_eq!(streamed.cycle_labels, buffered.cycle_labels);
+                assert_eq!(streamed.wire, buffered.wire, "chunk {chunk}");
+                assert_eq!(streamed.sent, buffered.sent);
+                assert_eq!(streamed.received, buffered.received);
+                assert_eq!(str_s.wire, buf_s.wire);
+                // O(chunk) resident: a small chunk beats the whole cycle.
+                if chunk < 7_000 {
+                    let per_cycle = buffered.wire.tables / n_cycles as u64;
+                    assert!(
+                        streamed.peak_material_bytes <= (2 * chunk * 16) as u64,
+                        "client chunk {chunk}: peak {}",
+                        streamed.peak_material_bytes
+                    );
+                    assert!(
+                        str_s.peak_material_bytes < per_cycle,
+                        "server chunk {chunk}: peak {} vs cycle {per_cycle}",
+                        str_s.peak_material_bytes
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_online_run_with_precomputed_material_matches_buffered() {
+        // The pool's precomputed path, streamed: same bytes per phase,
+        // same label; the evaluator side still only holds O(chunk).
+        let compiled = mac_compiled();
+        let run = |chunk_gates: usize| {
+            let cfg = InferenceConfig {
+                chunk_gates,
+                ..InferenceConfig::default()
+            };
+            let (mut cc, mut cs) = mem_pair();
+            let epoch = Instant::now();
+            let server = ServerSession::new(Arc::clone(&compiled), &cfg);
+            let handle = std::thread::spawn(move || {
+                let mut setup = server.setup(&mut cs).unwrap();
+                server
+                    .run_online(&mut cs, &mut setup, &[vec![true; 16]], epoch)
+                    .unwrap()
+            });
+            let client = ClientSession::new(Arc::clone(&compiled), &cfg);
+            let mut setup = client.setup(&mut cc, epoch).unwrap();
+            let mut rng = StdRng::seed_from_u64(11);
+            let material = GarbledMaterial::garble(&compiled, 1, &mut rng);
+            let total = material.table_bytes();
+            let cout = client
+                .run_online(&mut cc, &mut setup, material, &[vec![true; 17]], epoch)
+                .unwrap();
+            let sout = handle.join().unwrap();
+            (cout, sout, total)
+        };
+        let (b_c, b_s, total) = run(0);
+        let (s_c, s_s, _) = run(5);
+        assert_eq!(s_c.label, b_c.label);
+        assert_eq!(s_c.wire, b_c.wire);
+        assert_eq!(s_s.wire, b_s.wire);
+        // Client holds the whole precomputed material either way…
+        assert_eq!(s_c.peak_material_bytes, total);
+        assert_eq!(b_c.peak_material_bytes, total);
+        // …but the streamed evaluator only ever holds one chunk.
+        assert_eq!(b_s.peak_material_bytes, total);
+        assert!(
+            s_s.peak_material_bytes <= 5 * 32,
+            "peak {}",
+            s_s.peak_material_bytes
+        );
+    }
+
+    #[test]
+    fn live_source_reproduces_run_labels_exactly() {
+        // MaterialSource::Live with run()'s seed derivation must produce
+        // the same garbling stream run() itself would — the property the
+        // two-process --check replay relies on.
+        let compiled = mac_compiled();
+        let cfg = InferenceConfig::default();
+        let seed = cfg.seed ^ 0x9a4b1e;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let material = GarbledMaterial::garble(&compiled, 2, &mut rng);
+        let source = MaterialSource::Live { n_cycles: 2, seed };
+        assert_eq!(source.num_cycles(), material.num_cycles());
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        let material2 = GarbledMaterial::garble(&compiled, 2, &mut rng2);
+        assert_eq!(material.cycles[0].tables, material2.cycles[0].tables);
+        assert_eq!(material.initial_registers, material2.initial_registers);
     }
 
     #[test]

@@ -84,6 +84,28 @@ impl<'c> Evaluator<'c> {
         evaluator_labels: &[Block],
         output_decode: &[bool],
     ) -> Vec<bool> {
+        let mut cycle = self.begin_cycle(garbler_labels, evaluator_labels);
+        cycle.feed(tables);
+        cycle.finish(output_decode)
+    }
+
+    /// Starts evaluating one cycle incrementally: input labels install now,
+    /// garbled tables arrive later through [`CycleEval::feed`] — the
+    /// constant-memory consumer half of the streaming pipeline. Gate walk
+    /// progress is bounded only by how much material has been fed, so the
+    /// evaluator works while later chunks are still in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch, missing constant labels (when the circuit
+    /// references constants), or a sequential circuit whose initial
+    /// register labels were never installed — same contract as
+    /// [`Evaluator::eval_cycle`].
+    pub fn begin_cycle(
+        &mut self,
+        garbler_labels: &[Block],
+        evaluator_labels: &[Block],
+    ) -> CycleEval<'_, 'c> {
         let c = self.circuit;
         assert_eq!(
             garbler_labels.len(),
@@ -95,7 +117,6 @@ impl<'c> Evaluator<'c> {
             c.evaluator_inputs().len(),
             "evaluator label arity"
         );
-        assert_eq!(output_decode.len(), c.outputs().len(), "decode arity");
         assert!(
             self.regs_initialized,
             "register labels never provided for a sequential circuit: call \
@@ -122,10 +143,60 @@ impl<'c> Evaluator<'c> {
         for (r, &l) in c.registers().iter().zip(&self.reg_labels) {
             labels[r.q.index()] = l;
         }
-        let mut next_table = 0usize;
-        for gate in c.gates() {
-            let a = labels[gate.a.index()];
-            let b = labels[gate.b.index()];
+        CycleEval {
+            evaluator: self,
+            labels,
+            next_gate: 0,
+            pending: Vec::new(),
+        }
+    }
+}
+
+/// One clock cycle being evaluated incrementally (the streaming consumer).
+///
+/// Created by [`Evaluator::begin_cycle`]. Each [`CycleEval::feed`] hands
+/// over the next table rows in stream order and immediately evaluates
+/// every gate they unblock; [`CycleEval::finish`] checks the stream
+/// consumed exactly, latches registers, and decodes the outputs.
+///
+/// Rows are consumed straight from the fed slice — no copy of the stream
+/// is ever made, so the buffered [`Evaluator::eval_cycle`] wrapper stays
+/// zero-copy and a streamed run buffers at most one orphan row between
+/// feeds (a feed may split a gate's two rows across calls).
+pub struct CycleEval<'e, 'c> {
+    evaluator: &'e mut Evaluator<'c>,
+    /// Active labels of this cycle's wires (grows gate by gate).
+    labels: Vec<Block>,
+    /// Next gate to evaluate.
+    next_gate: usize,
+    /// Fed-but-unconsumed table rows: at most one orphan row while gates
+    /// remain; only an oversupplied stream (an error [`CycleEval::finish`]
+    /// reports) accumulates more.
+    pending: Vec<Block>,
+}
+
+impl std::fmt::Debug for CycleEval<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CycleEval")
+            .field("next_gate", &self.next_gate)
+            .field("pending", &self.pending.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CycleEval<'_, '_> {
+    /// Feeds the next table rows (in stream order) and evaluates as far as
+    /// the material allows: every free gate, plus each non-free gate whose
+    /// two rows are available.
+    pub fn feed(&mut self, tables: &[Block]) {
+        let mut pos = 0usize;
+        let ev = &mut *self.evaluator;
+        let c = ev.circuit;
+        let gates = c.gates();
+        while self.next_gate < gates.len() {
+            let gate = &gates[self.next_gate];
+            let a = self.labels[gate.a.index()];
+            let b = self.labels[gate.b.index()];
             let out = match gate.kind {
                 GateKind::Xor | GateKind::Xnor => a ^ b,
                 GateKind::Not | GateKind::Buf => a,
@@ -133,18 +204,27 @@ impl<'c> Evaluator<'c> {
                     // Half-gates evaluation; input/output inversions are
                     // garbler-side bookkeeping, invisible here.
                     let _ = kind;
-                    assert!(
-                        next_table + 2 <= tables.len(),
-                        "table stream length mismatch (truncated material)"
-                    );
-                    let table_g = tables[next_table];
-                    let table_e = tables[next_table + 1];
-                    next_table += 2;
-                    let t_g = self.tweak;
-                    let t_e = self.tweak + 1;
-                    self.tweak += 2;
+                    // Assemble the row pair from the orphan (if any) plus
+                    // the fed slice; rows are never copied ahead of use.
+                    debug_assert!(self.pending.len() <= 1, "orphan invariant");
+                    let avail = self.pending.len() + (tables.len() - pos);
+                    if avail < 2 {
+                        // Blocked on material still in flight.
+                        break;
+                    }
+                    let (table_g, table_e) = if let Some(&orphan) = self.pending.first() {
+                        self.pending.clear();
+                        pos += 1;
+                        (orphan, tables[pos - 1])
+                    } else {
+                        pos += 2;
+                        (tables[pos - 2], tables[pos - 1])
+                    };
+                    let t_g = ev.tweak;
+                    let t_e = ev.tweak + 1;
+                    ev.tweak += 2;
                     // Both half-gate hashes in one batched AES pass.
-                    let [mut w_g, mut w_e] = self.hash.hash2([a, b], [t_g, t_e]);
+                    let [mut w_g, mut w_e] = ev.hash.hash2([a, b], [t_g, t_e]);
                     if a.color() {
                         w_g ^= table_g;
                     }
@@ -154,16 +234,52 @@ impl<'c> Evaluator<'c> {
                     w_g ^ w_e
                 }
             };
-            labels[gate.out.index()] = out;
+            self.labels[gate.out.index()] = out;
+            self.next_gate += 1;
         }
-        assert_eq!(next_table, tables.len(), "table stream length mismatch");
-        for (slot, r) in self.reg_labels.iter_mut().zip(c.registers()) {
-            *slot = labels[r.d.index()];
+        // Stash the unconsumed tail: at most one row while gates remain;
+        // everything left over (an error) once the gate walk is complete.
+        self.pending.extend_from_slice(&tables[pos..]);
+    }
+
+    /// Whether every gate of the cycle has been evaluated.
+    pub fn is_complete(&self) -> bool {
+        self.next_gate == self.evaluator.circuit.gates().len()
+    }
+
+    /// Closes the cycle: verifies the table stream was consumed exactly,
+    /// latches register labels forward, and decodes the output bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on decode-arity mismatch or a table stream length mismatch
+    /// (truncated or oversized material).
+    pub fn finish(mut self, output_decode: &[bool]) -> Vec<bool> {
+        // A circuit whose cycle carries no material (all-free gates) is
+        // never fed; an empty feed walks its gates here.
+        self.feed(&[]);
+        let ev = self.evaluator;
+        let c = ev.circuit;
+        assert_eq!(output_decode.len(), c.outputs().len(), "decode arity");
+        assert!(
+            self.next_gate == c.gates().len(),
+            "table stream length mismatch (truncated material): \
+             {} of {} gates evaluated",
+            self.next_gate,
+            c.gates().len()
+        );
+        assert!(
+            self.pending.is_empty(),
+            "table stream length mismatch: {} unconsumed rows",
+            self.pending.len()
+        );
+        for (slot, r) in ev.reg_labels.iter_mut().zip(c.registers()) {
+            *slot = self.labels[r.d.index()];
         }
         c.outputs()
             .iter()
             .zip(output_decode)
-            .map(|(w, &d)| labels[w.index()].color() ^ d)
+            .map(|(w, &d)| self.labels[w.index()].color() ^ d)
             .collect()
     }
 }

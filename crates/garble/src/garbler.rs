@@ -120,7 +120,36 @@ impl<'c> Garbler<'c> {
     /// Garbles one clock cycle, assigning fresh input labels and producing
     /// the table stream. Register output labels are the ones carried from
     /// the previous cycle; register input labels are carried forward.
+    ///
+    /// Implemented on top of [`Garbler::begin_cycle`] — the buffered and
+    /// the chunk-streamed paths share one code path, which is what makes
+    /// them bit-identical by construction.
     pub fn garble_cycle<R: Rng + ?Sized>(&mut self, rng: &mut R) -> GarbledCycle {
+        let mut cycle = self.begin_cycle(rng);
+        let mut tables = Vec::with_capacity(2 * cycle.remaining_nonfree());
+        cycle.garble_chunk(usize::MAX, &mut tables);
+        let garbler_input_labels = cycle.garbler_input_labels().to_vec();
+        let evaluator_input_labels = cycle.evaluator_input_labels().to_vec();
+        let constant_labels = cycle.constant_labels();
+        let output_decode = cycle.finish();
+        GarbledCycle {
+            tables,
+            garbler_input_labels,
+            evaluator_input_labels,
+            constant_labels,
+            output_decode,
+        }
+    }
+
+    /// Starts garbling one clock cycle incrementally: input labels are
+    /// assigned immediately (so OT and label transfer can begin before any
+    /// gate is garbled), tables are produced on demand by
+    /// [`CycleGarbling::garble_chunk`] in fixed-size chunks — the
+    /// constant-memory producer half of the streaming pipeline.
+    ///
+    /// The returned handle borrows the garbler; it must be driven to
+    /// completion ([`CycleGarbling::finish`]) before the next cycle starts.
+    pub fn begin_cycle<R: Rng + ?Sized>(&mut self, rng: &mut R) -> CycleGarbling<'_, 'c> {
         let c = self.circuit;
         let mut labels: Vec<Block> = vec![Block::ZERO; c.wire_count()];
         labels[CONST_0.index()] = self.const_labels[0];
@@ -143,59 +172,13 @@ impl<'c> Garbler<'c> {
         for (r, &l0) in c.registers().iter().zip(&self.reg_labels) {
             labels[r.q.index()] = l0;
         }
-
-        let mut tables = Vec::with_capacity(2 * self.nonfree);
-        for gate in c.gates() {
-            let a = labels[gate.a.index()];
-            let b = labels[gate.b.index()];
-            let out = match gate.kind {
-                GateKind::Xor => a ^ b,
-                GateKind::Xnor => a ^ b ^ self.delta,
-                GateKind::Not => a ^ self.delta,
-                GateKind::Buf => a,
-                kind => {
-                    let (alpha, beta, gamma) = kind.and_form();
-                    let a_eff = if alpha { a ^ self.delta } else { a };
-                    let b_eff = if beta { b ^ self.delta } else { b };
-                    let w = self.garble_and(a_eff, b_eff, &mut tables);
-                    if gamma {
-                        w ^ self.delta
-                    } else {
-                        w
-                    }
-                }
-            };
-            labels[gate.out.index()] = out;
-        }
-
-        // A garbler-side table-count drift (a gate pushing the wrong number
-        // of rows) must be caught here, at garble time — the evaluator's
-        // stream-length check would otherwise report it a party too late.
-        assert_eq!(
-            tables.len(),
-            2 * self.nonfree,
-            "garbled table count drift: produced {} rows for {} non-free gates",
-            tables.len(),
-            self.nonfree
-        );
-
-        // Latch: next cycle's q false labels are this cycle's d labels.
-        for (slot, r) in self.reg_labels.iter_mut().zip(c.registers()) {
-            *slot = labels[r.d.index()];
-        }
-
-        let output_decode = c
-            .outputs()
-            .iter()
-            .map(|w| labels[w.index()].color())
-            .collect();
-        GarbledCycle {
-            tables,
+        CycleGarbling {
+            garbler: self,
+            labels,
+            next_gate: 0,
+            rows_emitted: 0,
             garbler_input_labels: garbler_inputs,
             evaluator_input_labels: evaluator_inputs,
-            // Active labels: const-0 encodes false, const-1 encodes true.
-            constant_labels: [self.const_labels[0], self.const_labels[1] ^ self.delta],
-            output_decode,
         }
     }
 
@@ -240,6 +223,156 @@ impl<'c> Garbler<'c> {
     /// The wires whose labels an evaluator needs via OT, in order.
     pub fn evaluator_wires(&self) -> &[Wire] {
         self.circuit.evaluator_inputs()
+    }
+}
+
+/// One clock cycle being garbled incrementally (the streaming producer).
+///
+/// Created by [`Garbler::begin_cycle`]. Input label pairs are available
+/// from the start; [`CycleGarbling::garble_chunk`] then emits the table
+/// stream in gate order, any number of non-free gates at a time, and
+/// [`CycleGarbling::finish`] closes the cycle (latching register labels
+/// forward and yielding the output decode bits).
+///
+/// Chunk boundaries never change the produced bytes: the concatenation of
+/// all chunks is bit-identical to [`Garbler::garble_cycle`]'s `tables`
+/// for the same RNG stream, whatever the chunk sizes.
+pub struct CycleGarbling<'g, 'c> {
+    garbler: &'g mut Garbler<'c>,
+    /// Wire labels of this cycle (false labels; grows gate by gate).
+    labels: Vec<Block>,
+    /// Next gate to garble (netlist is topologically sorted).
+    next_gate: usize,
+    /// Table rows emitted so far (2 per non-free gate).
+    rows_emitted: usize,
+    garbler_input_labels: Vec<(Block, Block)>,
+    evaluator_input_labels: Vec<(Block, Block)>,
+}
+
+impl std::fmt::Debug for CycleGarbling<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CycleGarbling")
+            .field("next_gate", &self.next_gate)
+            .field("rows_emitted", &self.rows_emitted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CycleGarbling<'_, '_> {
+    /// `(label_false, label_true)` per garbler input wire.
+    pub fn garbler_input_labels(&self) -> &[(Block, Block)] {
+        &self.garbler_input_labels
+    }
+
+    /// `(label_false, label_true)` per evaluator input wire — the OT
+    /// message pairs, available before any gate is garbled.
+    pub fn evaluator_input_labels(&self) -> &[(Block, Block)] {
+        &self.evaluator_input_labels
+    }
+
+    /// Active labels for the constant wires (const-0 encodes false,
+    /// const-1 encodes true).
+    pub fn constant_labels(&self) -> [Block; 2] {
+        [
+            self.garbler.const_labels[0],
+            self.garbler.const_labels[1] ^ self.garbler.delta,
+        ]
+    }
+
+    /// Active labels for the garbler's own input bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn garbler_active(&self, bits: &[bool]) -> Vec<Block> {
+        assert_eq!(
+            bits.len(),
+            self.garbler_input_labels.len(),
+            "garbler input arity"
+        );
+        bits.iter()
+            .zip(&self.garbler_input_labels)
+            .map(|(&b, (l0, l1))| if b { *l1 } else { *l0 })
+            .collect()
+    }
+
+    /// Non-free gates not yet garbled in this cycle.
+    pub fn remaining_nonfree(&self) -> usize {
+        self.garbler.nonfree - self.rows_emitted / 2
+    }
+
+    /// Garbles up to `max_nonfree` non-free gates (and every free gate in
+    /// between), appending their table rows to `out`. Returns the number
+    /// of non-free gates garbled — `0` means the cycle's gate walk is
+    /// complete and [`CycleGarbling::finish`] may be called.
+    pub fn garble_chunk(&mut self, max_nonfree: usize, out: &mut Vec<Block>) -> usize {
+        let g = &mut *self.garbler;
+        let c = g.circuit;
+        let gates = c.gates();
+        let mut done = 0usize;
+        while self.next_gate < gates.len() && done < max_nonfree {
+            let gate = &gates[self.next_gate];
+            let a = self.labels[gate.a.index()];
+            let b = self.labels[gate.b.index()];
+            let out_label = match gate.kind {
+                GateKind::Xor => a ^ b,
+                GateKind::Xnor => a ^ b ^ g.delta,
+                GateKind::Not => a ^ g.delta,
+                GateKind::Buf => a,
+                kind => {
+                    let (alpha, beta, gamma) = kind.and_form();
+                    let a_eff = if alpha { a ^ g.delta } else { a };
+                    let b_eff = if beta { b ^ g.delta } else { b };
+                    let w = g.garble_and(a_eff, b_eff, out);
+                    done += 1;
+                    self.rows_emitted += 2;
+                    if gamma {
+                        w ^ g.delta
+                    } else {
+                        w
+                    }
+                }
+            };
+            self.labels[gate.out.index()] = out_label;
+            self.next_gate += 1;
+        }
+        done
+    }
+
+    /// Closes the cycle: latches register labels forward for the next
+    /// cycle and returns the point-and-permute decode bit per output wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if gates remain ungarbled, or on table-count drift (a gate
+    /// having pushed the wrong number of rows) — caught here, at garble
+    /// time, where the evaluator's stream-length check would report it a
+    /// party too late.
+    pub fn finish(self) -> Vec<bool> {
+        let g = self.garbler;
+        let c = g.circuit;
+        assert_eq!(
+            self.next_gate,
+            c.gates().len(),
+            "finish before the cycle's gate walk completed ({} of {} gates)",
+            self.next_gate,
+            c.gates().len()
+        );
+        assert_eq!(
+            self.rows_emitted,
+            2 * g.nonfree,
+            "garbled table count drift: produced {} rows for {} non-free gates",
+            self.rows_emitted,
+            g.nonfree
+        );
+        // Latch: next cycle's q false labels are this cycle's d labels.
+        for (slot, r) in g.reg_labels.iter_mut().zip(c.registers()) {
+            *slot = self.labels[r.d.index()];
+        }
+        c.outputs()
+            .iter()
+            .map(|w| self.labels[w.index()].color())
+            .collect()
     }
 }
 

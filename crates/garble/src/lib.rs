@@ -10,6 +10,15 @@
 //! * Sequential circuits garble cycle by cycle with register labels carried
 //!   across cycles (TinyGarble-style, §3.5): the material for one cycle is
 //!   constant-size no matter how many cycles run.
+//! * Within a cycle, garbling and evaluation both run **incrementally**:
+//!   [`Garbler::begin_cycle`] assigns input labels up front and
+//!   [`CycleGarbling::garble_chunk`] emits the table stream any number of
+//!   non-free gates at a time, while [`Evaluator::begin_cycle`] +
+//!   [`CycleEval::feed`] consume it as it arrives — the producer/consumer
+//!   halves of the streaming pipeline, holding O(chunk) tables instead of
+//!   O(circuit). The buffered [`Garbler::garble_cycle`] /
+//!   [`Evaluator::eval_cycle`] are thin wrappers over the same walk, so
+//!   chunking can never change the bytes (property-tested).
 //!
 //! [`Garbler`] and [`Evaluator`] are transport-agnostic state machines;
 //! `deepsecure-core` wires them to channels and OT. [`execute_locally`]
@@ -37,8 +46,8 @@
 mod evaluator;
 mod garbler;
 
-pub use evaluator::Evaluator;
-pub use garbler::{GarbledCycle, Garbler};
+pub use evaluator::{CycleEval, Evaluator};
+pub use garbler::{CycleGarbling, GarbledCycle, Garbler};
 
 use deepsecure_circuit::Circuit;
 use rand::Rng;
@@ -263,6 +272,247 @@ mod tests {
             let run = execute_locally(&circuit, &g, &e, 1, &mut meta_rng);
             assert_eq!(run.outputs, circuit.eval(&g, &e), "trial {trial}");
         }
+    }
+}
+
+#[cfg(test)]
+mod streaming_tests {
+    use deepsecure_circuit::{Builder, Circuit};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng};
+
+    use super::*;
+
+    /// A random mixed-gate circuit with `ng`/`ne` inputs (same shape family
+    /// as `random_circuits_match_simulator`).
+    fn random_circuit(seed: u64) -> Circuit {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = Builder::new();
+        let ng = rng.gen_range(1..4);
+        let ne = rng.gen_range(1..4);
+        let mut pool: Vec<_> = b.garbler_inputs(ng);
+        pool.extend(b.evaluator_inputs(ne));
+        for _ in 0..rng.gen_range(8..60) {
+            let a = pool[rng.gen_range(0..pool.len())];
+            let c = pool[rng.gen_range(0..pool.len())];
+            let w = match rng.gen_range(0..7) {
+                0 => b.xor(a, c),
+                1 => b.and(a, c),
+                2 => b.or(a, c),
+                3 => b.xnor(a, c),
+                4 => b.nand(a, c),
+                5 => b.nor(a, c),
+                _ => b.not(a),
+            };
+            pool.push(w);
+        }
+        for _ in 0..3 {
+            let w = pool[rng.gen_range(0..pool.len())];
+            b.output(w);
+        }
+        b.finish()
+    }
+
+    /// Garbles one cycle through the chunked API with `chunk` non-free
+    /// gates per call; returns the concatenated stream plus the metadata.
+    fn garble_chunked(
+        garbler: &mut Garbler<'_>,
+        rng: &mut StdRng,
+        chunk: usize,
+    ) -> (Vec<Vec<Block>>, GarbledCycle) {
+        let mut cycle = garbler.begin_cycle(rng);
+        let garbler_input_labels = cycle.garbler_input_labels().to_vec();
+        let evaluator_input_labels = cycle.evaluator_input_labels().to_vec();
+        let constant_labels = cycle.constant_labels();
+        let mut chunks = Vec::new();
+        loop {
+            let mut buf = Vec::new();
+            let done = cycle.garble_chunk(chunk, &mut buf);
+            if done == 0 {
+                assert!(buf.is_empty());
+                break;
+            }
+            assert!(done <= chunk);
+            assert_eq!(buf.len(), 2 * done, "two rows per non-free gate");
+            chunks.push(buf);
+        }
+        let output_decode = cycle.finish();
+        let tables = chunks.iter().flatten().copied().collect();
+        (
+            chunks,
+            GarbledCycle {
+                tables,
+                garbler_input_labels,
+                evaluator_input_labels,
+                constant_labels,
+                output_decode,
+            },
+        )
+    }
+
+    use deepsecure_crypto::Block;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn chunked_garble_and_feed_eval_are_bit_identical_to_buffered(
+            circuit_seed in 0u64..1u64 << 48,
+            rng_seed in 0u64..1u64 << 48,
+            chunk_sel in 0usize..8,
+        ) {
+            // Chunk sizes: 1 gate, a handful, and far larger than any
+            // test circuit (one chunk ≡ buffered).
+            let chunk = match chunk_sel {
+                0 => 1,
+                7 => 1usize << 20,
+                n => n,
+            };
+            let c = random_circuit(circuit_seed);
+            let ng = c.garbler_inputs().len();
+            let ne = c.evaluator_inputs().len();
+            let mut bit_rng = StdRng::seed_from_u64(rng_seed ^ 0xb17);
+            let g_bits: Vec<bool> = (0..ng).map(|_| bit_rng.gen()).collect();
+            let e_bits: Vec<bool> = (0..ne).map(|_| bit_rng.gen()).collect();
+
+            // Buffered reference (one RNG stream)…
+            let mut rng_a = StdRng::seed_from_u64(rng_seed);
+            let mut garbler_a = Garbler::new(&c, &mut rng_a);
+            let buffered = garbler_a.garble_cycle(&mut rng_a);
+            // …versus the chunked producer on an identical RNG stream.
+            let mut rng_b = StdRng::seed_from_u64(rng_seed);
+            let mut garbler_b = Garbler::new(&c, &mut rng_b);
+            let (chunks, streamed) = garble_chunked(&mut garbler_b, &mut rng_b, chunk);
+
+            // Identical material and labels, whatever the chunk size.
+            prop_assert_eq!(&streamed.tables, &buffered.tables);
+            prop_assert_eq!(
+                &streamed.garbler_input_labels,
+                &buffered.garbler_input_labels
+            );
+            prop_assert_eq!(
+                &streamed.evaluator_input_labels,
+                &buffered.evaluator_input_labels
+            );
+            prop_assert_eq!(streamed.constant_labels, buffered.constant_labels);
+            prop_assert_eq!(&streamed.output_decode, &buffered.output_decode);
+
+            // Feeding the evaluator chunk by chunk decodes the same bits as
+            // the buffered call — and matches the plaintext circuit.
+            let g_labels = buffered.garbler_active(&g_bits);
+            let e_labels = buffered.evaluator_active(&e_bits);
+            let mut ev_buf = Evaluator::new(&c);
+            ev_buf.set_constant_labels(buffered.constant_labels[0], buffered.constant_labels[1]);
+            let want = ev_buf.eval_cycle(
+                &buffered.tables,
+                &g_labels,
+                &e_labels,
+                &buffered.output_decode,
+            );
+            let mut ev_str = Evaluator::new(&c);
+            ev_str.set_constant_labels(streamed.constant_labels[0], streamed.constant_labels[1]);
+            let mut cyc = ev_str.begin_cycle(&g_labels, &e_labels);
+            for part in &chunks {
+                cyc.feed(part);
+            }
+            // An all-free cycle has no chunks; an empty feed still walks it.
+            cyc.feed(&[]);
+            prop_assert!(cyc.is_complete());
+            let got = cyc.finish(&streamed.output_decode);
+            prop_assert_eq!(&got, &want);
+            prop_assert_eq!(got, c.eval(&g_bits, &e_bits));
+        }
+    }
+
+    #[test]
+    fn feed_handles_row_misaligned_chunks() {
+        // Feeds that split a non-free gate's two rows across calls must
+        // buffer the orphan row and resume — streaming never requires the
+        // producer's chunking to align with gate boundaries.
+        let mut b = Builder::new();
+        let x = b.garbler_input();
+        let y = b.evaluator_input();
+        let mut w = b.and(x, y);
+        for _ in 0..4 {
+            w = b.and(w, y);
+        }
+        b.output(w);
+        let c = b.finish();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut g = Garbler::new(&c, &mut rng);
+        let cy = g.garble_cycle(&mut rng);
+        let g_labels = cy.garbler_active(&[true]);
+        let e_labels = cy.evaluator_active(&[true]);
+        let mut ev = Evaluator::new(&c);
+        let mut cyc = ev.begin_cycle(&g_labels, &e_labels);
+        // One row at a time: every other feed leaves an orphan row pending.
+        for row in &cy.tables {
+            cyc.feed(std::slice::from_ref(row));
+        }
+        assert!(cyc.is_complete());
+        assert_eq!(cyc.finish(&cy.output_decode), vec![true]);
+    }
+
+    #[test]
+    fn sequential_chunked_cycles_match_buffered_cycles() {
+        // Register latching must carry across chunk-streamed cycles exactly
+        // as it does across buffered ones.
+        let mut b = Builder::new();
+        let x = b.evaluator_input();
+        let q0 = b.register(false);
+        let q1 = b.register(true);
+        let d0 = b.xor(q0, x);
+        let carry = b.and(q0, x);
+        let d1 = b.xor(q1, carry);
+        b.connect_register(q0, d0);
+        b.connect_register(q1, d1);
+        b.output(d0);
+        b.output(d1);
+        let c = b.finish();
+
+        let run = |chunk: Option<usize>| -> Vec<Vec<bool>> {
+            let mut rng = StdRng::seed_from_u64(91);
+            let mut garbler = Garbler::new(&c, &mut rng);
+            let mut ev = Evaluator::new(&c);
+            ev.set_initial_registers(garbler.initial_register_labels());
+            let mut outs = Vec::new();
+            for _ in 0..5 {
+                match chunk {
+                    None => {
+                        let cy = garbler.garble_cycle(&mut rng);
+                        ev.set_constant_labels(cy.constant_labels[0], cy.constant_labels[1]);
+                        let e = cy.evaluator_active(&[true]);
+                        outs.push(ev.eval_cycle(&cy.tables, &[], &e, &cy.output_decode));
+                    }
+                    Some(k) => {
+                        let mut gc = garbler.begin_cycle(&mut rng);
+                        let consts = gc.constant_labels();
+                        let e: Vec<Block> = [true]
+                            .iter()
+                            .zip(gc.evaluator_input_labels())
+                            .map(|(&bit, (l0, l1))| if bit { *l1 } else { *l0 })
+                            .collect();
+                        ev.set_constant_labels(consts[0], consts[1]);
+                        let mut ec = ev.begin_cycle(&[], &e);
+                        let mut buf = Vec::new();
+                        loop {
+                            buf.clear();
+                            if gc.garble_chunk(k, &mut buf) == 0 {
+                                break;
+                            }
+                            ec.feed(&buf);
+                        }
+                        let decode = gc.finish();
+                        outs.push(ec.finish(&decode));
+                    }
+                }
+            }
+            outs
+        };
+        let buffered = run(None);
+        assert_eq!(run(Some(1)), buffered);
+        assert_eq!(run(Some(3)), buffered);
+        assert_eq!(run(Some(1 << 20)), buffered);
     }
 }
 

@@ -107,6 +107,24 @@ pub fn tiny_mlp(classes: usize) -> Network {
     )
 }
 
+/// MNIST-scale MLP over 28×28 images: 784-16FC-ReLu-`classes`FC. Small
+/// enough to garble end to end in CI, large enough (≈225 MB of garbled
+/// tables, ~12× tiny_mlp's MAC count) that buffered garbled material
+/// dominates a process's memory — the workload behind the streaming
+/// pipeline's constant-memory demonstration.
+pub fn mnist_mlp(classes: usize) -> Network {
+    let mut rng = StdRng::seed_from_u64(0x3157);
+    Network::new(
+        vec![1, 28, 28],
+        vec![
+            Layer::Flatten,
+            Layer::Dense(Dense::new(784, 16, &mut rng)),
+            Layer::Activation(ActKind::Relu),
+            Layer::Dense(Dense::new(16, classes, &mut rng)),
+        ],
+    )
+}
+
 /// Tiny CNN over 8×8 images for tests: 2-map 3×3 conv (stride 1), max
 /// pooling, then an FC head.
 pub fn tiny_cnn(classes: usize) -> Network {
@@ -156,6 +174,15 @@ mod tests {
         let x = Tensor::zeros(&[1, 8, 8]);
         assert_eq!(tiny_mlp(4).forward(&x).len(), 4);
         assert_eq!(tiny_cnn(3).forward(&x).len(), 3);
+    }
+
+    #[test]
+    fn mnist_mlp_shape() {
+        use crate::Tensor;
+        let net = mnist_mlp(10);
+        assert_eq!(net.total_macs(), 784 * 16 + 16 * 10);
+        let x = Tensor::zeros(&[1, 28, 28]);
+        assert_eq!(net.forward(&x).len(), 10);
     }
 
     #[test]

@@ -3,14 +3,28 @@
 //! realistic wall-clock costs without leaving the process — the LAN/WAN
 //! rows of the paper-style benchmarks come from this wrapper over
 //! `mem_pair`, with no flaky external traffic shaping.
+//!
+//! # Pacing model
+//!
+//! Serialization time is charged against a wall-clock **link horizon**
+//! (`busy_until`), the instant this endpoint's outbound link finishes
+//! draining everything queued so far: each `send` pushes the horizon out
+//! by `bytes × 8 / rate` and returns immediately, like a real socket
+//! handing bytes to the kernel while the NIC drains asynchronously. The
+//! sender only blocks when the horizon matters — on `flush`, and before a
+//! *turnaround* receive (a receive that follows this endpoint's sends,
+//! whose answer cannot exist until the peer saw those bytes). Compute
+//! between sends therefore genuinely overlaps serialization, which is
+//! exactly the effect table streaming exploits.
+//!
+//! Latency is charged **once per turnaround**, never per `send`: a burst
+//! of chunked sends in one direction costs one propagation delay at the
+//! next turnaround, not a fabricated round trip per chunk (regression
+//! test below).
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::channel::{Channel, ChannelError};
-
-/// Sleeping for sub-millisecond debts costs more scheduler noise than it
-/// models; serialization time is accumulated and paid in ≥1 ms slices.
-const PACING_QUANTUM: Duration = Duration::from_millis(1);
 
 /// A symmetric link model applied by [`SimChannel`].
 #[derive(Clone, Copy, Debug)]
@@ -20,7 +34,8 @@ pub struct NetModel {
     /// travel; back-to-back receives are assumed pipelined).
     pub latency: Duration,
     /// Link rate in bits/second; `None` models an infinitely fast link.
-    /// Serialization time (`bytes * 8 / rate`) is paid in the sender.
+    /// Serialization time (`bytes * 8 / rate`) is charged to the sender's
+    /// link horizon (see the module docs).
     pub bits_per_second: Option<u64>,
 }
 
@@ -67,8 +82,9 @@ impl NetModel {
 pub struct SimChannel<C: Channel> {
     inner: C,
     model: NetModel,
-    /// Serialization time owed but not yet slept (debt-based pacing).
-    debt: Duration,
+    /// When this endpoint's outbound link finishes draining everything
+    /// sent so far (`None` = nothing in flight).
+    busy_until: Option<Instant>,
     /// Whether the next receive is a turnaround (pays one latency).
     turnaround: bool,
 }
@@ -80,7 +96,7 @@ impl<C: Channel> SimChannel<C> {
         SimChannel {
             inner,
             model,
-            debt: Duration::ZERO,
+            busy_until: None,
             // The session's first receive waits on a message that had to
             // travel the link.
             turnaround: true,
@@ -97,15 +113,19 @@ impl<C: Channel> SimChannel<C> {
         &self.inner
     }
 
-    /// Unwraps the channel, discarding any unpaid pacing debt.
+    /// Unwraps the channel, discarding any undrained link horizon.
     pub fn into_inner(self) -> C {
         self.inner
     }
 
-    fn settle_debt(&mut self) {
-        if !self.debt.is_zero() {
-            std::thread::sleep(self.debt);
-            self.debt = Duration::ZERO;
+    /// Blocks until the outbound link has drained (serialization of every
+    /// queued byte complete).
+    fn drain_link(&mut self) {
+        if let Some(t) = self.busy_until.take() {
+            let now = Instant::now();
+            if t > now {
+                std::thread::sleep(t - now);
+            }
         }
     }
 }
@@ -113,9 +133,14 @@ impl<C: Channel> SimChannel<C> {
 impl<C: Channel> Channel for SimChannel<C> {
     fn send(&mut self, data: &[u8]) -> Result<(), ChannelError> {
         self.inner.send(data)?;
-        self.debt += self.model.serialization_time(data.len() as u64);
-        if self.debt >= PACING_QUANTUM {
-            self.settle_debt();
+        let ser = self.model.serialization_time(data.len() as u64);
+        if !ser.is_zero() {
+            let now = Instant::now();
+            let base = match self.busy_until {
+                Some(t) if t > now => t,
+                _ => now,
+            };
+            self.busy_until = Some(base + ser);
         }
         self.turnaround = true;
         Ok(())
@@ -123,7 +148,9 @@ impl<C: Channel> Channel for SimChannel<C> {
 
     fn recv(&mut self, n: usize) -> Result<Vec<u8>, ChannelError> {
         if self.turnaround {
-            self.settle_debt();
+            // The peer's answer can only follow our fully serialized
+            // request; then its reply still has to travel the link.
+            self.drain_link();
             if !self.model.latency.is_zero() {
                 std::thread::sleep(self.model.latency);
             }
@@ -134,7 +161,7 @@ impl<C: Channel> Channel for SimChannel<C> {
 
     fn flush(&mut self) -> Result<(), ChannelError> {
         self.inner.flush()?;
-        self.settle_debt();
+        self.drain_link();
         Ok(())
     }
 
@@ -199,9 +226,44 @@ mod tests {
     }
 
     #[test]
+    fn many_small_sends_one_direction_pay_no_fake_round_trips() {
+        // Regression for the chunked table stream: 200 one-way sends must
+        // not fabricate 200 WAN round trips. The receiver pays exactly one
+        // turnaround latency for the whole burst (its own first receive),
+        // and the sender pays none at all.
+        let (a, b) = mem_pair();
+        let model = NetModel {
+            latency: Duration::from_millis(25),
+            bits_per_second: None,
+        };
+        let mut sa = SimChannel::new(a, model);
+        let mut sb = SimChannel::new(b, model);
+        let start = Instant::now();
+        for _ in 0..200 {
+            sa.send(&[7u8; 64]).unwrap();
+        }
+        assert!(
+            start.elapsed() < Duration::from_millis(25),
+            "sender must never pay latency: {:?}",
+            start.elapsed()
+        );
+        let start = Instant::now();
+        for _ in 0..200 {
+            assert_eq!(sb.recv(64).unwrap(), vec![7u8; 64]);
+        }
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(25), "{elapsed:?}");
+        assert!(
+            elapsed < Duration::from_millis(250),
+            "one latency for the burst, not one per chunk: {elapsed:?}"
+        );
+    }
+
+    #[test]
     fn bandwidth_paces_large_sends() {
         let (a, _b) = mem_pair();
-        // 1 Mbit/s: 12_500 bytes = 100 ms of serialization.
+        // 1 Mbit/s: 12_500 bytes = 100 ms of serialization, charged to the
+        // link horizon and collected at flush.
         let model = NetModel {
             latency: Duration::ZERO,
             bits_per_second: Some(1_000_000),
@@ -209,7 +271,53 @@ mod tests {
         let mut sa = SimChannel::new(a, model);
         let start = Instant::now();
         sa.send(&vec![0u8; 12_500]).unwrap();
+        sa.flush().unwrap();
         assert!(start.elapsed() >= Duration::from_millis(95));
+    }
+
+    #[test]
+    fn compute_between_sends_overlaps_serialization() {
+        // The streaming pipeline's core effect: work done between a send
+        // and the next blocking point hides under the link's draining. 100
+        // ms of serialization + 60 ms of "compute" must cost ~100 ms, not
+        // 160 ms.
+        let (a, _b) = mem_pair();
+        let model = NetModel {
+            latency: Duration::ZERO,
+            bits_per_second: Some(1_000_000),
+        };
+        let mut sa = SimChannel::new(a, model);
+        let start = Instant::now();
+        sa.send(&vec![0u8; 12_500]).unwrap(); // 100 ms horizon
+        std::thread::sleep(Duration::from_millis(60)); // stand-in compute
+        sa.flush().unwrap();
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(95), "{elapsed:?}");
+        assert!(
+            elapsed < Duration::from_millis(150),
+            "compute must overlap serialization, not add to it: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn turnaround_recv_waits_for_own_serialization_first() {
+        // A receive that answers our own burst cannot observe the reply
+        // before our bytes even finished serializing.
+        let (a, mut b) = mem_pair();
+        let model = NetModel {
+            latency: Duration::from_millis(10),
+            bits_per_second: Some(1_000_000),
+        };
+        let mut sa = SimChannel::new(a, model);
+        b.send(b"r").unwrap(); // reply already queued
+        let start = Instant::now();
+        sa.send(&vec![0u8; 12_500]).unwrap(); // 100 ms horizon
+        assert_eq!(sa.recv(1).unwrap(), b"r");
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(105),
+            "serialization + latency precede the reply: {elapsed:?}"
+        );
     }
 
     #[test]

@@ -152,6 +152,29 @@ impl TcpChannel {
 
 impl Channel for TcpChannel {
     fn send(&mut self, data: &[u8]) -> Result<(), ChannelError> {
+        if data.len() >= WRITE_BUF {
+            // Write-through: a payload at least one buffer long (a garbled
+            // table chunk, say) gains nothing from coalescing — route it
+            // straight to the socket instead of memcpying it through the
+            // buffer. Earlier buffered bytes drain first to keep order.
+            self.writer.flush().map_err(|e| {
+                ChannelError::io(format!("flushing to {} before write-through", self.peer), e)
+            })?;
+            self.writer.get_mut().write_all(data).map_err(|e| {
+                ChannelError::io(
+                    format!(
+                        "sending {} bytes to {} (write-through)",
+                        data.len(),
+                        self.peer
+                    ),
+                    e,
+                )
+            })?;
+            self.sent += data.len() as u64;
+            // Buffer drained and payload on the socket: nothing pending.
+            self.pending = false;
+            return Ok(());
+        }
         self.writer.write_all(data).map_err(|e| {
             ChannelError::io(format!("sending {} bytes to {}", data.len(), self.peer), e)
         })?;
@@ -293,6 +316,51 @@ mod tests {
             std::error::Error::source(&err).is_some(),
             "last io::Error must be the source"
         );
+    }
+
+    #[test]
+    fn large_writes_bypass_the_buffer_with_exact_counters() {
+        // A payload ≥ the write buffer goes straight to the socket (no
+        // memcpy through the 64 KiB buffer) — and the counters, ordering,
+        // and interleaving with small buffered writes stay exact.
+        let (mut a, mut b) = tcp_pair().unwrap();
+        let small = vec![1u8; 100];
+        let large = vec![2u8; WRITE_BUF + 4096]; // forces write-through
+        let tail = vec![3u8; 7];
+        let t = std::thread::spawn(move || {
+            a.send(&small).unwrap(); // buffered
+            a.send(&large).unwrap(); // drains the buffer, then direct
+            a.send(&tail).unwrap(); // buffered again
+            a.flush().unwrap();
+            a
+        });
+        let total = 100 + WRITE_BUF + 4096 + 7;
+        let got = b.recv(total).unwrap();
+        assert!(got[..100].iter().all(|&x| x == 1));
+        assert!(got[100..100 + WRITE_BUF + 4096].iter().all(|&x| x == 2));
+        assert!(got[total - 7..].iter().all(|&x| x == 3));
+        let a = t.join().unwrap();
+        assert_eq!(a.bytes_sent(), total as u64);
+        assert_eq!(b.bytes_received(), total as u64);
+    }
+
+    #[test]
+    fn write_through_then_recv_does_not_deadlock() {
+        // After a write-through send nothing is pending, but a recv that
+        // follows small buffered sends must still flush them first.
+        let (mut a, mut b) = tcp_pair().unwrap();
+        let large = vec![9u8; WRITE_BUF];
+        let t = std::thread::spawn(move || {
+            b.send(&large).unwrap(); // write-through, no pending
+            b.send(b"ask").unwrap(); // buffered
+            assert_eq!(b.recv(2).unwrap(), b"ok"); // lazy flush of "ask"
+            b
+        });
+        assert_eq!(a.recv(WRITE_BUF).unwrap(), vec![9u8; WRITE_BUF]);
+        assert_eq!(a.recv(3).unwrap(), b"ask");
+        a.send(b"ok").unwrap();
+        a.flush().unwrap();
+        t.join().unwrap();
     }
 
     #[test]

@@ -55,6 +55,10 @@ pub struct QueryOutcome {
     /// The request's online wire traffic (`base_ot` is 0 — setup traffic
     /// is reported by [`ServeClient::setup_bytes`]).
     pub wire: WireBreakdown,
+    /// Most garbled-table bytes this evaluator held at once during the
+    /// request — a whole cycle when the server buffers, one chunk when it
+    /// streams (see [`ServeClient::chunk_gates`]).
+    pub peak_material_bytes: u64,
 }
 
 /// One live serving session, evaluator side.
@@ -67,6 +71,10 @@ pub struct ServeClient {
     epoch: Instant,
     /// Server-assigned session ID (from the `OK` frame).
     pub session_id: u64,
+    /// Table-chunk size the server pinned in its `OK` frame (non-free
+    /// gates per chunk; `0` = buffered). The evaluator adopts it so both
+    /// sides derive identical chunk boundaries.
+    pub chunk_gates: usize,
     /// Wall-clock cost of connect + handshake + base-OT setup, seconds —
     /// the per-session offline cost.
     pub offline_s: f64,
@@ -99,11 +107,14 @@ impl ServeClient {
         let chan = TcpChannel::connect_retry(addr, timeout)?;
         let mut framed = FramedChannel::new(chan);
         framed.send_frame(proto::hello(&model.demo.name, model.demo.fingerprint).as_bytes())?;
-        let session_id =
+        let (session_id, chunk_gates) =
             proto::parse_reply(&framed.recv_frame()?).map_err(ServeError::Handshake)?;
         let mut chan = framed.into_inner();
+        // The server decides the chunking; adopting it here is what keeps
+        // both sides' derived chunk boundaries identical.
         let cfg = InferenceConfig {
             seed,
+            chunk_gates,
             ..demo::inference_config()
         };
         let session = ServerSession::new(Arc::clone(&model.demo.compiled), &cfg);
@@ -116,6 +127,7 @@ impl ServeClient {
             samples: model.demo.dataset.len(),
             epoch: t0,
             session_id,
+            chunk_gates,
             offline_s: t0.elapsed().as_secs_f64(),
         })
     }
@@ -152,6 +164,7 @@ impl ServeClient {
             label,
             online_s: t0.elapsed().as_secs_f64(),
             wire: out.wire,
+            peak_material_bytes: out.peak_material_bytes,
         })
     }
 

@@ -14,8 +14,11 @@ use deepsecure_nn::train::TrainConfig;
 use deepsecure_nn::{data, train, zoo, Network};
 use deepsecure_synth::activation::Activation;
 
-/// The zoo models every binary can serve.
-pub const MODEL_NAMES: &[&str] = &["tiny_mlp", "tiny_cnn"];
+/// The zoo models every binary can serve. `mnist_mlp` is the paper-scale
+/// one: ≈225 MB of garbled tables per inference, the workload that makes
+/// the streaming pipeline's O(chunk) memory visible (building it trains
+/// and compiles for ~a minute — the small models stay the default).
+pub const MODEL_NAMES: &[&str] = &["tiny_mlp", "tiny_cnn", "mnist_mlp"];
 
 /// One deterministic demo model: network, dataset, compiled circuit and
 /// its shape fingerprint.
@@ -73,6 +76,22 @@ fn spec(name: &str) -> Result<(Network, data::Dataset, TrainConfig), String> {
                     epochs: 15,
                     lr: 0.05,
                     seed: 2,
+                },
+            ))
+        }
+        "mnist_mlp" => {
+            // MNIST-shaped 28×28 digits; few samples and epochs keep the
+            // deterministic training a small fraction of the (dominant)
+            // circuit-compilation cost.
+            let set = data::digits(20, 41);
+            let net = zoo::mnist_mlp(set.num_classes);
+            Ok((
+                net,
+                set,
+                TrainConfig {
+                    epochs: 6,
+                    lr: 0.1,
+                    seed: 11,
                 },
             ))
         }

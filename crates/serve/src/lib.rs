@@ -14,7 +14,11 @@
 //!   [`GarbledMaterial`] instances per zoo model and a stock of base-OT
 //!   keypair precomputations ([`SenderPrecomp`]) so neither garbling nor
 //!   the offline modexp half of the OT setup ever sits on a connection's
-//!   critical path.
+//!   critical path. The pool is chunk-aware: models whose per-instance
+//!   material exceeds its cap (e.g. `mnist_mlp`'s ≈225 MB) are served as
+//!   live-garbling seeds instead — the session garbles chunk runs while
+//!   streaming, so paper-scale models don't pin O(circuit) bytes per
+//!   pooled slot.
 //! * [`registry`] — per-session IDs and the active-session table behind
 //!   graceful shutdown (stop accepting, drain the sessions in flight).
 //! * [`stats`] — per-request `WireBreakdown`/latency aggregation into

@@ -14,6 +14,18 @@
 //! degrades to the unpooled behaviour instead of queueing latency. Hits
 //! and misses are reported through [`PoolStats`], which is how tests and
 //! the serving stats prove the pool actually carried the load.
+//!
+//! # Chunk-aware material
+//!
+//! Pinning whole [`GarbledMaterial`] instances costs O(circuit) memory
+//! *per pooled slot* — fine for tiny models (19 MB), ruinous at MNIST
+//! scale (≈225 MB × target × models). Models whose per-instance table
+//! bytes exceed `material_cap_bytes` are therefore **not** stockpiled:
+//! [`PrecomputePool::take_material`] hands back a
+//! [`MaterialSource::Live`] seed instead, and the session garbles chunk
+//! runs *while streaming* — O(chunk) resident, with the garbling cost
+//! overlapped with the table transfer rather than precomputed. Small
+//! models keep the classic offline/online split.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,10 +35,15 @@ use std::time::{Duration, Instant};
 
 use deepsecure_bigint::DhGroup;
 use deepsecure_core::compile::Compiled;
-use deepsecure_core::session::GarbledMaterial;
+use deepsecure_core::session::{GarbledMaterial, MaterialSource};
 use deepsecure_ot::SenderPrecomp;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Default `material_cap_bytes`: per-instance garbled material above 64
+/// MiB is streamed live instead of pooled (tiny models sit comfortably
+/// below, `mnist_mlp`'s ≈225 MB well above).
+pub const DEFAULT_MATERIAL_CAP: u64 = 64 << 20;
 
 /// Hit/miss and production counters of the pool.
 #[derive(Clone, Copy, Debug, Default)]
@@ -39,6 +56,9 @@ pub struct PoolStats {
     pub material_hits: u64,
     /// Requests that had to garble inline.
     pub material_misses: u64,
+    /// Requests served a live-garbling seed (model above the material
+    /// cap: tables garbled while streaming, never resident in the pool).
+    pub live_takes: u64,
     /// Items the background worker produced (both kinds).
     pub produced: u64,
 }
@@ -47,6 +67,9 @@ pub struct PoolStats {
 struct ModelSlot {
     compiled: Arc<Compiled>,
     cycles: usize,
+    /// Whether this model's material is small enough to stockpile whole;
+    /// above the cap the slot only ever hands out live seeds.
+    precompute: bool,
     ready: VecDeque<GarbledMaterial>,
 }
 
@@ -71,9 +94,17 @@ struct Shared {
 }
 
 impl Shared {
-    fn next_rng(&self) -> StdRng {
+    /// The next seed off the shared counter. Every garbling RNG stream —
+    /// pooled material and live-streaming seeds alike — MUST come through
+    /// here: wire labels are one-time pads, and distinctness rests on this
+    /// single injective derivation over one counter.
+    fn next_seed(&self) -> u64 {
         let n = self.seed_counter.fetch_add(1, Ordering::Relaxed);
-        StdRng::seed_from_u64(self.seed ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        self.seed ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+
+    fn next_rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.next_seed())
     }
 }
 
@@ -104,21 +135,27 @@ impl std::fmt::Debug for PrecomputePool {
 impl PrecomputePool {
     /// Starts the pool and its worker thread. `models` maps a name to its
     /// compiled circuit and per-run cycle count; `target` is the stock
-    /// level kept per queue (base stock and each model's material stock).
+    /// level kept per queue (base stock and each model's material stock);
+    /// models whose per-instance table bytes exceed `material_cap_bytes`
+    /// are served as live-garbling seeds instead of pooled material
+    /// ([`DEFAULT_MATERIAL_CAP`] is the conventional cap).
     pub fn start(
         group: DhGroup,
         models: Vec<(String, Arc<Compiled>, usize)>,
         target: usize,
         seed: u64,
+        material_cap_bytes: u64,
     ) -> PrecomputePool {
         let state = State {
             base: VecDeque::new(),
             models: models
                 .into_iter()
                 .map(|(name, compiled, cycles)| {
+                    let table_bytes = (compiled.circuit.nonfree_gate_count() * 32 * cycles) as u64;
                     (
                         name,
                         ModelSlot {
+                            precompute: table_bytes <= material_cap_bytes,
                             compiled,
                             cycles,
                             ready: VecDeque::new(),
@@ -160,26 +197,36 @@ impl PrecomputePool {
         SenderPrecomp::generate(&self.shared.group, &mut self.shared.next_rng())
     }
 
-    /// Takes garbled material for one request of `model` (inline garbling
-    /// on a miss). Returns `None` for a model the pool does not host.
-    pub fn take_material(&self, model: &str) -> Option<GarbledMaterial> {
+    /// Takes garbled material for one request of `model`: pooled material
+    /// for models under the cap (inline garbling on a miss), a
+    /// [`MaterialSource::Live`] seed for models above it. Returns `None`
+    /// for a model the pool does not host.
+    pub fn take_material(&self, model: &str) -> Option<MaterialSource> {
         let (compiled, cycles) = {
             let mut st = self.shared.state.lock().expect("pool lock");
             let slot = st.models.get_mut(model)?;
+            if !slot.precompute {
+                let n_cycles = slot.cycles;
+                st.stats.live_takes += 1;
+                return Some(MaterialSource::Live {
+                    n_cycles,
+                    seed: self.shared.next_seed(),
+                });
+            }
             if let Some(m) = slot.ready.pop_front() {
                 st.stats.material_hits += 1;
                 self.shared.work.notify_all();
-                return Some(m);
+                return Some(MaterialSource::Precomputed(m));
             }
             let pair = (Arc::clone(&slot.compiled), slot.cycles);
             st.stats.material_misses += 1;
             pair
         };
-        Some(GarbledMaterial::garble(
+        Some(MaterialSource::Precomputed(GarbledMaterial::garble(
             &compiled,
             cycles,
             &mut self.shared.next_rng(),
-        ))
+        )))
     }
 
     /// Current counters.
@@ -194,11 +241,12 @@ impl PrecomputePool {
         let deadline = Instant::now() + timeout;
         let mut st = self.shared.state.lock().expect("pool lock");
         loop {
+            // Live-mode slots (above the material cap) stock nothing.
             let warm = st.base.len() >= self.shared.target
                 && st
                     .models
                     .values()
-                    .all(|slot| slot.ready.len() >= self.shared.target);
+                    .all(|slot| !slot.precompute || slot.ready.len() >= self.shared.target);
             if warm {
                 return true;
             }
@@ -249,7 +297,7 @@ fn worker_loop(shared: &Shared) {
                 if let Some((name, slot)) = st
                     .models
                     .iter()
-                    .find(|(_, slot)| slot.ready.len() < shared.target)
+                    .find(|(_, slot)| slot.precompute && slot.ready.len() < shared.target)
                 {
                     break Job::Material {
                         model: name.clone(),
@@ -313,16 +361,22 @@ mod tests {
             vec![("mac".to_string(), mac_compiled(), 1)],
             2,
             99,
+            DEFAULT_MATERIAL_CAP,
         );
         assert!(pool.wait_warm(Duration::from_secs(60)), "pool never warmed");
         let _base = pool.take_base();
         let material = pool.take_material("mac").expect("hosted model");
         assert_eq!(material.num_cycles(), 1);
+        assert!(
+            matches!(material, MaterialSource::Precomputed(_)),
+            "small models stockpile whole material"
+        );
         let stats = pool.stats();
         assert_eq!(stats.base_hits, 1);
         assert_eq!(stats.base_misses, 0);
         assert_eq!(stats.material_hits, 1);
         assert_eq!(stats.material_misses, 0);
+        assert_eq!(stats.live_takes, 0);
         assert!(stats.produced >= 4);
         assert!(pool.take_material("unknown").is_none());
         pool.stop();
@@ -337,6 +391,7 @@ mod tests {
             vec![("mac".to_string(), mac_compiled(), 2)],
             0,
             7,
+            DEFAULT_MATERIAL_CAP,
         );
         let _base = pool.take_base();
         let m = pool.take_material("mac").unwrap();
@@ -345,5 +400,45 @@ mod tests {
         assert_eq!(stats.base_misses, 1);
         assert_eq!(stats.material_misses, 1);
         assert_eq!(stats.base_hits + stats.material_hits, 0);
+    }
+
+    #[test]
+    fn models_above_the_material_cap_stream_live_and_stock_nothing() {
+        // Cap 0 pushes even the MAC core over the limit: takes hand out
+        // distinct live seeds, the worker never garbles for the slot, and
+        // wait_warm doesn't wait on it.
+        let pool = PrecomputePool::start(
+            DhGroup::modp_768(),
+            vec![("mac".to_string(), mac_compiled(), 3)],
+            2,
+            13,
+            0,
+        );
+        assert!(
+            pool.wait_warm(Duration::from_secs(60)),
+            "a live-only slot must not block warm-up"
+        );
+        let a = pool.take_material("mac").unwrap();
+        let b = pool.take_material("mac").unwrap();
+        match (&a, &b) {
+            (
+                MaterialSource::Live {
+                    n_cycles: na,
+                    seed: sa,
+                },
+                MaterialSource::Live {
+                    n_cycles: nb,
+                    seed: sb,
+                },
+            ) => {
+                assert_eq!((*na, *nb), (3, 3));
+                assert_ne!(sa, sb, "one-time-pad labels need distinct seeds");
+            }
+            other => panic!("expected live sources, got {other:?}"),
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.live_takes, 2);
+        assert_eq!(stats.material_hits + stats.material_misses, 0);
+        pool.stop();
     }
 }

@@ -3,16 +3,22 @@
 //!
 //! One connection is one session:
 //!
-//! 1. client → `DSRV/1 <model> <fingerprint:016x>` (framed) — the same
+//! 1. client → `DSRV/2 <model> <fingerprint:016x>` (framed) — the same
 //!    model-plus-circuit-shape pinning scheme as the `two_party` binary.
-//! 2. server → `OK <session-id>` or `ERR <reason>` (framed).
+//! 2. server → `OK <session-id> <chunk-gates>` or `ERR <reason>`
+//!    (framed). `chunk-gates` is the server-chosen table-chunk size the
+//!    client must evaluate with (`0` = buffered whole-cycle transfer);
+//!    pinning it in the handshake is what lets chunk boundaries be
+//!    *derived* instead of framed, keeping streamed wire bytes identical
+//!    to buffered ones.
 //! 3. Both sides run the one-time base-OT setup on the raw byte stream.
 //! 4. Per request: client sends the sample index as a `u64`, both sides
 //!    run the online phase, server answers with the decoded label as a
 //!    `u64`. [`DONE`] instead of an index ends the session cleanly.
 
-/// Handshake protocol tag; bump on any wire-format change.
-pub const HELLO_PREFIX: &str = "DSRV/1";
+/// Handshake protocol tag; bump on any wire-format change (v2: the OK
+/// reply gained the chunk-gates field).
+pub const HELLO_PREFIX: &str = "DSRV/2";
 
 /// Sent in place of a sample index to end the session.
 pub const DONE: u64 = u64::MAX;
@@ -42,9 +48,10 @@ pub fn parse_hello(frame: &[u8]) -> Result<(String, u64), String> {
     }
 }
 
-/// Builds the server's acceptance reply.
-pub fn ok(session_id: u64) -> String {
-    format!("OK {session_id}")
+/// Builds the server's acceptance reply: session id plus the table-chunk
+/// size (non-free gates; `0` = buffered) this session will stream with.
+pub fn ok(session_id: u64, chunk_gates: usize) -> String {
+    format!("OK {session_id} {chunk_gates}")
 }
 
 /// Builds the server's rejection reply.
@@ -52,20 +59,25 @@ pub fn err(reason: &str) -> String {
     format!("ERR {reason}")
 }
 
-/// Parses the server reply into a session id, or the server's rejection
-/// reason as the error.
+/// Parses the server reply into `(session_id, chunk_gates)`, or the
+/// server's rejection reason as the error.
 ///
 /// # Errors
 ///
 /// Returns the `ERR` reason, or a description of a malformed frame.
-pub fn parse_reply(frame: &[u8]) -> Result<u64, String> {
+pub fn parse_reply(frame: &[u8]) -> Result<(u64, usize), String> {
     let text = std::str::from_utf8(frame).map_err(|_| "reply is not UTF-8".to_string())?;
     if let Some(reason) = text.strip_prefix("ERR ") {
         return Err(format!("server rejected the session: {reason}"));
     }
-    text.strip_prefix("OK ")
-        .and_then(|sid| sid.parse().ok())
-        .ok_or_else(|| format!("malformed server reply {text:?}"))
+    let fields = text.strip_prefix("OK ").and_then(|rest| {
+        let mut parts = rest.split(' ');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(sid), Some(chunk), None) => Some((sid.parse().ok()?, chunk.parse().ok()?)),
+            _ => None,
+        }
+    });
+    fields.ok_or_else(|| format!("malformed server reply {text:?}"))
 }
 
 #[cfg(test)]
@@ -82,7 +94,8 @@ mod tests {
 
     #[test]
     fn reply_roundtrip_and_rejection() {
-        assert_eq!(parse_reply(ok(17).as_bytes()).unwrap(), 17);
+        assert_eq!(parse_reply(ok(17, 0).as_bytes()).unwrap(), (17, 0));
+        assert_eq!(parse_reply(ok(3, 8192).as_bytes()).unwrap(), (3, 8192));
         let e = parse_reply(err("fingerprint mismatch").as_bytes()).unwrap_err();
         assert!(e.contains("fingerprint mismatch"), "{e}");
     }
@@ -91,9 +104,11 @@ mod tests {
     fn malformed_frames_are_described() {
         assert!(parse_hello(b"HTTP/1.1 GET /").is_err());
         assert!(parse_hello(&[0xff, 0xfe]).is_err());
-        assert!(parse_hello(b"DSRV/1 tiny_mlp zzzz")
+        assert!(parse_hello(b"DSRV/2 tiny_mlp zzzz")
             .unwrap_err()
             .contains("fingerprint"));
         assert!(parse_reply(b"maybe").is_err());
+        // A v1 reply (no chunk field) must not parse as v2.
+        assert!(parse_reply(b"OK 17").is_err());
     }
 }

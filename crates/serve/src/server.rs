@@ -49,6 +49,13 @@ pub struct ServeConfig {
     pub idle_timeout: Option<Duration>,
     /// Pool / protocol randomness seed.
     pub seed: u64,
+    /// Non-free gates per garbled-table chunk on every session (`0` =
+    /// buffered whole-cycle transfer). The server pins the value in its
+    /// `OK` handshake frame, so clients always evaluate with matching
+    /// chunk boundaries. Streaming keeps per-session resident material at
+    /// O(chunk) and overlaps transfer with evaluation (and, for models
+    /// above the pool's material cap, with garbling itself).
+    pub chunk_gates: usize,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +67,7 @@ impl Default for ServeConfig {
             max_sessions: None,
             idle_timeout: Some(Duration::from_secs(120)),
             seed: 7,
+            chunk_gates: 0,
         }
     }
 }
@@ -130,7 +138,10 @@ impl Server {
     ///
     /// Fails on an unknown model name or if the address cannot be bound.
     pub fn bind(config: &ServeConfig) -> Result<Server, ServeError> {
-        let cfg = demo::inference_config();
+        let cfg = InferenceConfig {
+            chunk_gates: config.chunk_gates,
+            ..demo::inference_config()
+        };
         let mut models = HashMap::new();
         for name in &config.models {
             let demo = demo::load(name).map_err(ServeError::Model)?;
@@ -152,6 +163,7 @@ impl Server {
                 .collect(),
             config.pool_target,
             config.seed,
+            crate::pool::DEFAULT_MATERIAL_CAP,
         );
         Ok(Server {
             listener,
@@ -326,7 +338,7 @@ fn serve_session(shared: &Shared, stream: TcpStream, peer: SocketAddr) -> Result
         registry: &shared.registry,
         id: sid,
     };
-    framed.send_frame(proto::ok(sid).as_bytes())?;
+    framed.send_frame(proto::ok(sid, shared.cfg.chunk_gates).as_bytes())?;
     let mut chan = framed.into_inner();
 
     // One-time setup: the precomputed keypairs keep the offline modexp
@@ -377,6 +389,7 @@ fn serve_session(shared: &Shared, stream: TcpStream, peer: SocketAddr) -> Result
             &model_name,
             t_online.elapsed().as_secs_f64(),
             out.wire,
+            out.peak_material_bytes,
         );
     }
 }

@@ -31,6 +31,11 @@ pub struct ServeStats {
     pub online_s: f64,
     /// Sum of per-session setup latency, seconds.
     pub setup_s: f64,
+    /// High-water mark, across all requests, of garbled-table bytes one
+    /// session held at once — O(cycle tables) when serving buffered,
+    /// O(chunk) when streaming. The measured number behind the streaming
+    /// pipeline's constant-memory claim, printed at shutdown.
+    pub peak_material_bytes: u64,
     /// Requests per model.
     pub per_model: BTreeMap<String, u64>,
 }
@@ -58,11 +63,19 @@ impl ServeStats {
         self.setups += 1;
     }
 
-    /// A request finished its online phase.
-    pub fn record_request(&mut self, model: &str, online_s: f64, wire: WireBreakdown) {
+    /// A request finished its online phase; `peak_material_bytes` is the
+    /// most garbled-table bytes its session held at once while serving it.
+    pub fn record_request(
+        &mut self,
+        model: &str,
+        online_s: f64,
+        wire: WireBreakdown,
+        peak_material_bytes: u64,
+    ) {
         self.requests += 1;
         self.online_s += online_s;
         self.wire += wire;
+        self.peak_material_bytes = self.peak_material_bytes.max(peak_material_bytes);
         *self.per_model.entry(model.to_string()).or_insert(0) += 1;
     }
 
@@ -103,6 +116,10 @@ impl ServeStats {
                 self.wire.output_bits,
                 self.setup_bytes
             ),
+            format!(
+                "peak tables  {} B resident per session (max over requests)",
+                self.peak_material_bytes
+            ),
         ];
         for (model, n) in &self.per_model {
             lines.push(format!("model        {model}: {n} requests"));
@@ -125,8 +142,8 @@ mod tests {
             ot_ext: 10,
             ..WireBreakdown::default()
         };
-        stats.record_request("tiny_mlp", 0.2, wire);
-        stats.record_request("tiny_mlp", 0.4, wire);
+        stats.record_request("tiny_mlp", 0.2, wire, 640);
+        stats.record_request("tiny_mlp", 0.4, wire, 96);
         stats.complete_session();
         // A handshake-only failure must not dilute the setup mean.
         stats.open_session();
@@ -139,8 +156,13 @@ mod tests {
         assert_eq!(stats.setup_bytes, 1000);
         assert!((stats.mean_online_s() - 0.3).abs() < 1e-12);
         assert_eq!(stats.per_model["tiny_mlp"], 2);
+        assert_eq!(
+            stats.peak_material_bytes, 640,
+            "peak is a max, not a sum, across requests"
+        );
         let text = stats.summary();
         assert!(text.contains("2 total"), "{text}");
         assert!(text.contains("tiny_mlp: 2 requests"), "{text}");
+        assert!(text.contains("peak tables  640 B"), "{text}");
     }
 }

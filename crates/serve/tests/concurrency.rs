@@ -125,6 +125,76 @@ fn four_concurrent_clients_match_replays_and_reports_are_independent() {
 }
 
 #[test]
+fn chunk_streamed_serving_is_wire_identical_and_chunk_resident() {
+    // A streaming server (chunked tables pinned in the OK frame): clients
+    // adopt the chunk size, labels and per-phase online wire bytes stay
+    // bit-identical to the buffered in-memory replay, and the evaluator's
+    // peak resident material is one chunk instead of a whole cycle.
+    const CHUNK: usize = 512;
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        models: vec!["tiny_mlp".to_string()],
+        pool_target: 1,
+        seed: 17,
+        chunk_gates: CHUNK,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run());
+    let addr = handle.local_addr().to_string();
+
+    let model = ClientModel::load("tiny_mlp").expect("model");
+    let cfg = demo::inference_config();
+    let replay = run_compiled(
+        Arc::clone(&model.demo.compiled),
+        vec![model
+            .demo
+            .compiled
+            .input_bits(&model.demo.dataset.inputs[0])],
+        vec![model.weight_bits.clone()],
+        &cfg,
+    )
+    .expect("replay");
+
+    let mut client =
+        ServeClient::connect(&addr, &model, 41, Duration::from_secs(10)).expect("connect");
+    assert_eq!(client.chunk_gates, CHUNK, "OK frame must pin the chunking");
+    assert_eq!(client.setup_bytes(), replay.wire.base_ot);
+    let out = client.query(0).expect("query");
+    let oracle = plain_label(
+        &model.demo.compiled,
+        &model.demo.net,
+        &model.demo.dataset.inputs[0],
+    );
+    assert_eq!(out.label, oracle);
+    assert_eq!(out.label, replay.label);
+    // Streaming reorders, never adds: per-phase bytes match the buffered
+    // replay exactly.
+    assert_eq!(out.wire.ot_ext, replay.wire.ot_ext);
+    assert_eq!(out.wire.tables, replay.wire.tables);
+    assert_eq!(out.wire.input_labels, replay.wire.input_labels);
+    assert_eq!(out.wire.output_bits, replay.wire.output_bits);
+    // O(chunk) resident on the evaluator: one chunk is 2 rows × 16 B per
+    // non-free gate.
+    assert_eq!(out.peak_material_bytes, (CHUNK * 32) as u64);
+    assert!(
+        out.peak_material_bytes * 10 < replay.wire.tables,
+        "peak {} should be well under the cycle's {} table bytes",
+        out.peak_material_bytes,
+        replay.wire.tables
+    );
+    client.finish().expect("finish");
+
+    handle.shutdown();
+    let stats = join.join().unwrap();
+    assert_eq!(stats.sessions_completed, 1);
+    // The garbler side pooled whole material (tiny model), so its peak is
+    // the full cycle — the client side is where streaming pays off here.
+    assert_eq!(stats.peak_material_bytes, replay.wire.tables);
+}
+
+#[test]
 fn mid_handshake_disconnects_leave_the_server_serving_others() {
     let (handle, join) = start_server(1);
     let addr = handle.local_addr().to_string();

@@ -18,14 +18,21 @@ use deepsecure::serve::server::{ServeConfig, Server};
 const USAGE: &str = "\
 usage:
   deepsecure_serve --listen HOST:PORT [--models NAME[,NAME…]] [--pool N]
-                   [--sessions N] [--seed S]
+                   [--chunk-gates N] [--sessions N] [--seed S]
 
-  --listen    address to serve on (port 0 picks an ephemeral port)
-  --models    comma-separated zoo models to host (default tiny_mlp)
-  --pool      precomputed instances kept warm per queue (default 2)
-  --sessions  exit gracefully after N sessions have finished (default:
-              serve forever)
-  --seed      pool randomness seed (default 7)
+  --listen       address to serve on (port 0 picks an ephemeral port)
+  --models       comma-separated zoo models to host (default tiny_mlp;
+                 mnist_mlp is the paper-scale one)
+  --pool         precomputed instances kept warm per queue (default 2)
+  --chunk-gates  stream garbled tables in chunks of N non-free gates
+                 (0 = buffered whole-cycle transfer, the default). The
+                 server pins the value in its OK frame; evaluators adopt
+                 it. Models above the pool's 64 MiB material cap garble
+                 live while streaming — O(chunk) resident per session
+                 instead of O(circuit) per pooled instance.
+  --sessions     exit gracefully after N sessions have finished
+                 (default: serve forever)
+  --seed         pool randomness seed (default 7)
 
 Each model is trained and compiled deterministically at startup; clients
 must present the same circuit fingerprint in their handshake.";
@@ -64,6 +71,12 @@ fn parse(args: &[String]) -> Result<ServeConfig, String> {
                     .parse()
                     .map_err(|_| format!("--pool takes a count, got {v:?}"))?;
             }
+            "--chunk-gates" => {
+                let v = value("--chunk-gates")?;
+                config.chunk_gates = v
+                    .parse()
+                    .map_err(|_| format!("--chunk-gates takes a non-free gate count, got {v:?}"))?;
+            }
             "--sessions" => {
                 let v = value("--sessions")?;
                 config.max_sessions = Some(
@@ -94,9 +107,14 @@ fn run(args: &[String]) -> Result<(), String> {
     );
     let server = Server::bind(&config).map_err(|e| e.to_string())?;
     eprintln!(
-        "serve: listening on {} (pool target {} per queue{})",
+        "serve: listening on {} (pool target {} per queue{}{})",
         server.local_addr(),
         config.pool_target,
+        if config.chunk_gates > 0 {
+            format!(", streaming chunks of {} gates", config.chunk_gates)
+        } else {
+            String::new()
+        },
         config
             .max_sessions
             .map(|n| format!(", exits after {n} sessions"))

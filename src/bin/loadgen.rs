@@ -176,10 +176,23 @@ fn run(args: &[String]) -> Result<(), String> {
     let online_max = online.iter().cloned().fold(0.0f64, f64::max);
     let offline_mean = runs.iter().map(|r| r.offline_s).sum::<f64>() / cli.clients as f64;
     let total_mean = runs.iter().map(|r| r.total_s).sum::<f64>() / cli.clients as f64;
+    let peak_resident = runs
+        .iter()
+        .flat_map(|r| r.queries.iter().map(|(_, o)| o.peak_material_bytes))
+        .max()
+        .unwrap_or(0);
+    let tables_per_request = runs
+        .first()
+        .and_then(|r| r.queries.first())
+        .map_or(0, |(_, o)| o.wire.tables);
     println!(
         "loadgen: {} requests in {wall_s:.2} s -> {:.2} req/s",
         cli.clients * cli.requests,
         n_requests / wall_s
+    );
+    println!(
+        "  peak resident tables per request                     {peak_resident} B \
+         (of {tables_per_request} B streamed)"
     );
     println!("  per-session offline (connect + handshake + base OT)  mean {offline_mean:.3} s");
     println!("  per-request online (OT ext + tables + eval)          mean {online_mean:.3} s  max {online_max:.3} s");

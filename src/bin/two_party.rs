@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use deepsecure::core::compile::plain_label;
-use deepsecure::core::protocol::run_compiled;
+use deepsecure::core::protocol::{run_compiled, InferenceConfig};
 use deepsecure::core::session::{ClientSession, ServerSession, WireBreakdown};
 use deepsecure::ot::{Channel, FramedChannel, TcpChannel};
 use deepsecure::serve::demo::{self, DemoModel};
@@ -28,16 +28,30 @@ use deepsecure::serve::demo::{self, DemoModel};
 const USAGE: &str = "\
 usage:
   two_party evaluator --listen HOST:PORT [--model NAME]
-  two_party garbler --connect HOST:PORT [--model NAME] [--input N] [--check]
+  two_party garbler --connect HOST:PORT [--model NAME] [--input N]
+                    [--chunk-gates N] [--check]
 
-models: tiny_mlp (default), tiny_cnn
+models: tiny_mlp (default), tiny_cnn, mnist_mlp
 
-The evaluator serves exactly one inference, then exits. `--check` makes
-the garbler replay the run in-memory (both parties as threads) and fail
-unless the decoded label and the wire-byte totals match the TCP run.";
+The evaluator serves exactly one inference, then exits.
 
-/// Handshake protocol tag; bump on any wire-format change.
-const HELLO_PREFIX: &str = "DSEC/1";
+--chunk-gates N streams the garbled tables in chunks of N non-free gates
+(garble a chunk, send a chunk): garbling, transfer, and evaluation
+overlap, and neither process ever holds more than one chunk of tables
+(run mnist_mlp under `ulimit -v` to see the difference). 0 (default)
+buffers each cycle whole. The garbler picks; the handshake pins the
+value for both processes. Chunking never changes what crosses the wire
+— only when.
+
+`--check` makes the garbler replay the run in-memory (both parties as
+threads) and fail unless the decoded label and the wire-byte totals
+match the TCP run; with --chunk-gates it additionally replays the
+buffered path and fails unless the streamed run moved bit-identical
+per-phase wire bytes.";
+
+/// Handshake protocol tag; bump on any wire-format change (v2: the hello
+/// gained the chunk-gates field).
+const HELLO_PREFIX: &str = "DSEC/2";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +69,7 @@ struct Cli {
     addr: String,
     model: String,
     input: usize,
+    chunk_gates: usize,
     check: bool,
 }
 
@@ -69,6 +84,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         addr: String::new(),
         model: "tiny_mlp".to_string(),
         input: 0,
+        chunk_gates: 0,
         check: false,
     };
     let addr_flag = if role == "garbler" {
@@ -91,6 +107,12 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 cli.input = v
                     .parse()
                     .map_err(|_| format!("--input takes a sample index, got {v:?}"))?;
+            }
+            "--chunk-gates" if role == "garbler" => {
+                let v = value("--chunk-gates")?;
+                cli.chunk_gates = v
+                    .parse()
+                    .map_err(|_| format!("--chunk-gates takes a non-free gate count, got {v:?}"))?;
             }
             "--check" if role == "garbler" => cli.check = true,
             other => return Err(format!("unknown flag {other:?} for {role}\n{USAGE}")),
@@ -123,7 +145,10 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn run_garbler(cli: &Cli, model: &DemoModel) -> Result<(), String> {
-    let cfg = demo::inference_config();
+    let cfg = InferenceConfig {
+        chunk_gates: cli.chunk_gates,
+        ..demo::inference_config()
+    };
     let compiled = Arc::clone(&model.compiled);
     let fingerprint = model.fingerprint;
     let sample = &model.dataset.inputs[cli.input]; // bounds-checked in `run`
@@ -134,7 +159,13 @@ fn run_garbler(cli: &Cli, model: &DemoModel) -> Result<(), String> {
     eprintln!("garbler: connected to evaluator at {}", chan.peer_addr());
     let mut framed = FramedChannel::new(chan);
     framed
-        .send_frame(format!("{HELLO_PREFIX} {} {fingerprint:016x}", cli.model).as_bytes())
+        .send_frame(
+            format!(
+                "{HELLO_PREFIX} {} {fingerprint:016x} {}",
+                cli.model, cli.chunk_gates
+            )
+            .as_bytes(),
+        )
         .map_err(|e| format!("handshake send: {e}"))?;
     let reply = framed
         .recv_frame()
@@ -164,14 +195,18 @@ fn run_garbler(cli: &Cli, model: &DemoModel) -> Result<(), String> {
         "  traffic      sent {} B, received {} B",
         out.sent, out.received
     );
+    println!(
+        "  peak tables  {} B resident (of {} B total streamed)",
+        out.peak_material_bytes, out.wire.tables
+    );
     print_breakdown(&out.wire);
 
     if cli.check {
         let weight_bits = compiled.weight_bits(&model.net);
         let report = run_compiled(
             Arc::clone(&compiled),
-            vec![input_bits],
-            vec![weight_bits],
+            vec![input_bits.clone()],
+            vec![weight_bits.clone()],
             &cfg,
         )
         .map_err(|e| format!("in-memory replay: {e}"))?;
@@ -207,11 +242,43 @@ fn run_garbler(cli: &Cli, model: &DemoModel) -> Result<(), String> {
                 out.wire, report.wire
             ));
         }
+        // A streamed run must also be provably identical to the buffered
+        // path: replay with chunking off and compare label + every phase.
+        if cli.chunk_gates > 0 {
+            let buffered_cfg = InferenceConfig {
+                chunk_gates: 0,
+                ..cfg.clone()
+            };
+            let buffered = run_compiled(
+                Arc::clone(&compiled),
+                vec![input_bits],
+                vec![weight_bits],
+                &buffered_cfg,
+            )
+            .map_err(|e| format!("buffered in-memory replay: {e}"))?;
+            if out.label != buffered.label {
+                fail.push(format!(
+                    "label: streamed {} != buffered {}",
+                    out.label, buffered.label
+                ));
+            }
+            if out.wire != buffered.wire {
+                fail.push(format!(
+                    "wire breakdown: streamed {:?} != buffered {:?}",
+                    out.wire, buffered.wire
+                ));
+            }
+        }
         if fail.is_empty() {
             println!(
-                "  check        OK: label {} and {} wire bytes identical to the in-memory run",
+                "  check        OK: label {} and {} wire bytes identical to the in-memory run{}",
                 out.label,
-                out.sent + out.received
+                out.sent + out.received,
+                if cli.chunk_gates > 0 {
+                    " (and to the buffered path, phase for phase)"
+                } else {
+                    ""
+                }
             );
         } else {
             return Err(format!(
@@ -224,7 +291,6 @@ fn run_garbler(cli: &Cli, model: &DemoModel) -> Result<(), String> {
 }
 
 fn run_evaluator(cli: &Cli, model: &DemoModel) -> Result<(), String> {
-    let cfg = demo::inference_config();
     let compiled = Arc::clone(&model.compiled);
     let fingerprint = model.fingerprint;
     let listener = std::net::TcpListener::bind(cli.addr.as_str())
@@ -239,20 +305,35 @@ fn run_evaluator(cli: &Cli, model: &DemoModel) -> Result<(), String> {
     let mut framed = FramedChannel::new(chan);
     let hello = framed.recv_frame().map_err(|e| format!("handshake: {e}"))?;
     let hello = String::from_utf8_lossy(&hello).into_owned();
+    // `PREFIX model fingerprint chunk-gates`: the shape must match this
+    // process exactly; the chunking is the garbler's to choose and is
+    // adopted from the hello (derived chunk boundaries need both sides
+    // to agree).
     let want = format!("{HELLO_PREFIX} {} {fingerprint:016x}", cli.model);
-    if hello != want {
-        let _ = framed.send_frame(format!("ERR expected {want:?}, got {hello:?}").as_bytes());
+    let chunk_gates = match hello.rsplit_once(' ') {
+        Some((head, chunk)) if head == want => chunk.parse::<usize>().ok(),
+        _ => None,
+    };
+    let Some(chunk_gates) = chunk_gates else {
+        let _ = framed.send_frame(format!("ERR expected {want:?} CHUNK, got {hello:?}").as_bytes());
         let _ = framed.flush();
         return Err(format!(
-            "garbler handshake mismatch: expected {want:?}, got {hello:?} \
+            "garbler handshake mismatch: expected {want:?} CHUNK, got {hello:?} \
              (different --model or code version?)"
         ));
-    }
+    };
     framed
         .send_frame(format!("OK {fingerprint:016x}").as_bytes())
         .map_err(|e| format!("handshake ack: {e}"))?;
     let mut chan = framed.into_inner();
+    if chunk_gates > 0 {
+        eprintln!("evaluator: streaming tables in chunks of {chunk_gates} non-free gates");
+    }
 
+    let cfg = InferenceConfig {
+        chunk_gates,
+        ..demo::inference_config()
+    };
     let weight_bits = compiled.weight_bits(&model.net);
     let server = ServerSession::new(compiled, &cfg);
     let epoch = Instant::now();
@@ -267,6 +348,10 @@ fn run_evaluator(cli: &Cli, model: &DemoModel) -> Result<(), String> {
     println!(
         "  traffic      sent {} B, received {} B",
         out.sent, out.received
+    );
+    println!(
+        "  peak tables  {} B resident (of {} B total received)",
+        out.peak_material_bytes, out.wire.tables
     );
     print_breakdown(&out.wire);
     Ok(())
