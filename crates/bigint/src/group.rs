@@ -116,11 +116,18 @@ impl DhGroup {
         self.mont.mul(a, &inv)
     }
 
-    /// Samples a private exponent `x ∈ [2, p-2]` and returns `(x, g^x)`.
-    pub fn random_keypair<R: Rng + ?Sized>(&self, rng: &mut R) -> (Ubig, Ubig) {
+    /// Samples a private exponent `x ∈ [2, p-2]` — the cheap half of
+    /// [`DhGroup::random_keypair`], split out so callers can draw a batch
+    /// of exponents in RNG order and fan the modexps out across threads.
+    pub fn random_exponent<R: Rng + ?Sized>(&self, rng: &mut R) -> Ubig {
         let low = Ubig::from(2u64);
         let high = self.prime() - &Ubig::one();
-        let x = Ubig::random_range(rng, &low, &high);
+        Ubig::random_range(rng, &low, &high)
+    }
+
+    /// Samples a private exponent `x ∈ [2, p-2]` and returns `(x, g^x)`.
+    pub fn random_keypair<R: Rng + ?Sized>(&self, rng: &mut R) -> (Ubig, Ubig) {
+        let x = self.random_exponent(rng);
         let gx = self.pow(&self.generator, &x);
         (x, gx)
     }

@@ -95,6 +95,24 @@ pub struct InferenceConfig {
     /// boundaries are derived, not framed, which is what keeps the
     /// streamed wire byte-identical to the buffered one.
     pub chunk_gates: usize,
+    /// Worker threads for garbling, evaluation, and base-OT modexps. `1`
+    /// is the sequential path; `0` means auto (one per available core).
+    /// A pure perf knob: every thread count moves **bit-identical** wire
+    /// bytes, so the parties need not agree on it. Defaults to the
+    /// `DEEPSECURE_THREADS` env var, else `1`.
+    pub threads: usize,
+}
+
+impl InferenceConfig {
+    /// The worker pool `threads` selects (resolving `0` to the core
+    /// count). Copyable; every subsystem of one run shares this value.
+    pub fn pool(&self) -> workpool::ThreadPool {
+        if self.threads == 0 {
+            workpool::ThreadPool::new(workpool::auto_threads())
+        } else {
+            workpool::ThreadPool::new(self.threads)
+        }
+    }
 }
 
 impl Default for InferenceConfig {
@@ -104,6 +122,7 @@ impl Default for InferenceConfig {
             group: DhGroup::modp_768(),
             seed: 0,
             chunk_gates: 0,
+            threads: workpool::threads_from_env("DEEPSECURE_THREADS").unwrap_or(1),
         }
     }
 }

@@ -61,6 +61,7 @@ use deepsecure_ot::channel::Channel;
 use deepsecure_ot::ext::{ExtReceiver, ExtSender, SenderPrecomp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use workpool::ThreadPool;
 
 use crate::compile::Compiled;
 use crate::protocol::{InferenceConfig, PhaseSpan, ProtocolError};
@@ -164,7 +165,19 @@ impl GarbledMaterial {
         n_cycles: usize,
         rng: &mut R,
     ) -> GarbledMaterial {
-        let mut garbler = Garbler::new(&compiled.circuit, rng);
+        GarbledMaterial::garble_with(compiled, n_cycles, rng, ThreadPool::sequential())
+    }
+
+    /// [`GarbledMaterial::garble`] with the per-level gate work fanned out
+    /// across `pool`. Tables and labels are bit-identical to the
+    /// sequential path's for the same RNG stream.
+    pub fn garble_with<R: Rng + ?Sized>(
+        compiled: &Compiled,
+        n_cycles: usize,
+        rng: &mut R,
+        pool: ThreadPool,
+    ) -> GarbledMaterial {
+        let mut garbler = Garbler::new(&compiled.circuit, rng).with_pool(pool);
         // Must be read before the first garble_cycle: garbling latches the
         // register labels forward to the next cycle.
         let initial_registers = garbler.initial_register_labels();
@@ -514,7 +527,7 @@ impl ClientSession {
         epoch: Instant,
     ) -> Result<ClientSetup, ProtocolError> {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xa11ce);
-        let pre = SenderPrecomp::generate(&self.cfg.group, &mut rng);
+        let pre = SenderPrecomp::generate_with(&self.cfg.group, &mut rng, self.cfg.pool());
         self.setup_with(chan, pre, epoch)
     }
 
@@ -533,7 +546,7 @@ impl ClientSession {
         let start_s = epoch.elapsed().as_secs_f64();
         let sent0 = chan.bytes_sent();
         let recv0 = chan.bytes_received();
-        let ot = ExtSender::setup_with(chan, pre)?;
+        let ot = ExtSender::setup_with_pool(chan, pre, self.cfg.pool())?;
         Ok(ClientSetup {
             ot,
             sent: chan.bytes_sent() - sent0,
@@ -650,7 +663,8 @@ impl ClientSession {
             }
             MaterialSource::Live { n_cycles: _, seed } => {
                 let mut rng = StdRng::seed_from_u64(seed);
-                let mut garbler = Garbler::new(&self.compiled.circuit, &mut rng);
+                let mut garbler =
+                    Garbler::new(&self.compiled.circuit, &mut rng).with_pool(self.cfg.pool());
                 // Must be read before the first cycle garbles: garbling
                 // latches the register labels forward to the next cycle.
                 let initial_registers = garbler.initial_register_labels();
@@ -806,7 +820,7 @@ impl ServerSession {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xb0b);
         let sent0 = chan.bytes_sent();
         let recv0 = chan.bytes_received();
-        let ot = ExtReceiver::setup(chan, &self.cfg.group, &mut rng)?;
+        let ot = ExtReceiver::setup_with_pool(chan, &self.cfg.group, &mut rng, self.cfg.pool())?;
         Ok(ServerSetup {
             ot,
             sent: chan.bytes_sent() - sent0,
@@ -859,7 +873,7 @@ impl ServerSession {
         let const1 = chan.recv_block()?;
         let init_regs = chan.recv_blocks(c.registers().len())?;
         wire.input_labels += traffic(chan) - before;
-        let mut evaluator = Evaluator::new(c);
+        let mut evaluator = Evaluator::new(c).with_pool(self.cfg.pool());
         evaluator.set_constant_labels(const0, const1);
         evaluator.set_initial_registers(init_regs);
         let nonfree = c.nonfree_gate_count();
@@ -1198,6 +1212,43 @@ mod tests {
             "peak {}",
             s_s.peak_material_bytes
         );
+    }
+
+    #[test]
+    fn multicore_run_is_wire_identical_to_sequential_per_phase() {
+        // threads is a pure perf knob: the same seeds must move the same
+        // per-phase wire bytes and decode the same labels at any worker
+        // count, buffered and streamed.
+        let run = |threads: usize, chunk_gates: usize| {
+            let compiled = mac_compiled();
+            let cfg = InferenceConfig {
+                chunk_gates,
+                threads,
+                ..InferenceConfig::default()
+            };
+            let (mut cc, mut cs) = mem_pair();
+            let epoch = Instant::now();
+            let server = ServerSession::new(Arc::clone(&compiled), &cfg);
+            let e_bits = vec![vec![true; 16]; 3];
+            let handle = std::thread::spawn(move || server.run(&mut cs, &e_bits, epoch).unwrap());
+            let client = ClientSession::new(Arc::clone(&compiled), &cfg);
+            let g_bits = vec![vec![true; 17]; 3];
+            let cout = client.run(&mut cc, &g_bits, epoch).unwrap();
+            let sout = handle.join().unwrap();
+            assert_eq!(cout.wire, sout.wire);
+            (
+                cout.cycle_labels.clone(),
+                cout.wire,
+                cout.sent,
+                cout.received,
+            )
+        };
+        for chunk_gates in [0usize, 5] {
+            let seq = run(1, chunk_gates);
+            for threads in [2usize, 4] {
+                assert_eq!(run(threads, chunk_gates), seq, "chunk {chunk_gates}");
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,10 @@
+use std::sync::RwLock;
+
 use deepsecure_circuit::{Circuit, GateKind, CONST_0, CONST_1};
 use deepsecure_crypto::{Block, FixedKeyHash};
+use workpool::ThreadPool;
+
+use crate::par::{Par, PAR_GRAIN};
 
 /// The evaluation state machine (the server/Bob role in DeepSecure).
 ///
@@ -21,6 +26,8 @@ pub struct Evaluator<'c> {
     /// Constant-wire active labels (learned from the first cycle's stream —
     /// they ride along with the garbler input labels).
     const_labels: Option<[Block; 2]>,
+    /// Level-parallel scheduling state; `None` evaluates sequentially.
+    par: Option<Par>,
 }
 
 impl std::fmt::Debug for Evaluator<'_> {
@@ -42,7 +49,19 @@ impl<'c> Evaluator<'c> {
             regs_initialized: !circuit.is_sequential(),
             tweak: 0,
             const_labels: None,
+            par: None,
         }
+    }
+
+    /// Attaches a thread pool: each feed's unblocked gates are evaluated
+    /// level-parallel across the pool's workers, with labels committed in
+    /// gate order — the walk consumes exactly the same rows and produces
+    /// exactly the same labels as the sequential one (see
+    /// [`crate::Garbler::with_pool`]). A sequential pool keeps the plain
+    /// inline walk.
+    pub fn with_pool(mut self, pool: ThreadPool) -> Self {
+        self.par = Par::for_circuit(self.circuit, pool);
+        self
     }
 
     /// Installs the initial register labels (sent by the garbler before the
@@ -145,7 +164,7 @@ impl<'c> Evaluator<'c> {
         }
         CycleEval {
             evaluator: self,
-            labels,
+            labels: RwLock::new(labels),
             next_gate: 0,
             pending: Vec::new(),
         }
@@ -165,8 +184,11 @@ impl<'c> Evaluator<'c> {
 /// feeds (a feed may split a gate's two rows across calls).
 pub struct CycleEval<'e, 'c> {
     evaluator: &'e mut Evaluator<'c>,
-    /// Active labels of this cycle's wires (grows gate by gate).
-    labels: Vec<Block>,
+    /// Active labels of this cycle's wires (grows gate by gate). Behind a
+    /// lock only for the level-parallel path (workers read settled labels,
+    /// the caller commits a level's outputs between barriers); the
+    /// sequential walk goes through `get_mut` and never locks.
+    labels: RwLock<Vec<Block>>,
     /// Next gate to evaluate.
     next_gate: usize,
     /// Fed-but-unconsumed table rows: at most one orphan row while gates
@@ -189,14 +211,19 @@ impl CycleEval<'_, '_> {
     /// the material allows: every free gate, plus each non-free gate whose
     /// two rows are available.
     pub fn feed(&mut self, tables: &[Block]) {
+        if let Some(par) = self.evaluator.par.clone() {
+            self.feed_parallel(tables, &par);
+            return;
+        }
         let mut pos = 0usize;
         let ev = &mut *self.evaluator;
         let c = ev.circuit;
         let gates = c.gates();
+        let labels = self.labels.get_mut().unwrap_or_else(|p| p.into_inner());
         while self.next_gate < gates.len() {
             let gate = &gates[self.next_gate];
-            let a = self.labels[gate.a.index()];
-            let b = self.labels[gate.b.index()];
+            let a = labels[gate.a.index()];
+            let b = labels[gate.b.index()];
             let out = match gate.kind {
                 GateKind::Xor | GateKind::Xnor => a ^ b,
                 GateKind::Not | GateKind::Buf => a,
@@ -234,12 +261,112 @@ impl CycleEval<'_, '_> {
                     w_g ^ w_e
                 }
             };
-            self.labels[gate.out.index()] = out;
+            labels[gate.out.index()] = out;
             self.next_gate += 1;
         }
         // Stash the unconsumed tail: at most one row while gates remain;
         // everything left over (an error) once the gate walk is complete.
         self.pending.extend_from_slice(&tables[pos..]);
+    }
+
+    /// The level-parallel feed: works out how far the fed material lets the
+    /// gate walk advance (every free gate up to — but not past — the first
+    /// non-free gate whose two rows are missing), groups that range by
+    /// dependency level, and evaluates each level across the pool. Rows are
+    /// addressed by non-free ordinal straight out of `pending ++ tables`,
+    /// and the leftover stash is exactly what the sequential walk keeps.
+    fn feed_parallel(&mut self, tables: &[Block], par: &Par) {
+        let ev = &*self.evaluator;
+        let gates = ev.circuit.gates();
+        let lv = &*par.levels;
+        let start = self.next_gate;
+        if start == gates.len() {
+            // Gate walk already complete: any extra rows are an oversupply
+            // for finish() to report.
+            self.pending.extend_from_slice(tables);
+            return;
+        }
+        debug_assert!(self.pending.len() <= 1, "orphan invariant");
+        let avail = self.pending.len() + tables.len();
+        let funded = avail / 2;
+        let base_nf = lv.nonfree_before(start) as usize;
+        // Stop at the first non-free gate the material cannot fund (free
+        // gates before it still evaluate), or run to the end.
+        let end = lv.nth_nonfree_at(start, funded + 1).unwrap_or(gates.len());
+        let done_nf = lv.nonfree_before(end) as usize - base_nf;
+        let hash = ev.hash.clone();
+        let cycle_tweak_base = ev.tweak - 2 * base_nf as u64;
+        let (order, spans) = lv.order_range(start..end);
+        {
+            let labels = &self.labels;
+            let pending = &self.pending;
+            let (order, spans) = (&order, &spans);
+            par.pool.waves(
+                spans.len(),
+                PAR_GRAIN,
+                |w| spans[w].len(),
+                |w, range| {
+                    let span = &order[spans[w].clone()];
+                    let labels = labels.read().unwrap_or_else(|p| p.into_inner());
+                    span[range]
+                        .iter()
+                        .map(|&gi| {
+                            let gi = gi as usize;
+                            let gate = &gates[gi];
+                            let a = labels[gate.a.index()];
+                            let b = labels[gate.b.index()];
+                            match gate.kind {
+                                GateKind::Xor | GateKind::Xnor => a ^ b,
+                                GateKind::Not | GateKind::Buf => a,
+                                _ => {
+                                    let k = lv.nonfree_before(gi) as usize - base_nf;
+                                    let row = |j: usize| {
+                                        if j < pending.len() {
+                                            pending[j]
+                                        } else {
+                                            tables[j - pending.len()]
+                                        }
+                                    };
+                                    let (table_g, table_e) = (row(2 * k), row(2 * k + 1));
+                                    let t_g =
+                                        cycle_tweak_base + 2 * u64::from(lv.nonfree_before(gi));
+                                    let [mut w_g, mut w_e] = hash.hash2([a, b], [t_g, t_g + 1]);
+                                    if a.color() {
+                                        w_g ^= table_g;
+                                    }
+                                    if b.color() {
+                                        w_e ^= table_e ^ a;
+                                    }
+                                    w_g ^ w_e
+                                }
+                            }
+                        })
+                        .collect::<Vec<Block>>()
+                },
+                |w, parts| {
+                    let mut labels = labels.write().unwrap_or_else(|p| p.into_inner());
+                    let span_start = spans[w].start;
+                    for (task_start, outs) in parts {
+                        for (k, out) in outs.into_iter().enumerate() {
+                            let gi = order[span_start + task_start + k] as usize;
+                            labels[gates[gi].out.index()] = out;
+                        }
+                    }
+                },
+            );
+        }
+        let used_rows = 2 * done_nf;
+        self.next_gate = end;
+        self.evaluator.tweak += 2 * done_nf as u64;
+        if used_rows <= self.pending.len() {
+            // Nothing funded (used_rows == 0): keep the orphan, stash the
+            // fed tail — identical to the sequential blocked case.
+            self.pending.extend_from_slice(tables);
+        } else {
+            let from_tables = used_rows - self.pending.len();
+            self.pending.clear();
+            self.pending.extend_from_slice(&tables[from_tables..]);
+        }
     }
 
     /// Whether every gate of the cycle has been evaluated.
@@ -273,13 +400,14 @@ impl CycleEval<'_, '_> {
             "table stream length mismatch: {} unconsumed rows",
             self.pending.len()
         );
+        let labels = self.labels.into_inner().unwrap_or_else(|p| p.into_inner());
         for (slot, r) in ev.reg_labels.iter_mut().zip(c.registers()) {
-            *slot = self.labels[r.d.index()];
+            *slot = labels[r.d.index()];
         }
         c.outputs()
             .iter()
             .zip(output_decode)
-            .map(|(w, &d)| self.labels[w.index()].color() ^ d)
+            .map(|(w, &d)| labels[w.index()].color() ^ d)
             .collect()
     }
 }

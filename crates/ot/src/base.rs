@@ -31,6 +31,7 @@
 use deepsecure_bigint::{DhGroup, Ubig};
 use deepsecure_crypto::{Block, FixedKeyHash};
 use rand::Rng;
+use workpool::ThreadPool;
 
 use crate::channel::Channel;
 use crate::OtError;
@@ -56,9 +57,27 @@ impl ReceiverKeys {
     /// Generates keypairs for `n` transfers (one 768/1536/2048-bit modexp
     /// each) — runnable long before any connection exists.
     pub fn generate<R: Rng + ?Sized>(group: &DhGroup, n: usize, rng: &mut R) -> ReceiverKeys {
+        ReceiverKeys::generate_with(group, n, rng, ThreadPool::sequential())
+    }
+
+    /// [`ReceiverKeys::generate`] with the modexps fanned out across
+    /// `pool`. Exponents are drawn sequentially first, so the RNG stream —
+    /// and therefore the generated keys — are identical to the sequential
+    /// path's for the same seed.
+    pub fn generate_with<R: Rng + ?Sized>(
+        group: &DhGroup,
+        n: usize,
+        rng: &mut R,
+        pool: ThreadPool,
+    ) -> ReceiverKeys {
+        let exponents: Vec<Ubig> = (0..n).map(|_| group.random_exponent(rng)).collect();
+        let keys = pool.map(n, 1, |i| {
+            let gx = group.pow(group.generator(), &exponents[i]);
+            (exponents[i].clone(), gx)
+        });
         ReceiverKeys {
             group: group.clone(),
-            keys: (0..n).map(|_| group.random_keypair(rng)).collect(),
+            keys,
         }
     }
 
@@ -89,27 +108,64 @@ pub fn send<C: Channel, R: Rng + ?Sized>(
     pairs: &[(Block, Block)],
     rng: &mut R,
 ) -> Result<(), OtError> {
+    send_with_pool(channel, group, pairs, rng, ThreadPool::sequential())
+}
+
+/// [`send`] with the per-transfer modexps (two encryptions × two
+/// exponentiations each, plus the `PK_1` inversion) fanned out across
+/// `pool`. All randomness is drawn in the same order as the sequential
+/// path, so the wire transcript is byte-identical for the same seed.
+///
+/// # Errors
+///
+/// Fails on channel breakdown or malformed group elements.
+pub fn send_with_pool<C: Channel, R: Rng + ?Sized>(
+    channel: &mut C,
+    group: &DhGroup,
+    pairs: &[(Block, Block)],
+    rng: &mut R,
+    pool: ThreadPool,
+) -> Result<(), OtError> {
     let hash = FixedKeyHash::new();
     let elem = group.element_len();
     let (_, big_c) = group.random_keypair(rng);
     channel.send(&group.element_to_bytes(&big_c))?;
-    // One flight carrying every PK_0.
+    // One flight carrying every PK_0; parse and range-check up front.
     let pk_flight = channel.recv(pairs.len() * elem)?;
-    // One flight carrying both ciphertexts of every transfer.
-    let mut out = Vec::with_capacity(pairs.len() * 2 * (elem + 16));
-    for (i, (m0, m1)) in pairs.iter().enumerate() {
+    let mut pk0s = Vec::with_capacity(pairs.len());
+    for i in 0..pairs.len() {
         let pk0 = group.element_from_bytes(&pk_flight[i * elem..(i + 1) * elem]);
         if pk0.is_zero() || pk0 >= *group.prime() {
             return Err(OtError::Protocol(format!("public key {i} out of range")));
         }
-        let pk1 = group.div(&big_c, &pk0);
-        for (b, (pk, msg)) in [(0u64, (&pk0, m0)), (1, (&pk1, m1))] {
-            let (r, gr) = group.random_keypair(rng);
-            let shared = group.pow(pk, &r);
+        pk0s.push(pk0);
+    }
+    // Draw every encryption exponent in the sequential path's order
+    // (transfer-major, branch-minor) before fanning out the modexps.
+    let exps: Vec<Ubig> = (0..pairs.len() * 2)
+        .map(|_| group.random_exponent(rng))
+        .collect();
+    // One flight carrying both ciphertexts of every transfer. Each
+    // transfer's segment is independent, so the pool builds them in
+    // parallel and we concatenate in order.
+    let segments = pool.map(pairs.len(), 1, |i| {
+        let (m0, m1) = &pairs[i];
+        let pk0 = &pk0s[i];
+        let pk1 = group.div(&big_c, pk0);
+        let mut seg = Vec::with_capacity(2 * (elem + 16));
+        for (b, (pk, msg)) in [(0u64, (pk0, m0)), (1, (&pk1, m1))] {
+            let r = &exps[2 * i + b as usize];
+            let gr = group.pow(group.generator(), r);
+            let shared = group.pow(pk, r);
             let mask = hash.hash_bytes(&group.element_to_bytes(&shared), (i as u64) << 1 | b);
-            out.extend_from_slice(&group.element_to_bytes(&gr));
-            out.extend_from_slice(&(mask ^ *msg).to_bytes());
+            seg.extend_from_slice(&group.element_to_bytes(&gr));
+            seg.extend_from_slice(&(mask ^ *msg).to_bytes());
         }
+        seg
+    });
+    let mut out = Vec::with_capacity(pairs.len() * 2 * (elem + 16));
+    for seg in segments {
+        out.extend_from_slice(&seg);
     }
     channel.send(&out)?;
     Ok(())
@@ -131,6 +187,26 @@ pub fn receive_with<C: Channel>(
     choices: &[bool],
     keys: ReceiverKeys,
 ) -> Result<Vec<Block>, OtError> {
+    receive_with_pool(channel, choices, keys, ThreadPool::sequential())
+}
+
+/// [`receive_with`] with the online modexps — the `PK_0` derivations and
+/// the chosen-branch decryptions — fanned out across `pool`. The wire
+/// transcript is byte-identical to the sequential path's.
+///
+/// # Errors
+///
+/// Fails on channel breakdown or malformed group elements.
+///
+/// # Panics
+///
+/// Panics if `keys` does not cover exactly `choices.len()` transfers.
+pub fn receive_with_pool<C: Channel>(
+    channel: &mut C,
+    choices: &[bool],
+    keys: ReceiverKeys,
+    pool: ThreadPool,
+) -> Result<Vec<Block>, OtError> {
     assert_eq!(
         keys.keys.len(),
         choices.len(),
@@ -140,23 +216,28 @@ pub fn receive_with<C: Channel>(
     let hash = FixedKeyHash::new();
     let elem = group.element_len();
     let big_c = group.element_from_bytes(&channel.recv(elem)?);
-    // Every PK_0 in one flight.
-    let mut pk_flight = Vec::with_capacity(choices.len() * elem);
-    for (&sigma, (_, gk)) in choices.iter().zip(&keys.keys) {
-        let pk0 = if sigma {
+    // Every PK_0 in one flight. Chosen transfers invert g^k (one modexp
+    // via Fermat); these are independent per transfer.
+    let pk0s = pool.map(choices.len(), 1, |i| {
+        let gk = &keys.keys[i].1;
+        if choices[i] {
             group.div(&big_c, gk)
         } else {
             gk.clone()
-        };
-        pk_flight.extend_from_slice(&group.element_to_bytes(&pk0));
+        }
+    });
+    let mut pk_flight = Vec::with_capacity(choices.len() * elem);
+    for pk0 in &pk0s {
+        pk_flight.extend_from_slice(&group.element_to_bytes(pk0));
     }
     channel.send(&pk_flight)?;
     // Both ciphertexts of every transfer in one flight; decrypt only the
     // chosen branch.
     let per_branch = elem + 16;
     let cts = channel.recv(choices.len() * 2 * per_branch)?;
-    let mut out = Vec::with_capacity(choices.len());
-    for (i, (&sigma, (k, _))) in choices.iter().zip(&keys.keys).enumerate() {
+    let out = pool.map(choices.len(), 1, |i| {
+        let sigma = choices[i];
+        let k = &keys.keys[i].0;
         let off = (2 * i + usize::from(sigma)) * per_branch;
         let gr = group.element_from_bytes(&cts[off..off + elem]);
         let mut ct_arr = [0u8; 16];
@@ -166,8 +247,8 @@ pub fn receive_with<C: Channel>(
             &group.element_to_bytes(&shared),
             (i as u64) << 1 | u64::from(sigma),
         );
-        out.push(Block::from_bytes(ct_arr) ^ mask);
-    }
+        Block::from_bytes(ct_arr) ^ mask
+    });
     Ok(out)
 }
 
@@ -327,6 +408,72 @@ mod tests {
         let large = turnarounds(64);
         assert_eq!(small, large, "flights must not grow with the batch");
         assert!(small <= 2, "sender: send C, recv PKs, send cts = 2 turns");
+    }
+
+    #[test]
+    fn pooled_paths_match_sequential_bit_for_bit() {
+        // The pool is a pure perf knob: same seeds, same keys, same wire
+        // bytes, same decrypted messages — whatever the worker count.
+        let group = DhGroup::modp_768();
+        let keys_digest = |pool: ThreadPool| {
+            let mut rng = StdRng::seed_from_u64(42);
+            let keys = ReceiverKeys::generate_with(&group, 5, &mut rng, pool);
+            keys.keys.clone()
+        };
+        let seq_keys = keys_digest(ThreadPool::sequential());
+        assert_eq!(seq_keys, keys_digest(ThreadPool::new(4)));
+
+        let run = |pool: ThreadPool| {
+            let choices = vec![true, false, true, true, false];
+            let pairs: Vec<(Block, Block)> = (0..choices.len() as u128)
+                .map(|i| (Block::from(3 * i), Block::from(3 * i + 7)))
+                .collect();
+            let (mut ca, mut cb) = mem_pair();
+            let g2 = group.clone();
+            let pairs2 = pairs.clone();
+            let sender = std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(31);
+                send_with_pool(&mut ca, &g2, &pairs2, &mut rng, pool).unwrap();
+            });
+            let mut rng = StdRng::seed_from_u64(32);
+            let keys = ReceiverKeys::generate_with(&group, choices.len(), &mut rng, pool);
+            let got = receive_with_pool(&mut cb, &choices, keys, pool).unwrap();
+            sender.join().unwrap();
+            for ((pair, &c), msg) in pairs.iter().zip(&choices).zip(&got) {
+                assert_eq!(*msg, if c { pair.1 } else { pair.0 });
+            }
+            got
+        };
+        assert_eq!(run(ThreadPool::sequential()), run(ThreadPool::new(4)));
+
+        // Byte-level: script the receiver flight and compare the sender's
+        // ciphertext flight across pools.
+        let ciphertext_flight = |pool: ThreadPool| {
+            let pairs = vec![(Block::from(5u128), Block::from(6u128)); 4];
+            let elem = group.element_len();
+            let (mut ca, mut cb) = mem_pair();
+            let g2 = group.clone();
+            let pairs2 = pairs.clone();
+            let n = pairs.len();
+            let sender = std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(55);
+                send_with_pool(&mut ca, &g2, &pairs2, &mut rng, pool).unwrap();
+            });
+            let _big_c = cb.recv(elem).unwrap();
+            let mut pk_flight = Vec::new();
+            for i in 0..n {
+                let pk0 = group.pow(group.generator(), &Ubig::from(i as u64 + 2));
+                pk_flight.extend_from_slice(&group.element_to_bytes(&pk0));
+            }
+            cb.send(&pk_flight).unwrap();
+            let cts = cb.recv(n * 2 * (elem + 16)).unwrap();
+            sender.join().unwrap();
+            cts
+        };
+        assert_eq!(
+            ciphertext_flight(ThreadPool::sequential()),
+            ciphertext_flight(ThreadPool::new(4))
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use deepsecure_bigint::DhGroup;
 use deepsecure_crypto::{Block, FixedKeyHash, Prg};
 use rand::Rng;
+use workpool::ThreadPool;
 
 use crate::channel::Channel;
 use crate::{base, OtError};
@@ -41,9 +42,20 @@ impl SenderPrecomp {
     /// Generates the offline material: `s` plus [`KAPPA`] keypairs (one
     /// modexp each in `group`).
     pub fn generate<R: Rng + ?Sized>(group: &DhGroup, rng: &mut R) -> SenderPrecomp {
+        SenderPrecomp::generate_with(group, rng, ThreadPool::sequential())
+    }
+
+    /// [`SenderPrecomp::generate`] with the 128 keypair modexps fanned out
+    /// across `pool`. RNG order matches the sequential path, so the
+    /// material is identical for the same seed.
+    pub fn generate_with<R: Rng + ?Sized>(
+        group: &DhGroup,
+        rng: &mut R,
+        pool: ThreadPool,
+    ) -> SenderPrecomp {
         SenderPrecomp {
             s: (0..KAPPA).map(|_| rng.gen()).collect(),
-            keys: base::ReceiverKeys::generate(group, KAPPA, rng),
+            keys: base::ReceiverKeys::generate_with(group, KAPPA, rng, pool),
         }
     }
 }
@@ -105,8 +117,23 @@ impl ExtSender {
         channel: &mut C,
         pre: SenderPrecomp,
     ) -> Result<ExtSender, OtError> {
+        ExtSender::setup_with_pool(channel, pre, ThreadPool::sequential())
+    }
+
+    /// [`ExtSender::setup_with`] with the online base-OT modexps (the
+    /// chosen-branch decryptions) fanned out across `pool`. Wire-identical
+    /// to the sequential path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates base-OT failures.
+    pub fn setup_with_pool<C: Channel>(
+        channel: &mut C,
+        pre: SenderPrecomp,
+        pool: ThreadPool,
+    ) -> Result<ExtSender, OtError> {
         let SenderPrecomp { s, keys } = pre;
-        let seeds_blocks = base::receive_with(channel, &s, keys)?;
+        let seeds_blocks = base::receive_with_pool(channel, &s, keys, pool)?;
         Ok(ExtSender {
             s,
             seeds: seeds_blocks.into_iter().map(Prg::from_seed).collect(),
@@ -179,10 +206,26 @@ impl ExtReceiver {
         group: &DhGroup,
         rng: &mut R,
     ) -> Result<ExtReceiver, OtError> {
+        ExtReceiver::setup_with_pool(channel, group, rng, ThreadPool::sequential())
+    }
+
+    /// [`ExtReceiver::setup`] with the base-OT sender's modexps (four per
+    /// transfer) fanned out across `pool`. Wire-identical to the
+    /// sequential path for the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates base-OT failures.
+    pub fn setup_with_pool<C: Channel, R: Rng + ?Sized>(
+        channel: &mut C,
+        group: &DhGroup,
+        rng: &mut R,
+        pool: ThreadPool,
+    ) -> Result<ExtReceiver, OtError> {
         let pairs: Vec<(Block, Block)> = (0..KAPPA)
             .map(|_| (Block::random(rng), Block::random(rng)))
             .collect();
-        base::send(channel, group, &pairs, rng)?;
+        base::send_with_pool(channel, group, &pairs, rng, pool)?;
         Ok(ExtReceiver {
             seed_pairs: pairs
                 .into_iter()

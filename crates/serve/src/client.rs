@@ -103,6 +103,25 @@ impl ServeClient {
         seed: u64,
         timeout: Duration,
     ) -> Result<ServeClient, ServeError> {
+        Self::connect_with_threads(addr, model, seed, timeout, demo::inference_config().threads)
+    }
+
+    /// [`ServeClient::connect`] with an explicit evaluator thread count
+    /// (`0` = one per core) instead of the `DEEPSECURE_THREADS` default.
+    /// A pure client-side perf knob: the wire bytes are identical at any
+    /// width, so it needs no agreement with the server.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection/handshake/OT failure, including the server's
+    /// `ERR` rejection reason.
+    pub fn connect_with_threads(
+        addr: &str,
+        model: &ClientModel,
+        seed: u64,
+        timeout: Duration,
+        threads: usize,
+    ) -> Result<ServeClient, ServeError> {
         let t0 = Instant::now();
         let chan = TcpChannel::connect_retry(addr, timeout)?;
         let mut framed = FramedChannel::new(chan);
@@ -115,6 +134,7 @@ impl ServeClient {
         let cfg = InferenceConfig {
             seed,
             chunk_gates,
+            threads,
             ..demo::inference_config()
         };
         let session = ServerSession::new(Arc::clone(&model.demo.compiled), &cfg);

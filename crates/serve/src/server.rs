@@ -11,11 +11,23 @@
 //! setup amortized over many requests), counts are moderate, and the
 //! protocol is blocking by design — a thread per session keeps the
 //! channel-generic session code untouched.
+//!
+//! # Sharding
+//!
+//! With `threads > 1` the server runs N **worker shards**: the accept
+//! loop hashes the peer's IP onto a shard (session affinity — one
+//! client's connections always land on the same shard) and enqueues the
+//! socket there; each shard's dispatcher thread spawns and later joins
+//! that shard's session handlers and owns a private [`ServeStats`]
+//! accumulator, so the per-request hot path never contends on a global
+//! stats lock. Shard stats are merged (see [`ServeStats::merge`]) into
+//! the totals that [`ServerHandle::stats`] and [`Server::run`] report.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use deepsecure_core::protocol::InferenceConfig;
@@ -56,6 +68,23 @@ pub struct ServeConfig {
     /// O(chunk) and overlaps transfer with evaluation (and, for models
     /// above the pool's material cap, with garbling itself).
     pub chunk_gates: usize,
+    /// Worker threads: the shard count of the accept loop, the pool's
+    /// fill-worker count, and each session's garbling/modexp pool width.
+    /// `1` is the single-shard sequential server; `0` means auto (one
+    /// per available core). Defaults to the `DEEPSECURE_THREADS` env
+    /// var, else `1`.
+    pub threads: usize,
+}
+
+impl ServeConfig {
+    /// `threads` with `0` resolved to the core count, floored at one.
+    fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            workpool::auto_threads()
+        } else {
+            self.threads
+        }
+    }
 }
 
 impl Default for ServeConfig {
@@ -68,6 +97,32 @@ impl Default for ServeConfig {
             idle_timeout: Some(Duration::from_secs(120)),
             seed: 7,
             chunk_gates: 0,
+            threads: workpool::threads_from_env("DEEPSECURE_THREADS").unwrap_or(1),
+        }
+    }
+}
+
+/// Locks with poison recovery: a panicking session handler must not wedge
+/// a shard's queue or stats for every later connection.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// One accept-loop shard: a connection queue drained by a dedicated
+/// dispatcher thread, plus that shard's private stats accumulator.
+struct Shard {
+    queue: Mutex<VecDeque<(TcpStream, SocketAddr)>>,
+    /// Signalled on enqueue and on shutdown.
+    cv: Condvar,
+    stats: Mutex<ServeStats>,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            stats: Mutex::new(ServeStats::default()),
         }
     }
 }
@@ -84,7 +139,11 @@ struct Shared {
     models: HashMap<String, HostedModel>,
     pool: PrecomputePool,
     registry: SessionRegistry,
-    stats: Mutex<ServeStats>,
+    shards: Vec<Arc<Shard>>,
+    /// Sessions finished (completed + failed) across every shard — the
+    /// global counter behind `max_sessions` auto-shutdown, kept atomic so
+    /// shards never serialize on it.
+    finished_sessions: AtomicU64,
     shutdown: AtomicBool,
     max_sessions: Option<u64>,
     idle_timeout: Option<Duration>,
@@ -138,8 +197,10 @@ impl Server {
     ///
     /// Fails on an unknown model name or if the address cannot be bound.
     pub fn bind(config: &ServeConfig) -> Result<Server, ServeError> {
+        let threads = config.resolved_threads();
         let cfg = InferenceConfig {
             chunk_gates: config.chunk_gates,
+            threads,
             ..demo::inference_config()
         };
         let mut models = HashMap::new();
@@ -155,7 +216,7 @@ impl Server {
         }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let pool = PrecomputePool::start(
+        let pool = PrecomputePool::start_with_workers(
             cfg.group.clone(),
             models
                 .iter()
@@ -164,6 +225,7 @@ impl Server {
             config.pool_target,
             config.seed,
             crate::pool::DEFAULT_MATERIAL_CAP,
+            threads,
         );
         Ok(Server {
             listener,
@@ -173,7 +235,8 @@ impl Server {
                 models,
                 pool,
                 registry: SessionRegistry::new(),
-                stats: Mutex::new(ServeStats::default()),
+                shards: (0..threads).map(|_| Arc::new(Shard::new())).collect(),
+                finished_sessions: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
                 max_sessions: config.max_sessions,
                 idle_timeout: config.idle_timeout,
@@ -194,11 +257,19 @@ impl Server {
     }
 
     /// Accepts sessions until shutdown is requested, then drains: stops
-    /// accepting, joins every in-flight session handler, stops the pool,
-    /// and returns the final stats.
+    /// accepting, joins every shard dispatcher (each joins its in-flight
+    /// session handlers), stops the pool, and returns the merged stats.
     pub fn run(self) -> ServeStats {
         let Server { listener, shared } = self;
-        let mut handlers = Vec::new();
+        let dispatchers: Vec<_> = shared
+            .shards
+            .iter()
+            .map(|shard| {
+                let sh = Arc::clone(&shared);
+                let sd = Arc::clone(shard);
+                std::thread::spawn(move || shard_loop(&sh, &sd))
+            })
+            .collect();
         loop {
             match listener.accept() {
                 Ok((stream, peer)) => {
@@ -207,13 +278,12 @@ impl Server {
                         drop(stream);
                         break;
                     }
-                    // Long-lived servers must not accumulate one
-                    // JoinHandle per finished session.
-                    handlers.retain(|h: &std::thread::JoinHandle<()>| !h.is_finished());
-                    let sh = Arc::clone(&shared);
-                    handlers.push(std::thread::spawn(move || {
-                        handle_connection(&sh, stream, peer);
-                    }));
+                    // Session affinity: one client IP always lands on the
+                    // same shard (its connections share that shard's
+                    // dispatcher and stats).
+                    let shard = &shared.shards[shard_index(&peer, shared.shards.len())];
+                    lock(&shard.queue).push_back((stream, peer));
+                    shard.cv.notify_all();
                 }
                 Err(e) => {
                     if shared.shutdown.load(Ordering::SeqCst) {
@@ -223,12 +293,65 @@ impl Server {
                 }
             }
         }
-        for h in handlers {
-            let _ = h.join();
+        // Wake every dispatcher so it observes the shutdown flag, then
+        // join them — each drains its own handlers first.
+        for shard in &shared.shards {
+            shard.cv.notify_all();
+        }
+        for d in dispatchers {
+            let _ = d.join();
         }
         shared.pool.stop();
-        let final_stats = shared.stats.lock().expect("stats lock").clone();
+        let mut final_stats = ServeStats::default();
+        for shard in &shared.shards {
+            final_stats.merge(&lock(&shard.stats));
+        }
         final_stats
+    }
+}
+
+/// Which shard a peer's connections land on: a hash of the IP (never the
+/// ephemeral port, which changes per connection) modulo the shard count.
+fn shard_index(peer: &SocketAddr, shards: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    peer.ip().hash(&mut h);
+    (h.finish() % shards as u64) as usize
+}
+
+/// One shard's dispatcher: pops queued connections, spawns a handler
+/// thread per session (sessions are long-lived and blocking), and joins
+/// every handler before exiting on shutdown.
+fn shard_loop(shared: &Arc<Shared>, shard: &Arc<Shard>) {
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        let next = {
+            let mut q = lock(&shard.queue);
+            loop {
+                if let Some(conn) = q.pop_front() {
+                    break Some(conn);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = shard
+                    .cv
+                    .wait_timeout(q, Duration::from_millis(200))
+                    .unwrap_or_else(|p| p.into_inner())
+                    .0;
+            }
+        };
+        let Some((stream, peer)) = next else { break };
+        // Long-lived servers must not accumulate one JoinHandle per
+        // finished session.
+        handlers.retain(|h| !h.is_finished());
+        let sh = Arc::clone(shared);
+        let sd = Arc::clone(shard);
+        handlers.push(std::thread::spawn(move || {
+            handle_connection(&sh, &sd, stream, peer);
+        }));
+    }
+    for h in handlers {
+        let _ = h.join();
     }
 }
 
@@ -243,9 +366,13 @@ impl ServerHandle {
         self.shared.request_shutdown();
     }
 
-    /// Snapshot of the aggregated serving stats.
+    /// Snapshot of the aggregated serving stats (merged across shards).
     pub fn stats(&self) -> ServeStats {
-        self.shared.stats.lock().expect("stats lock").clone()
+        let mut total = ServeStats::default();
+        for shard in &self.shared.shards {
+            total.merge(&lock(&shard.stats));
+        }
+        total
     }
 
     /// Number of sessions currently being served.
@@ -282,27 +409,29 @@ impl Drop for RegistryGuard<'_> {
     }
 }
 
-fn handle_connection(shared: &Shared, stream: TcpStream, peer: SocketAddr) {
-    shared.stats.lock().expect("stats lock").open_session();
-    match serve_session(shared, stream, peer) {
-        Ok(()) => shared.stats.lock().expect("stats lock").complete_session(),
+fn handle_connection(shared: &Shared, shard: &Shard, stream: TcpStream, peer: SocketAddr) {
+    lock(&shard.stats).open_session();
+    match serve_session(shared, shard, stream, peer) {
+        Ok(()) => lock(&shard.stats).complete_session(),
         Err(e) => {
-            shared.stats.lock().expect("stats lock").fail_session();
+            lock(&shard.stats).fail_session();
             eprintln!("serve: session from {peer} failed: {e}");
         }
     }
-    if let Some(max) = shared.max_sessions {
-        let finished = {
-            let st = shared.stats.lock().expect("stats lock");
-            st.sessions_completed + st.sessions_failed
-        };
-        if finished >= max {
-            shared.request_shutdown();
-        }
+    // The max_sessions count must be global across shards, so it rides a
+    // shared atomic rather than any shard's accumulator.
+    let finished = shared.finished_sessions.fetch_add(1, Ordering::SeqCst) + 1;
+    if shared.max_sessions.is_some_and(|max| finished >= max) {
+        shared.request_shutdown();
     }
 }
 
-fn serve_session(shared: &Shared, stream: TcpStream, peer: SocketAddr) -> Result<(), ServeError> {
+fn serve_session(
+    shared: &Shared,
+    shard: &Shard,
+    stream: TcpStream,
+    peer: SocketAddr,
+) -> Result<(), ServeError> {
     // A wedged client must not pin this handler (and the eventual
     // graceful drain) forever.
     stream.set_read_timeout(shared.idle_timeout)?;
@@ -348,11 +477,7 @@ fn serve_session(shared: &Shared, stream: TcpStream, peer: SocketAddr) -> Result
     let pre = shared.pool.take_base();
     let t_setup = Instant::now();
     let mut setup = session.setup_with(&mut chan, pre, epoch)?;
-    shared
-        .stats
-        .lock()
-        .expect("stats lock")
-        .record_setup(t_setup.elapsed().as_secs_f64(), setup.base_ot_bytes());
+    lock(&shard.stats).record_setup(t_setup.elapsed().as_secs_f64(), setup.base_ot_bytes());
 
     // Request loop: every inference is online-only.
     loop {
@@ -385,11 +510,35 @@ fn serve_session(shared: &Shared, stream: TcpStream, peer: SocketAddr) -> Result
         chan.send_u64(out.label as u64)?;
         chan.flush()?;
         shared.registry.note_request(sid);
-        shared.stats.lock().expect("stats lock").record_request(
+        lock(&shard.stats).record_request(
             &model_name,
             t_online.elapsed().as_secs_f64(),
             out.wire,
             out.peak_material_bytes,
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_affinity_ignores_the_port_and_covers_every_shard() {
+        // Affinity keys on the IP: reconnects from new ephemeral ports
+        // land on the same shard…
+        let a: SocketAddr = "10.1.2.3:1111".parse().unwrap();
+        let b: SocketAddr = "10.1.2.3:2222".parse().unwrap();
+        for shards in [1usize, 2, 4, 7] {
+            assert_eq!(shard_index(&a, shards), shard_index(&b, shards));
+            assert!(shard_index(&a, shards) < shards);
+        }
+        // …while a population of client IPs spreads across all shards.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..=255u8 {
+            let addr: SocketAddr = format!("10.0.0.{i}:443").parse().unwrap();
+            seen.insert(shard_index(&addr, 4));
+        }
+        assert_eq!(seen.len(), 4, "256 IPs must reach all 4 shards");
     }
 }

@@ -79,6 +79,25 @@ impl ServeStats {
         *self.per_model.entry(model.to_string()).or_insert(0) += 1;
     }
 
+    /// Folds another stats accumulator into this one — how the sharded
+    /// server combines per-shard counters into the totals it reports.
+    /// Sums and per-model counts add; `peak_material_bytes` is a max.
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.sessions_opened += other.sessions_opened;
+        self.sessions_completed += other.sessions_completed;
+        self.sessions_failed += other.sessions_failed;
+        self.requests += other.requests;
+        self.wire += other.wire;
+        self.setup_bytes += other.setup_bytes;
+        self.setups += other.setups;
+        self.online_s += other.online_s;
+        self.setup_s += other.setup_s;
+        self.peak_material_bytes = self.peak_material_bytes.max(other.peak_material_bytes);
+        for (model, n) in &other.per_model {
+            *self.per_model.entry(model.clone()).or_insert(0) += n;
+        }
+    }
+
     /// Mean online latency per request, seconds (0 with no requests).
     pub fn mean_online_s(&self) -> f64 {
         if self.requests == 0 {
@@ -164,5 +183,50 @@ mod tests {
         assert!(text.contains("2 total"), "{text}");
         assert!(text.contains("tiny_mlp: 2 requests"), "{text}");
         assert!(text.contains("peak tables  640 B"), "{text}");
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_peaks() {
+        let mut a = ServeStats::default();
+        a.open_session();
+        a.record_setup(0.25, 500);
+        a.record_request(
+            "tiny_mlp",
+            0.1,
+            WireBreakdown {
+                tables: 40,
+                ..WireBreakdown::default()
+            },
+            100,
+        );
+        a.complete_session();
+        let mut b = ServeStats::default();
+        b.open_session();
+        b.fail_session();
+        b.record_request(
+            "mnist_mlp",
+            0.3,
+            WireBreakdown {
+                tables: 60,
+                ..WireBreakdown::default()
+            },
+            900,
+        );
+        a.merge(&b);
+        assert_eq!(a.sessions_opened, 2);
+        assert_eq!(a.sessions_completed, 1);
+        assert_eq!(a.sessions_failed, 1);
+        assert_eq!(a.requests, 2);
+        assert_eq!(a.wire.tables, 100);
+        assert_eq!(a.setup_bytes, 500);
+        assert_eq!(a.peak_material_bytes, 900, "peak merges as a max");
+        assert!((a.online_s - 0.4).abs() < 1e-12);
+        assert_eq!(a.per_model["tiny_mlp"], 1);
+        assert_eq!(a.per_model["mnist_mlp"], 1);
+        // Merging an empty accumulator is the identity.
+        let snapshot = a.clone();
+        a.merge(&ServeStats::default());
+        assert_eq!(a.requests, snapshot.requests);
+        assert_eq!(a.wire, snapshot.wire);
     }
 }

@@ -195,6 +195,112 @@ fn chunk_streamed_serving_is_wire_identical_and_chunk_resident() {
 }
 
 #[test]
+fn sharded_server_serves_concurrent_clients_and_merges_shard_stats() {
+    // threads: 3 → three accept-loop shards, three pool fill workers, and
+    // 3-wide garbling/modexp pools inside every session. Results must be
+    // indistinguishable from the single-shard server's: same labels, same
+    // per-phase wire bytes, and totals that merge cleanly across shards.
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        models: vec!["tiny_mlp".to_string()],
+        pool_target: 1,
+        seed: 19,
+        threads: 3,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run());
+    let addr = handle.local_addr().to_string();
+    let model = Arc::new(ClientModel::load("tiny_mlp").expect("model"));
+    const CLIENTS: usize = 3;
+
+    let cfg = demo::inference_config();
+    let replay = run_compiled(
+        Arc::clone(&model.demo.compiled),
+        vec![model
+            .demo
+            .compiled
+            .input_bits(&model.demo.dataset.inputs[0])],
+        vec![model.weight_bits.clone()],
+        &cfg,
+    )
+    .expect("replay");
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|tid| {
+            let model = Arc::clone(&model);
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let mut client =
+                    ServeClient::connect(&addr, &model, 900 + tid as u64, Duration::from_secs(10))
+                        .expect("connect");
+                let out = client.query(tid).expect("query");
+                client.finish().expect("finish");
+                (tid, out)
+            })
+        })
+        .collect();
+    for w in workers {
+        let (tid, out) = w.join().unwrap();
+        let oracle = plain_label(
+            &model.demo.compiled,
+            &model.demo.net,
+            &model.demo.dataset.inputs[tid],
+        );
+        assert_eq!(out.label, oracle, "sample {tid} label diverged");
+        assert_eq!(out.wire.tables, replay.wire.tables);
+        assert_eq!(out.wire.ot_ext, replay.wire.ot_ext);
+    }
+
+    // Live stats merge across shards while the server still runs…
+    let live = handle.stats();
+    assert_eq!(live.sessions_completed, CLIENTS as u64);
+    handle.shutdown();
+    // …and the final merged totals match a single-accumulator world.
+    let stats = join.join().unwrap();
+    assert_eq!(stats.sessions_opened, CLIENTS as u64);
+    assert_eq!(stats.sessions_completed, CLIENTS as u64);
+    assert_eq!(stats.sessions_failed, 0);
+    assert_eq!(stats.requests, CLIENTS as u64);
+    assert_eq!(stats.per_model["tiny_mlp"], CLIENTS as u64);
+    assert_eq!(stats.wire.tables, replay.wire.tables * CLIENTS as u64);
+    assert_eq!(stats.setup_bytes, replay.wire.base_ot * CLIENTS as u64);
+    assert_eq!(handle.active_sessions(), 0, "registry must drain");
+}
+
+#[test]
+fn sharded_max_sessions_auto_shutdown_counts_across_shards() {
+    // max_sessions rides a global atomic, not any shard's accumulator:
+    // two sessions against a 2-shard server must shut the server down by
+    // themselves.
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        models: vec!["tiny_mlp".to_string()],
+        pool_target: 1,
+        seed: 29,
+        threads: 2,
+        max_sessions: Some(2),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run());
+    let addr = handle.local_addr().to_string();
+    let model = ClientModel::load("tiny_mlp").expect("model");
+    for seed in [1u64, 2] {
+        let mut client =
+            ServeClient::connect(&addr, &model, seed, Duration::from_secs(10)).expect("connect");
+        let _ = client.query(0).expect("query");
+        client.finish().expect("finish");
+    }
+    // No handle.shutdown(): the session count alone must end the run.
+    let stats = join.join().unwrap();
+    assert_eq!(stats.sessions_completed, 2);
+    assert_eq!(stats.requests, 2);
+}
+
+#[test]
 fn mid_handshake_disconnects_leave_the_server_serving_others() {
     let (handle, join) = start_server(1);
     let addr = handle.local_addr().to_string();

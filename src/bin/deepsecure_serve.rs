@@ -18,7 +18,7 @@ use deepsecure::serve::server::{ServeConfig, Server};
 const USAGE: &str = "\
 usage:
   deepsecure_serve --listen HOST:PORT [--models NAME[,NAME…]] [--pool N]
-                   [--chunk-gates N] [--sessions N] [--seed S]
+                   [--chunk-gates N] [--sessions N] [--seed S] [--threads N]
 
   --listen       address to serve on (port 0 picks an ephemeral port)
   --models       comma-separated zoo models to host (default tiny_mlp;
@@ -33,6 +33,10 @@ usage:
   --sessions     exit gracefully after N sessions have finished
                  (default: serve forever)
   --seed         pool randomness seed (default 7)
+  --threads      accept-loop shards, pool fill workers, and per-session
+                 garbling/modexp pool width (0 = one per core; default
+                 from DEEPSECURE_THREADS, else 1). A pure perf knob:
+                 wire bytes are identical at any width.
 
 Each model is trained and compiled deterministically at startup; clients
 must present the same circuit fingerprint in their handshake.";
@@ -90,6 +94,12 @@ fn parse(args: &[String]) -> Result<ServeConfig, String> {
                     .parse()
                     .map_err(|_| format!("--seed takes a number, got {v:?}"))?;
             }
+            "--threads" => {
+                let v = value("--threads")?;
+                config.threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads takes a count (0 = auto), got {v:?}"))?;
+            }
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
@@ -107,9 +117,14 @@ fn run(args: &[String]) -> Result<(), String> {
     );
     let server = Server::bind(&config).map_err(|e| e.to_string())?;
     eprintln!(
-        "serve: listening on {} (pool target {} per queue{}{})",
+        "serve: listening on {} (pool target {} per queue{}{}{})",
         server.local_addr(),
         config.pool_target,
+        match config.threads {
+            0 => ", one shard per core".to_string(),
+            1 => String::new(),
+            n => format!(", {n} shards"),
+        },
         if config.chunk_gates > 0 {
             format!(", streaming chunks of {} gates", config.chunk_gates)
         } else {

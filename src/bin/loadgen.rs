@@ -22,7 +22,7 @@ use deepsecure::serve::demo;
 const USAGE: &str = "\
 usage:
   loadgen --connect HOST:PORT [--model NAME] [--clients K] [--requests R]
-          [--check] [--seed S]
+          [--check] [--seed S] [--threads N]
 
   --connect   the deepsecure_serve address
   --model     zoo model to query (default tiny_mlp)
@@ -30,7 +30,9 @@ usage:
   --requests  requests per client on one connection (default 2)
   --check     replay each queried sample in-memory and fail on any label
               or wire-byte divergence
-  --seed      base OT-randomness seed, varied per client (default 1000)";
+  --seed      base OT-randomness seed, varied per client (default 1000)
+  --threads   evaluator-side worker threads per client (0 = one per
+              core; default from DEEPSECURE_THREADS, else 1)";
 
 struct Cli {
     addr: String,
@@ -39,6 +41,7 @@ struct Cli {
     requests: usize,
     check: bool,
     seed: u64,
+    threads: usize,
 }
 
 fn parse(args: &[String]) -> Result<Cli, String> {
@@ -49,6 +52,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         requests: 2,
         check: false,
         seed: 1000,
+        threads: deepsecure::serve::demo::inference_config().threads,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -82,6 +86,12 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 cli.seed = v
                     .parse()
                     .map_err(|_| format!("--seed takes a number, got {v:?}"))?;
+            }
+            "--threads" => {
+                let v = value("--threads")?;
+                cli.threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads takes a count (0 = auto), got {v:?}"))?;
             }
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
@@ -135,10 +145,17 @@ fn run(args: &[String]) -> Result<(), String> {
             let addr = cli.addr.clone();
             let requests = cli.requests;
             let seed = cli.seed + tid as u64;
+            let threads = cli.threads;
             std::thread::spawn(move || -> Result<ClientRun, String> {
                 let t0 = Instant::now();
-                let mut client = ServeClient::connect(&addr, &model, seed, Duration::from_secs(15))
-                    .map_err(|e| format!("client {tid}: connect: {e}"))?;
+                let mut client = ServeClient::connect_with_threads(
+                    &addr,
+                    &model,
+                    seed,
+                    Duration::from_secs(15),
+                    threads,
+                )
+                .map_err(|e| format!("client {tid}: connect: {e}"))?;
                 let offline_s = client.offline_s;
                 let setup_bytes = client.setup_bytes();
                 let mut queries = Vec::with_capacity(requests);
@@ -168,12 +185,13 @@ fn run(args: &[String]) -> Result<(), String> {
     let wall_s = wall.elapsed().as_secs_f64();
 
     let n_requests = (cli.clients * cli.requests) as f64;
-    let online: Vec<f64> = runs
+    let mut online: Vec<f64> = runs
         .iter()
         .flat_map(|r| r.queries.iter().map(|(_, o)| o.online_s))
         .collect();
+    online.sort_by(|a, b| a.total_cmp(b));
     let online_mean = online.iter().sum::<f64>() / n_requests;
-    let online_max = online.iter().cloned().fold(0.0f64, f64::max);
+    let online_max = online.last().copied().unwrap_or(0.0);
     let offline_mean = runs.iter().map(|r| r.offline_s).sum::<f64>() / cli.clients as f64;
     let total_mean = runs.iter().map(|r| r.total_s).sum::<f64>() / cli.clients as f64;
     let peak_resident = runs
@@ -195,7 +213,13 @@ fn run(args: &[String]) -> Result<(), String> {
          (of {tables_per_request} B streamed)"
     );
     println!("  per-session offline (connect + handshake + base OT)  mean {offline_mean:.3} s");
-    println!("  per-request online (OT ext + tables + eval)          mean {online_mean:.3} s  max {online_max:.3} s");
+    println!(
+        "  per-request online (OT ext + tables + eval)          mean {online_mean:.3} s  \
+         p50 {:.3} s  p95 {:.3} s  p99 {:.3} s  max {online_max:.3} s",
+        percentile(&online, 50.0),
+        percentile(&online, 95.0),
+        percentile(&online, 99.0),
+    );
     println!(
         "  session end-to-end                                   mean {total_mean:.3} s ({:.0}% spent online)",
         100.0 * (cli.requests as f64 * online_mean) / total_mean
@@ -205,6 +229,18 @@ fn run(args: &[String]) -> Result<(), String> {
         check(&model, &runs)?;
     }
     Ok(())
+}
+
+/// Nearest-rank percentile of an ascending-sorted latency sample:
+/// the smallest value with at least `p`% of the sample at or below it.
+/// With few requests the tail percentiles all collapse onto the max —
+/// honest, if not very informative, for tiny runs.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Replays every queried sample in-memory and asserts labels and wire

@@ -27,13 +27,19 @@ use deepsecure::serve::demo::{self, DemoModel};
 
 const USAGE: &str = "\
 usage:
-  two_party evaluator --listen HOST:PORT [--model NAME]
+  two_party evaluator --listen HOST:PORT [--model NAME] [--threads N]
   two_party garbler --connect HOST:PORT [--model NAME] [--input N]
-                    [--chunk-gates N] [--check]
+                    [--chunk-gates N] [--threads N] [--check]
 
 models: tiny_mlp (default), tiny_cnn, mnist_mlp
 
 The evaluator serves exactly one inference, then exits.
+
+--threads N parallelises garbling, evaluation, and base-OT modexps
+across N worker threads (0 = one per core; default from
+DEEPSECURE_THREADS, else 1). A pure perf knob each process picks for
+itself: every width moves bit-identical wire bytes, so the parties
+need not agree and --check passes at any combination.
 
 --chunk-gates N streams the garbled tables in chunks of N non-free gates
 (garble a chunk, send a chunk): garbling, transfer, and evaluation
@@ -70,6 +76,7 @@ struct Cli {
     model: String,
     input: usize,
     chunk_gates: usize,
+    threads: usize,
     check: bool,
 }
 
@@ -85,6 +92,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         model: "tiny_mlp".to_string(),
         input: 0,
         chunk_gates: 0,
+        threads: demo::inference_config().threads,
         check: false,
     };
     let addr_flag = if role == "garbler" {
@@ -113,6 +121,12 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 cli.chunk_gates = v
                     .parse()
                     .map_err(|_| format!("--chunk-gates takes a non-free gate count, got {v:?}"))?;
+            }
+            "--threads" => {
+                let v = value("--threads")?;
+                cli.threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads takes a count (0 = auto), got {v:?}"))?;
             }
             "--check" if role == "garbler" => cli.check = true,
             other => return Err(format!("unknown flag {other:?} for {role}\n{USAGE}")),
@@ -147,6 +161,7 @@ fn run(args: &[String]) -> Result<(), String> {
 fn run_garbler(cli: &Cli, model: &DemoModel) -> Result<(), String> {
     let cfg = InferenceConfig {
         chunk_gates: cli.chunk_gates,
+        threads: cli.threads,
         ..demo::inference_config()
     };
     let compiled = Arc::clone(&model.compiled);
@@ -332,6 +347,7 @@ fn run_evaluator(cli: &Cli, model: &DemoModel) -> Result<(), String> {
 
     let cfg = InferenceConfig {
         chunk_gates,
+        threads: cli.threads,
         ..demo::inference_config()
     };
     let weight_bits = compiled.weight_bits(&model.net);

@@ -1,0 +1,391 @@
+//! Minimal work-stealing thread pool on std sync primitives, in safe Rust.
+//!
+//! Vendored subset in the spirit of rayon's scoped parallelism, sized for
+//! this workspace: the only primitive is [`ThreadPool::waves`], which runs a
+//! sequence of *waves* (dependency levels) over one `std::thread::scope`.
+//! Within a wave, index ranges are dealt round-robin into per-worker deques;
+//! owners pop from the back (LIFO, cache-warm) while thieves steal from the
+//! front (FIFO, large-chunks-first) — the crossbeam deque discipline, here
+//! built on `Mutex<VecDeque>` because `unsafe` is forbidden workspace-wide.
+//! Two barriers fence each wave: workers compute strictly between them, and
+//! the caller runs the `reduce` writeback alone outside them, so reductions
+//! need no synchronisation and results can be committed in deterministic
+//! order regardless of which worker computed what.
+//!
+//! A pool of one worker runs everything inline on the caller with zero
+//! locking or thread spawns, so sequential callers pay nothing.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard};
+
+/// Lock that shrugs off poisoning: every structure guarded in this crate is
+/// plain data (deques of ranges, result vectors), valid at every store, so a
+/// panicking peer cannot leave it mid-update in a harmful way.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Reads a worker count from an environment variable.
+///
+/// Returns `None` when the variable is unset or unparsable; `0` means
+/// "auto" and resolves to the host's available parallelism.
+pub fn threads_from_env(var: &str) -> Option<usize> {
+    let raw = std::env::var(var).ok()?;
+    let n: usize = raw.trim().parse().ok()?;
+    Some(if n == 0 { auto_threads() } else { n })
+}
+
+/// The host's available parallelism (1 if it cannot be determined).
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A fixed-width scoped thread pool.
+///
+/// Holds no threads while idle — `waves`/`map` spawn `workers - 1` scoped
+/// threads per call (the caller participates as worker 0) and join them
+/// before returning, which keeps every closure borrow-friendly under
+/// `forbid(unsafe_code)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThreadPool {
+    workers: usize,
+}
+
+impl ThreadPool {
+    /// A pool of `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The single-threaded pool: every operation runs inline.
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// Pool sized from `var` (see [`threads_from_env`]), else 1 worker.
+    pub fn from_env(var: &str) -> Self {
+        Self::new(threads_from_env(var).unwrap_or(1))
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Whether work will actually fan out to more than one thread.
+    pub fn is_parallel(&self) -> bool {
+        self.workers > 1
+    }
+
+    /// Runs `n_waves` dependency levels, each a bag of `tasks_in(wave)`
+    /// independent tasks indexed `0..n`.
+    ///
+    /// `compute(wave, range)` evaluates a contiguous task range and may run
+    /// on any worker; `reduce(wave, parts)` receives every range's result
+    /// for the wave, sorted by range start, and runs exclusively on the
+    /// caller thread after all of the wave's computes have finished — the
+    /// next wave's tasks may depend on state `reduce` writes. `min_grain`
+    /// bounds how finely a wave is split (at least that many tasks per
+    /// range, except the last).
+    ///
+    /// A panic in `compute` aborts remaining work and resurfaces on the
+    /// caller once in-flight tasks drain.
+    pub fn waves<R, T, C, D>(
+        &self,
+        n_waves: usize,
+        min_grain: usize,
+        tasks_in: T,
+        compute: C,
+        mut reduce: D,
+    ) where
+        R: Send,
+        T: Fn(usize) -> usize,
+        C: Fn(usize, Range<usize>) -> R + Sync,
+        D: FnMut(usize, Vec<(usize, R)>),
+    {
+        if self.workers == 1 {
+            for wave in 0..n_waves {
+                let n = tasks_in(wave);
+                let parts = if n == 0 {
+                    Vec::new()
+                } else {
+                    vec![(0, compute(wave, 0..n))]
+                };
+                reduce(wave, parts);
+            }
+            return;
+        }
+        if n_waves == 0 {
+            return;
+        }
+
+        let nw = self.workers;
+        let queues: Vec<Mutex<VecDeque<Range<usize>>>> =
+            (0..nw).map(|_| Mutex::new(VecDeque::new())).collect();
+        let results: Vec<Mutex<Vec<(usize, R)>>> =
+            (0..nw).map(|_| Mutex::new(Vec::new())).collect();
+        let barrier = Barrier::new(nw);
+        let abort = AtomicBool::new(false);
+        let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+        std::thread::scope(|s| {
+            for id in 1..nw {
+                let queues = &queues;
+                let results = &results;
+                let barrier = &barrier;
+                let abort = &abort;
+                let panic_payload = &panic_payload;
+                let compute = &compute;
+                s.spawn(move || {
+                    for wave in 0..n_waves {
+                        barrier.wait(); // wave's tasks are published
+                        if !abort.load(Ordering::Acquire) {
+                            run_worker(
+                                id,
+                                wave,
+                                queues,
+                                &results[id],
+                                compute,
+                                abort,
+                                panic_payload,
+                            );
+                        }
+                        barrier.wait(); // wave's computes are done
+                    }
+                });
+            }
+            for wave in 0..n_waves {
+                if !abort.load(Ordering::Acquire) {
+                    let n = tasks_in(wave);
+                    let grain = (n.div_ceil(nw * 4)).max(min_grain).max(1);
+                    let mut start = 0;
+                    let mut q = 0;
+                    while start < n {
+                        let end = (start + grain).min(n);
+                        lock(&queues[q % nw]).push_back(start..end);
+                        q += 1;
+                        start = end;
+                    }
+                }
+                barrier.wait(); // publish
+                if !abort.load(Ordering::Acquire) {
+                    run_worker(
+                        0,
+                        wave,
+                        &queues,
+                        &results[0],
+                        &compute,
+                        &abort,
+                        &panic_payload,
+                    );
+                }
+                barrier.wait(); // drain
+                if !abort.load(Ordering::Acquire) {
+                    let mut parts = Vec::new();
+                    for slot in &results {
+                        parts.append(&mut lock(slot));
+                    }
+                    parts.sort_unstable_by_key(|(start, _)| *start);
+                    reduce(wave, parts);
+                }
+            }
+        });
+
+        let payload = lock(&panic_payload).take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Evaluates `f(0..n)` in parallel, returning results in index order.
+    pub fn map<R, F>(&self, n: usize, min_grain: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.workers == 1 {
+            return (0..n).map(f).collect();
+        }
+        let mut out = Vec::with_capacity(n);
+        self.waves(
+            1,
+            min_grain,
+            |_| n,
+            |_, range| range.map(&f).collect::<Vec<R>>(),
+            |_, parts| {
+                for (_, chunk) in parts {
+                    out.extend(chunk);
+                }
+            },
+        );
+        out
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+/// One worker's wave loop: drain the own deque back-to-front, then steal
+/// front-to-back from the neighbours, until the wave's bag is empty.
+fn run_worker<R, C>(
+    id: usize,
+    wave: usize,
+    queues: &[Mutex<VecDeque<Range<usize>>>],
+    results: &Mutex<Vec<(usize, R)>>,
+    compute: &C,
+    abort: &AtomicBool,
+    panic_payload: &Mutex<Option<Box<dyn std::any::Any + Send>>>,
+) where
+    R: Send,
+    C: Fn(usize, Range<usize>) -> R + Sync,
+{
+    while !abort.load(Ordering::Acquire) {
+        let task = take_task(queues, id);
+        let Some(range) = task else { break };
+        let start = range.start;
+        match catch_unwind(AssertUnwindSafe(|| compute(wave, range))) {
+            Ok(r) => lock(results).push((start, r)),
+            Err(payload) => {
+                let mut slot = lock(panic_payload);
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                abort.store(true, Ordering::Release);
+                break;
+            }
+        }
+    }
+}
+
+fn take_task(queues: &[Mutex<VecDeque<Range<usize>>>], id: usize) -> Option<Range<usize>> {
+    if let Some(range) = lock(&queues[id]).pop_back() {
+        return Some(range);
+    }
+    let n = queues.len();
+    for offset in 1..n {
+        if let Some(range) = lock(&queues[(id + offset) % n]).pop_front() {
+            return Some(range);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn map_preserves_index_order() {
+        for workers in [1, 2, 3, 7] {
+            let pool = ThreadPool::new(workers);
+            let out = pool.map(100, 1, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_tiny_inputs() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.map(0, 1, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.map(1, 64, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn waves_reduce_runs_between_levels() {
+        // Each wave doubles every element; computes read the shared state,
+        // the caller-side reduce writes it — the barrier discipline makes
+        // this race-free.
+        for workers in [1, 2, 7] {
+            let pool = ThreadPool::new(workers);
+            let state = std::sync::RwLock::new(vec![1u64; 37]);
+            pool.waves(
+                5,
+                1,
+                |_| 37,
+                |_, range| {
+                    let s = state.read().unwrap();
+                    range.map(|i| s[i] * 2).collect::<Vec<_>>()
+                },
+                |_, parts| {
+                    let mut s = state.write().unwrap();
+                    for (start, vals) in parts {
+                        for (k, v) in vals.into_iter().enumerate() {
+                            s[start + k] = v;
+                        }
+                    }
+                },
+            );
+            assert_eq!(state.into_inner().unwrap(), vec![32u64; 37]);
+        }
+    }
+
+    #[test]
+    fn waves_with_empty_waves_and_varying_sizes() {
+        let pool = ThreadPool::new(3);
+        let sizes = [0usize, 5, 0, 13, 1];
+        let mut seen = Vec::new();
+        pool.waves(
+            sizes.len(),
+            1,
+            |w| sizes[w],
+            |w, range| (w, range.len()),
+            |w, parts| {
+                let total: usize = parts
+                    .iter()
+                    .map(|(_, (pw, len))| {
+                        assert_eq!(*pw, w);
+                        len
+                    })
+                    .sum();
+                seen.push(total);
+            },
+        );
+        assert_eq!(seen, sizes);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let pool = ThreadPool::new(7);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.map(1000, 1, |i| hits[i].fetch_add(1, Ordering::Relaxed));
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn compute_panic_propagates_to_caller() {
+        for workers in [2, 4] {
+            let pool = ThreadPool::new(workers);
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                pool.map(64, 1, |i| {
+                    if i == 33 {
+                        panic!("boom from task");
+                    }
+                    i
+                });
+            }));
+            assert!(caught.is_err(), "panic must resurface at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn env_parsing() {
+        assert_eq!(threads_from_env("WORKPOOL_TEST_UNSET_VAR"), None);
+        std::env::set_var("WORKPOOL_TEST_VAR", "6");
+        assert_eq!(threads_from_env("WORKPOOL_TEST_VAR"), Some(6));
+        std::env::set_var("WORKPOOL_TEST_VAR", "0");
+        assert_eq!(threads_from_env("WORKPOOL_TEST_VAR"), Some(auto_threads()));
+        std::env::set_var("WORKPOOL_TEST_VAR", "banana");
+        assert_eq!(threads_from_env("WORKPOOL_TEST_VAR"), None);
+        std::env::remove_var("WORKPOOL_TEST_VAR");
+    }
+}
