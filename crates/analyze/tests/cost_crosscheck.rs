@@ -1,0 +1,132 @@
+//! The analyzer's cost predictions cross-checked against the *measured*
+//! protocol: the static numbers must match what the garbler and the live
+//! two-party run actually produce, bit for bit. This is what keeps
+//! `deepsecure-analyze` from drifting away from the runtime it models.
+
+use std::sync::Arc;
+
+use deepsecure_analyze::cost::{cost, TABLE_BYTES_PER_NONFREE_GATE};
+use deepsecure_circuit::{Builder, Circuit};
+use deepsecure_core::protocol::{run_circuit, run_compiled, InferenceConfig};
+use deepsecure_core::session::GarbledMaterial;
+use deepsecure_serve::demo;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A combinational circuit with `nonfree` AND gates in a chain — wide
+/// enough that a 1024-gate chunk is a real streaming window, small enough
+/// for a debug-mode protocol run.
+fn chain_circuit(nonfree: usize) -> Circuit {
+    let mut b = Builder::new();
+    let xs = b.garbler_inputs(8);
+    let ys = b.evaluator_inputs(8);
+    let mut acc = b.xor(xs[0], ys[0]);
+    for i in 0..nonfree {
+        // Every AND has a distinct `acc` operand, so the builder's CSE
+        // keeps all of them and the non-free count is exactly `nonfree`.
+        let t = b.and(acc, xs[i % 8]);
+        acc = b.xor(t, ys[i % 8]);
+    }
+    b.output(acc);
+    b.finish()
+}
+
+#[test]
+fn prediction_matches_live_protocol_at_chunk_0_and_1024() {
+    let c = chain_circuit(2500);
+    let report = cost(&c);
+    assert_eq!(report.non_free_gates, 2500);
+    assert_eq!(report.table_bytes, 2500 * TABLE_BYTES_PER_NONFREE_GATE);
+
+    let g_bits = vec![true; 8];
+    let e_bits = vec![false; 8];
+    for chunk_gates in [0usize, 1024] {
+        let cfg = InferenceConfig {
+            chunk_gates,
+            ..InferenceConfig::default()
+        };
+        let (_, run) = run_circuit(&c, &g_bits, &e_bits, &cfg).expect("protocol run");
+        // Wire tables and the high-water mark of resident table bytes must
+        // equal the static prediction exactly — buffered holds the whole
+        // stream, streamed holds one 1024-gate chunk.
+        assert_eq!(
+            run.material_bytes, report.table_bytes,
+            "chunk {chunk_gates}"
+        );
+        assert_eq!(run.wire.tables, report.table_bytes, "chunk {chunk_gates}");
+        assert_eq!(
+            run.peak_material_bytes,
+            report.peak_resident_table_bytes(chunk_gates),
+            "chunk {chunk_gates}"
+        );
+    }
+    assert_eq!(report.peak_resident_table_bytes(0), 2500 * 32);
+    assert_eq!(report.peak_resident_table_bytes(1024), 1024 * 32);
+}
+
+#[test]
+fn prediction_matches_garbler_on_small_zoo_models() {
+    for name in ["tiny_mlp", "tiny_cnn"] {
+        let model = demo::load(name).expect("demo model");
+        let c = &model.compiled.circuit;
+        let report = cost(c);
+
+        // The garbler's own static count agrees...
+        assert_eq!(
+            report.non_free_gates,
+            c.nonfree_gate_count() as u64,
+            "{name}"
+        );
+        assert_eq!(report.non_free_gates, c.stats().non_xor, "{name}");
+
+        // ...and so does the material it actually produces: 2 ciphertexts
+        // of 16 bytes per non-free gate, for every cycle garbled.
+        let mut rng = StdRng::seed_from_u64(7);
+        let cycles = 2usize;
+        let material = GarbledMaterial::garble(&model.compiled, cycles, &mut rng);
+        assert_eq!(
+            material.table_bytes(),
+            report.table_bytes * cycles as u64,
+            "{name}"
+        );
+        assert_eq!(
+            material.table_bytes(),
+            report.precomputed_client_resident_bytes(cycles as u64),
+            "{name}"
+        );
+    }
+}
+
+/// Full live two-party run over the MNIST-scale model at both chunk
+/// settings — minutes of work, so ignored by default; CI runs it release
+/// with `-- --ignored`.
+#[test]
+#[ignore = "trains and runs mnist_mlp; release-mode CI job covers it"]
+fn prediction_matches_live_protocol_on_mnist_mlp() {
+    let model = demo::load("mnist_mlp").expect("demo model");
+    let report = cost(&model.compiled.circuit);
+    let g_bits = model.compiled.input_bits(&model.dataset.inputs[0]);
+    let e_bits = model.compiled.weight_bits(&model.net);
+    for chunk_gates in [0usize, 1024] {
+        let cfg = InferenceConfig {
+            chunk_gates,
+            ..demo::inference_config()
+        };
+        let run = run_compiled(
+            Arc::clone(&model.compiled),
+            vec![g_bits.clone()],
+            vec![e_bits.clone()],
+            &cfg,
+        )
+        .expect("protocol run");
+        assert_eq!(
+            run.material_bytes, report.table_bytes,
+            "chunk {chunk_gates}"
+        );
+        assert_eq!(
+            run.peak_material_bytes,
+            report.peak_resident_table_bytes(chunk_gates),
+            "chunk {chunk_gates}"
+        );
+    }
+}

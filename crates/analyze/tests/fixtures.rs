@@ -1,0 +1,20 @@
+//! The checked-in corrupt-netlist fixtures fail with their documented
+//! codes — the same files the CI `lint-analyze` job feeds to
+//! `circuit_lint --netlist`.
+
+use deepsecure_analyze::{analyze, DiagCode};
+use deepsecure_circuit::netlist;
+
+#[test]
+fn use_before_def_fixture_fails_with_ds_e04() {
+    let text = include_str!("../fixtures/use_before_def.netlist");
+    // The strict parser refuses it outright...
+    let strict = netlist::parse(text).expect_err("fixture must not validate");
+    assert!(strict.to_string().contains("DS-E04"), "{strict}");
+    // ...while the raw parse + analyzer pins the exact code and location.
+    let circuit = netlist::parse_raw(text).expect("shape parses");
+    let a = analyze(&circuit);
+    assert!(a.cost.is_none(), "structural errors suppress cost");
+    assert_eq!(a.error_count(), 1);
+    assert_eq!(a.diagnostics[0].code, DiagCode::UseBeforeDef);
+}

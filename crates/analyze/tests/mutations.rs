@@ -1,0 +1,234 @@
+//! Property tests for the verifier: every circuit the [`Builder`] emits
+//! analyzes clean, and targeted mutations of a clean circuit (injected via
+//! [`Circuit::from_raw_parts`], bypassing validation) produce exactly the
+//! documented diagnostic codes.
+
+use deepsecure_analyze::{analyze, DiagCode, Severity};
+use deepsecure_circuit::{Builder, Circuit, Gate, GateKind, Wire};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+/// A random mixed-gate circuit (same shape family as the garble crate's
+/// simulator-equivalence tests): constants, unary and binary gates, a few
+/// outputs — everything the analyzer must accept without a murmur.
+fn random_circuit(seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Builder::new();
+    let ng = rng.gen_range(1..4);
+    let ne = rng.gen_range(1..4);
+    let mut pool: Vec<Wire> = b.garbler_inputs(ng);
+    pool.extend(b.evaluator_inputs(ne));
+    if rng.gen() {
+        pool.push(b.const1());
+    }
+    for _ in 0..rng.gen_range(8..60) {
+        let a = pool[rng.gen_range(0..pool.len())];
+        let c = pool[rng.gen_range(0..pool.len())];
+        let w = match rng.gen_range(0..8) {
+            0 => b.xor(a, c),
+            1 => b.and(a, c),
+            2 => b.or(a, c),
+            3 => b.xnor(a, c),
+            4 => b.nand(a, c),
+            5 => b.nor(a, c),
+            6 => b.mux(a, c, pool[rng.gen_range(0..pool.len())]),
+            _ => b.not(a),
+        };
+        pool.push(w);
+    }
+    // Output up to three *distinct, non-constant* wires — what a compiler
+    // front-end actually emits. Outputting the same wire twice or a wire
+    // the builder folded to a constant is legal but rightly flagged
+    // (DS-W04/DS-W05), so the clean-circuit property excludes it; inputs
+    // are always in the pool, so at least one candidate exists.
+    let mut outs: Vec<Wire> = Vec::new();
+    for _ in 0..16 {
+        let w = pool[rng.gen_range(0..pool.len())];
+        if w.index() >= 2 && !outs.contains(&w) {
+            outs.push(w);
+            if outs.len() == 3 {
+                break;
+            }
+        }
+    }
+    for w in outs {
+        b.output(w);
+    }
+    b.finish()
+}
+
+/// Rebuilds `c` through `from_raw_parts` with the gate list replaced.
+fn with_gates(c: &Circuit, gates: Vec<Gate>) -> Circuit {
+    Circuit::from_raw_parts(
+        c.wire_count() as u32,
+        c.garbler_inputs().to_vec(),
+        c.evaluator_inputs().to_vec(),
+        c.outputs().to_vec(),
+        gates,
+        c.registers().to_vec(),
+    )
+}
+
+/// First error-severity code reported for `c`, if any.
+fn first_error(c: &Circuit) -> Option<DiagCode> {
+    analyze(c)
+        .diagnostics
+        .iter()
+        .find(|d| d.severity() == Severity::Error)
+        .map(|d| d.code)
+}
+
+/// Index of some gate whose input is another gate's output (so moving it
+/// before its producer breaks topological order).
+fn gate_fed_by_gate(c: &Circuit) -> Option<(usize, usize)> {
+    c.gates().iter().enumerate().find_map(|(i, g)| {
+        c.gates()[..i]
+            .iter()
+            .position(|p| p.out == g.a || p.out == g.b)
+            .map(|p| (p, i))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Builder output is the analyzer's ground truth: no circuit the
+    // builder finishes may trip a single error *or* warning, and its
+    // validate() must agree.
+    #[test]
+    fn builder_circuits_analyze_clean(seed in any::<u64>()) {
+        let c = random_circuit(seed);
+        prop_assert_eq!(c.validate(), Ok(()));
+        let a = analyze(&c);
+        prop_assert!(a.is_clean(), "diagnostics: {:?}", a.diagnostics);
+        let cost = a.cost.unwrap();
+        prop_assert_eq!(cost.non_free_gates, c.stats().non_xor);
+        prop_assert_eq!(cost.table_bytes, 32 * c.stats().non_xor);
+    }
+
+    // Moving a consumer gate in front of its producer breaks topological
+    // order: DS-E04 (use before def), and validate() agrees on the code.
+    #[test]
+    fn shuffled_gate_order_is_use_before_def(seed in any::<u64>()) {
+        let c = random_circuit(seed);
+        prop_assume!(gate_fed_by_gate(&c).is_some());
+        let (producer, consumer) = gate_fed_by_gate(&c).unwrap();
+        let mut gates = c.gates().to_vec();
+        gates.swap(producer, consumer);
+        let bad = with_gates(&c, gates);
+        prop_assert_eq!(first_error(&bad), Some(DiagCode::UseBeforeDef));
+        prop_assert_eq!(bad.validate().unwrap_err().code, DiagCode::UseBeforeDef);
+    }
+
+    // Pointing a gate input past the wire table is DS-E03.
+    #[test]
+    fn dangling_input_wire_is_out_of_bounds(seed in any::<u64>()) {
+        let c = random_circuit(seed);
+        prop_assume!(!c.gates().is_empty());
+        let mut gates = c.gates().to_vec();
+        let i = (seed as usize) % gates.len();
+        gates[i].a = Wire(c.wire_count() as u32 + 7);
+        let bad = with_gates(&c, gates);
+        prop_assert_eq!(first_error(&bad), Some(DiagCode::InputOutOfBounds));
+        prop_assert_eq!(bad.validate().unwrap_err().code, DiagCode::InputOutOfBounds);
+    }
+
+    // A unary gate whose `b` differs from `a` violates the `b == a`
+    // encoding convention: DS-E08.
+    #[test]
+    fn unary_gate_with_two_inputs_is_an_arity_error(seed in any::<u64>()) {
+        let c = random_circuit(seed);
+        let not = c
+            .gates()
+            .iter()
+            .position(|g| !g.kind.is_binary());
+        prop_assume!(not.is_some());
+        let mut gates = c.gates().to_vec();
+        let i = not.unwrap();
+        // CONST_1 always exists and differs from any valid `a` choice the
+        // builder makes for a NOT (it folds constant inputs away).
+        gates[i].b = deepsecure_circuit::CONST_1;
+        prop_assume!(gates[i].b != gates[i].a);
+        let bad = with_gates(&c, gates);
+        prop_assert_eq!(first_error(&bad), Some(DiagCode::UnaryArity));
+        prop_assert_eq!(bad.validate().unwrap_err().code, DiagCode::UnaryArity);
+    }
+
+    // Re-computing an existing non-free gate onto a fresh wire is the CSE
+    // opportunity DS-W03 — a warning, not an error, and the analyzer must
+    // price the duplicate at one non-free gate (32 table bytes).
+    #[test]
+    fn duplicated_nonfree_gate_is_a_cse_warning(seed in any::<u64>()) {
+        let c = random_circuit(seed);
+        let dup = c.gates().iter().find(|g| !g.kind.is_free()).copied();
+        prop_assume!(dup.is_some());
+        let dup = dup.unwrap();
+        let fresh = Wire(c.wire_count() as u32);
+        let mut gates = c.gates().to_vec();
+        gates.push(Gate { out: fresh, ..dup });
+        let mut outputs = c.outputs().to_vec();
+        outputs.push(fresh); // keep the copy live so W01 stays out of the way
+        let bad = Circuit::from_raw_parts(
+            c.wire_count() as u32 + 1,
+            c.garbler_inputs().to_vec(),
+            c.evaluator_inputs().to_vec(),
+            outputs,
+            gates,
+            c.registers().to_vec(),
+        );
+        let a = analyze(&bad);
+        prop_assert_eq!(a.error_count(), 0);
+        prop_assert!(
+            a.diagnostics.iter().any(|d| d.code == DiagCode::DuplicateGate),
+            "diagnostics: {:?}",
+            a.diagnostics
+        );
+        let opp = a.opportunities.unwrap();
+        prop_assert_eq!(opp.duplicate.non_free_gates, 1);
+        prop_assert_eq!(opp.duplicate.table_bytes, 32);
+    }
+}
+
+#[test]
+fn swapped_commutative_inputs_still_count_as_duplicates() {
+    // The dup key normalizes commutative inputs, mirroring the builder's
+    // CSE: AND(x, y) duplicated as AND(y, x) must still be DS-W03.
+    let mut b = Builder::new();
+    let x = b.garbler_input();
+    let y = b.evaluator_input();
+    let z = b.and(x, y);
+    b.output(z);
+    let c = b.finish();
+    let and = *c
+        .gates()
+        .iter()
+        .find(|g| g.kind == GateKind::And)
+        .expect("the AND survives");
+    let fresh = Wire(c.wire_count() as u32);
+    let mut gates = c.gates().to_vec();
+    gates.push(Gate {
+        kind: GateKind::And,
+        a: and.b,
+        b: and.a,
+        out: fresh,
+    });
+    let mut outputs = c.outputs().to_vec();
+    outputs.push(fresh);
+    let bad = Circuit::from_raw_parts(
+        c.wire_count() as u32 + 1,
+        c.garbler_inputs().to_vec(),
+        c.evaluator_inputs().to_vec(),
+        outputs,
+        gates,
+        c.registers().to_vec(),
+    );
+    let a = analyze(&bad);
+    assert!(
+        a.diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::DuplicateGate),
+        "diagnostics: {:?}",
+        a.diagnostics
+    );
+}

@@ -1,0 +1,236 @@
+//! Structured diagnostics for circuit verification.
+//!
+//! Every invariant the protocol stack relies on — topological gate order,
+//! dense wire bounds, single drivers, unary fan-in — maps to a stable
+//! [`DiagCode`] so that tests, CI gates and the `circuit_lint` tool can
+//! assert on *which* violation occurred instead of string-matching prose.
+//! [`Circuit::validate`](crate::Circuit::validate) reports the first error;
+//! the `deepsecure-analyze` crate layers a full multi-diagnostic pass
+//! (including the `DS-W*` warnings below) on top of the same codes.
+
+use std::fmt;
+
+use crate::ir::Wire;
+
+/// How serious a diagnostic is.
+///
+/// Errors make a circuit unusable by the garbler/evaluator (they index out
+/// of bounds, double-drive wires or break topological order). Warnings flag
+/// inefficiencies — gates a [`crate::Builder`] replay would delete — that
+/// waste garbled-table bytes but do not affect correctness.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Severity {
+    /// Wasteful but semantically valid.
+    Warning,
+    /// Structurally invalid; the circuit must not be garbled.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable diagnostic codes (`DS-Exx` errors, `DS-Wxx` warnings).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DiagCode {
+    /// `DS-E01`: a source wire (input or register output) is out of bounds.
+    SourceOutOfBounds,
+    /// `DS-E02`: a source wire is declared twice (or collides with a
+    /// constant).
+    DuplicateSource,
+    /// `DS-E03`: a gate input wire is out of bounds (dangling wire).
+    InputOutOfBounds,
+    /// `DS-E04`: a gate reads a wire that no earlier gate or source drives —
+    /// the gate list is not in topological order.
+    UseBeforeDef,
+    /// `DS-E05`: a gate output wire is out of bounds.
+    OutputOutOfBounds,
+    /// `DS-E06`: a wire is driven by two gates (or a gate drives a source).
+    DuplicateDriver,
+    /// `DS-E07`: a circuit output or register data input is never driven.
+    UndrivenSink,
+    /// `DS-E08`: a unary gate (NOT/BUF) whose `b` input differs from `a`;
+    /// the IR convention is `b == a` so fan-in is unambiguous.
+    UnaryArity,
+    /// `DS-W01`: a gate whose output reaches no circuit output or register —
+    /// dead logic the garbler still pays for.
+    DeadGate,
+    /// `DS-W02`: a gate in a constant cone (its output is statically known,
+    /// or it reads a constant wire and reduces to a copy/complement).
+    ConstantFoldable,
+    /// `DS-W03`: a gate structurally identical to an earlier gate
+    /// (common-subexpression candidate, commutative inputs normalized).
+    DuplicateGate,
+    /// `DS-W04`: the same wire appears more than once in the output list.
+    DuplicateOutput,
+    /// `DS-W05`: a circuit output or register data input is tied directly to
+    /// a constant wire.
+    ConstantSink,
+}
+
+impl DiagCode {
+    /// The stable code string, e.g. `"DS-E04"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::SourceOutOfBounds => "DS-E01",
+            DiagCode::DuplicateSource => "DS-E02",
+            DiagCode::InputOutOfBounds => "DS-E03",
+            DiagCode::UseBeforeDef => "DS-E04",
+            DiagCode::OutputOutOfBounds => "DS-E05",
+            DiagCode::DuplicateDriver => "DS-E06",
+            DiagCode::UndrivenSink => "DS-E07",
+            DiagCode::UnaryArity => "DS-E08",
+            DiagCode::DeadGate => "DS-W01",
+            DiagCode::ConstantFoldable => "DS-W02",
+            DiagCode::DuplicateGate => "DS-W03",
+            DiagCode::DuplicateOutput => "DS-W04",
+            DiagCode::ConstantSink => "DS-W05",
+        }
+    }
+
+    /// The severity class the code belongs to.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagCode::SourceOutOfBounds
+            | DiagCode::DuplicateSource
+            | DiagCode::InputOutOfBounds
+            | DiagCode::UseBeforeDef
+            | DiagCode::OutputOutOfBounds
+            | DiagCode::DuplicateDriver
+            | DiagCode::UndrivenSink
+            | DiagCode::UnaryArity => Severity::Error,
+            DiagCode::DeadGate
+            | DiagCode::ConstantFoldable
+            | DiagCode::DuplicateGate
+            | DiagCode::DuplicateOutput
+            | DiagCode::ConstantSink => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where in the circuit a diagnostic points.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DiagLoc {
+    /// Index into [`crate::Circuit::gates`].
+    Gate(usize),
+    /// A source wire (input or register output).
+    Source(Wire),
+    /// Index into [`crate::Circuit::outputs`].
+    Output(usize),
+    /// Index into [`crate::Circuit::registers`] (its `d` sink).
+    Register(usize),
+}
+
+impl fmt::Display for DiagLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiagLoc::Gate(i) => write!(f, "gate {i}"),
+            DiagLoc::Source(w) => write!(f, "source {w:?}"),
+            DiagLoc::Output(i) => write!(f, "output {i}"),
+            DiagLoc::Register(i) => write!(f, "register {i}"),
+        }
+    }
+}
+
+/// One verification finding: a stable code, a location, and prose detail.
+///
+/// Renders as `DS-E04 error at gate 17: input w99 not yet driven`, so call
+/// sites that previously formatted the old `String` error keep working via
+/// [`fmt::Display`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Diagnostic {
+    /// Stable code identifying the violated invariant.
+    pub code: DiagCode,
+    /// Circuit location the finding points at.
+    pub loc: DiagLoc,
+    /// Human-readable detail (wire numbers, gate kinds).
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(code: DiagCode, loc: DiagLoc, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            loc,
+            message: message.into(),
+        }
+    }
+
+    /// Severity class, delegated to the code.
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} at {}: {}",
+            self.code,
+            self.severity(),
+            self.loc,
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_classified() {
+        let all = [
+            DiagCode::SourceOutOfBounds,
+            DiagCode::DuplicateSource,
+            DiagCode::InputOutOfBounds,
+            DiagCode::UseBeforeDef,
+            DiagCode::OutputOutOfBounds,
+            DiagCode::DuplicateDriver,
+            DiagCode::UndrivenSink,
+            DiagCode::UnaryArity,
+            DiagCode::DeadGate,
+            DiagCode::ConstantFoldable,
+            DiagCode::DuplicateGate,
+            DiagCode::DuplicateOutput,
+            DiagCode::ConstantSink,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for code in all {
+            assert!(seen.insert(code.as_str()), "duplicate code {code}");
+            match code.severity() {
+                Severity::Error => assert!(code.as_str().starts_with("DS-E")),
+                Severity::Warning => assert!(code.as_str().starts_with("DS-W")),
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        let d = Diagnostic::new(
+            DiagCode::UseBeforeDef,
+            DiagLoc::Gate(17),
+            "input w99 not yet driven",
+        );
+        assert_eq!(
+            d.to_string(),
+            "DS-E04 error at gate 17: input w99 not yet driven"
+        );
+        assert!(Severity::Warning < Severity::Error);
+    }
+}

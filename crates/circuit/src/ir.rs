@@ -1,5 +1,7 @@
 use std::fmt;
 
+use crate::diag::{DiagCode, DiagLoc, Diagnostic};
+
 /// A wire in a circuit, identified by a dense index.
 ///
 /// Wire 0 is the constant-false wire and wire 1 the constant-true wire in
@@ -214,6 +216,31 @@ pub struct Circuit {
 }
 
 impl Circuit {
+    /// Assembles a circuit from raw parts **without validating it**.
+    ///
+    /// Intended for netlist importers and analysis tooling (fuzzers, the
+    /// `deepsecure-analyze` verifier) that need to represent possibly-broken
+    /// circuits. Run [`Circuit::validate`] — or the full analyzer — before
+    /// handing the result to a garbler, evaluator or simulator; those
+    /// components assume the structural invariants hold.
+    pub fn from_raw_parts(
+        wire_count: u32,
+        garbler_inputs: Vec<Wire>,
+        evaluator_inputs: Vec<Wire>,
+        outputs: Vec<Wire>,
+        gates: Vec<Gate>,
+        registers: Vec<Register>,
+    ) -> Circuit {
+        Circuit {
+            wire_count,
+            garbler_inputs,
+            evaluator_inputs,
+            outputs,
+            gates,
+            registers,
+        }
+    }
+
     /// Total number of wires (including constants and dead wires).
     pub fn wire_count(&self) -> usize {
         self.wire_count as usize
@@ -294,14 +321,29 @@ impl Circuit {
     }
 
     /// Checks structural invariants: topological order, wire bounds, unique
-    /// gate outputs, and that sources are not driven.
+    /// gate outputs, unary fan-in (`b == a` for NOT/BUF), and that sources
+    /// are not driven.
+    ///
+    /// This is the cheap inline check used by [`crate::Builder`] and the
+    /// netlist parser; it stops at the first violation. The
+    /// `deepsecure-analyze` crate runs the same checks exhaustively and adds
+    /// efficiency warnings on top.
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first violation.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a structured [`Diagnostic`] (stable `DS-Exx` code, location,
+    /// detail) for the first violation; its [`fmt::Display`] is a one-line
+    /// human-readable description.
+    pub fn validate(&self) -> Result<(), Diagnostic> {
         let n = self.wire_count as usize;
-        let mut driven = vec![false; n];
+        let mut driven = vec![false; n.max(2)];
+        if CONST_1.index() >= n {
+            return Err(Diagnostic::new(
+                DiagCode::SourceOutOfBounds,
+                DiagLoc::Source(CONST_1),
+                format!("constant wires need wire_count >= 2, have {n}"),
+            ));
+        }
         driven[CONST_0.index()] = true;
         driven[CONST_1.index()] = true;
         for w in self
@@ -311,37 +353,82 @@ impl Circuit {
             .chain(self.registers.iter().map(|r| &r.q))
         {
             if w.index() >= n {
-                return Err(format!("source {w:?} out of bounds"));
+                return Err(Diagnostic::new(
+                    DiagCode::SourceOutOfBounds,
+                    DiagLoc::Source(*w),
+                    format!("source {w:?} out of bounds (wire_count {n})"),
+                ));
             }
             if driven[w.index()] {
-                return Err(format!("source {w:?} declared twice"));
+                return Err(Diagnostic::new(
+                    DiagCode::DuplicateSource,
+                    DiagLoc::Source(*w),
+                    format!("source {w:?} declared twice"),
+                ));
             }
             driven[w.index()] = true;
         }
         for (i, g) in self.gates.iter().enumerate() {
             for w in [g.a, g.b] {
                 if w.index() >= n {
-                    return Err(format!("gate {i}: input {w:?} out of bounds"));
+                    return Err(Diagnostic::new(
+                        DiagCode::InputOutOfBounds,
+                        DiagLoc::Gate(i),
+                        format!("input {w:?} out of bounds (wire_count {n})"),
+                    ));
                 }
                 if !driven[w.index()] {
-                    return Err(format!("gate {i}: input {w:?} not yet driven"));
+                    return Err(Diagnostic::new(
+                        DiagCode::UseBeforeDef,
+                        DiagLoc::Gate(i),
+                        format!("input {w:?} not yet driven"),
+                    ));
                 }
             }
+            if !g.kind.is_binary() && g.b != g.a {
+                return Err(Diagnostic::new(
+                    DiagCode::UnaryArity,
+                    DiagLoc::Gate(i),
+                    format!(
+                        "unary {} gate has b = {:?} != a = {:?}",
+                        g.kind.name(),
+                        g.b,
+                        g.a
+                    ),
+                ));
+            }
             if g.out.index() >= n {
-                return Err(format!("gate {i}: output {:?} out of bounds", g.out));
+                return Err(Diagnostic::new(
+                    DiagCode::OutputOutOfBounds,
+                    DiagLoc::Gate(i),
+                    format!("output {:?} out of bounds (wire_count {n})", g.out),
+                ));
             }
             if driven[g.out.index()] {
-                return Err(format!("gate {i}: output {:?} already driven", g.out));
+                return Err(Diagnostic::new(
+                    DiagCode::DuplicateDriver,
+                    DiagLoc::Gate(i),
+                    format!("output {:?} already driven", g.out),
+                ));
             }
             driven[g.out.index()] = true;
         }
-        for w in self
-            .outputs
-            .iter()
-            .chain(self.registers.iter().map(|r| &r.d))
-        {
+        for (i, w) in self.outputs.iter().enumerate() {
             if w.index() >= n || !driven[w.index()] {
-                return Err(format!("sink {w:?} not driven"));
+                return Err(Diagnostic::new(
+                    DiagCode::UndrivenSink,
+                    DiagLoc::Output(i),
+                    format!("output {w:?} not driven"),
+                ));
+            }
+        }
+        for (i, r) in self.registers.iter().enumerate() {
+            if r.d.index() >= n || !driven[r.d.index()] {
+                return Err(Diagnostic::new(
+                    DiagCode::UndrivenSink,
+                    DiagLoc::Register(i),
+                    format!("register data input {:?} not driven", r.d),
+                ));
             }
         }
         Ok(())

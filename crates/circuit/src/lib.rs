@@ -35,11 +35,13 @@
 //! ```
 
 mod builder;
+pub mod diag;
 mod ir;
 pub mod netlist;
 pub mod passes;
 mod sim;
 
 pub use builder::Builder;
+pub use diag::{DiagCode, DiagLoc, Diagnostic, Severity};
 pub use ir::{Circuit, Gate, GateKind, GateStats, Register, Wire, CONST_0, CONST_1};
 pub use sim::Simulator;

@@ -116,6 +116,23 @@ fn parse_wire(tok: &str, line: usize) -> Result<Wire, ParseNetlistError> {
 /// Returns [`ParseNetlistError`] on malformed input or if the parsed
 /// circuit fails [`Circuit::validate`].
 pub fn parse(text: &str) -> Result<Circuit, ParseNetlistError> {
+    let circuit = parse_raw(text)?;
+    circuit.validate().map_err(|d| err(0, d.to_string()))?;
+    Ok(circuit)
+}
+
+/// Parses the text format **without** validating the circuit's structural
+/// invariants.
+///
+/// This is the import path for analysis tooling (`circuit_lint`) that wants
+/// to load a possibly-broken netlist and report *all* violations with
+/// structured diagnostics rather than stopping at the parser's first
+/// complaint. Use [`parse`] everywhere a usable circuit is required.
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] on syntactically malformed input.
+pub fn parse_raw(text: &str) -> Result<Circuit, ParseNetlistError> {
     let mut wire_count: Option<u32> = None;
     let mut garbler_inputs = Vec::new();
     let mut evaluator_inputs = Vec::new();
@@ -195,7 +212,6 @@ pub fn parse(text: &str) -> Result<Circuit, ParseNetlistError> {
         gates,
         registers,
     };
-    circuit.validate().map_err(|m| err(0, m))?;
     Ok(circuit)
 }
 

@@ -9,7 +9,15 @@
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks with poison recovery: a panicking session handler must not wedge
+/// registration for every later connection — the map holds plain data, so
+/// the worst a panicked writer leaves behind is a stale entry the drain
+/// logic already tolerates.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
 
 /// What the server knows about one live session.
 #[derive(Clone, Debug)]
@@ -41,7 +49,7 @@ impl SessionRegistry {
     /// Registers a new session and returns its ID.
     pub fn register(&self, peer: SocketAddr, model: &str) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.active.lock().expect("registry lock").insert(
+        lock(&self.active).insert(
             id,
             SessionInfo {
                 peer,
@@ -54,27 +62,24 @@ impl SessionRegistry {
 
     /// Bumps a session's served-request counter.
     pub fn note_request(&self, id: u64) {
-        if let Some(info) = self.active.lock().expect("registry lock").get_mut(&id) {
+        if let Some(info) = lock(&self.active).get_mut(&id) {
             info.requests += 1;
         }
     }
 
     /// Removes a session; returns its final info if it was registered.
     pub fn deregister(&self, id: u64) -> Option<SessionInfo> {
-        self.active.lock().expect("registry lock").remove(&id)
+        lock(&self.active).remove(&id)
     }
 
     /// Number of live sessions.
     pub fn active(&self) -> usize {
-        self.active.lock().expect("registry lock").len()
+        lock(&self.active).len()
     }
 
     /// The live sessions, sorted by ID.
     pub fn snapshot(&self) -> Vec<(u64, SessionInfo)> {
-        let mut out: Vec<(u64, SessionInfo)> = self
-            .active
-            .lock()
-            .expect("registry lock")
+        let mut out: Vec<(u64, SessionInfo)> = lock(&self.active)
             .iter()
             .map(|(&id, info)| (id, info.clone()))
             .collect();

@@ -494,10 +494,11 @@ fn serve_session(
                     hosted.input_bits.len()
                 ))
             })?;
-        let material = shared
-            .pool
-            .take_material(&model_name)
-            .expect("hosted models are registered with the pool");
+        let material = shared.pool.take_material(&model_name).ok_or_else(|| {
+            ServeError::Model(format!(
+                "model {model_name:?} disappeared from the precompute pool mid-session"
+            ))
+        })?;
         let g_bits = &hosted.input_bits[idx];
         let t_online = Instant::now();
         let out = session.run_online(

@@ -13,12 +13,15 @@
 
 use std::process::ExitCode;
 
+use deepsecure::analyze::{analyze, report};
+use deepsecure::serve::demo;
 use deepsecure::serve::server::{ServeConfig, Server};
 
 const USAGE: &str = "\
 usage:
   deepsecure_serve --listen HOST:PORT [--models NAME[,NAME…]] [--pool N]
                    [--chunk-gates N] [--sessions N] [--seed S] [--threads N]
+  deepsecure_serve --lint [--models NAME[,NAME…]] [--chunk-gates N]
 
   --listen       address to serve on (port 0 picks an ephemeral port)
   --models       comma-separated zoo models to host (default tiny_mlp;
@@ -37,6 +40,10 @@ usage:
                  garbling/modexp pool width (0 = one per core; default
                  from DEEPSECURE_THREADS, else 1). A pure perf knob:
                  wire bytes are identical at any width.
+  --lint         do not serve: statically analyze the hosted models
+                 (structural verification, cost prediction, optimization
+                 opportunities — see circuit_lint) and exit non-zero if
+                 any model reports a diagnostic. --listen is not needed.
 
 Each model is trained and compiled deterministically at startup; clients
 must present the same circuit fingerprint in their handshake.";
@@ -52,11 +59,12 @@ fn main() -> ExitCode {
     }
 }
 
-fn parse(args: &[String]) -> Result<ServeConfig, String> {
+fn parse(args: &[String]) -> Result<(ServeConfig, bool), String> {
     let mut config = ServeConfig {
         addr: String::new(),
         ..ServeConfig::default()
     };
+    let mut lint = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -100,17 +108,47 @@ fn parse(args: &[String]) -> Result<ServeConfig, String> {
                     .parse()
                     .map_err(|_| format!("--threads takes a count (0 = auto), got {v:?}"))?;
             }
+            "--lint" => lint = true,
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
-    if config.addr.is_empty() {
+    if config.addr.is_empty() && !lint {
         return Err(format!("--listen HOST:PORT is required\n{USAGE}"));
     }
-    Ok(config)
+    Ok((config, lint))
+}
+
+/// Analyzes every hosted model instead of serving: the pre-deployment
+/// sanity gate (`circuit_lint --model` over exactly the `--models` list,
+/// with the peak-resident prediction at the configured chunk size).
+fn lint_models(config: &ServeConfig) -> Result<(), String> {
+    let chunks = if config.chunk_gates > 0 {
+        vec![0, config.chunk_gates]
+    } else {
+        report::DEFAULT_CHUNK_SIZES.to_vec()
+    };
+    let mut dirty = Vec::new();
+    for name in &config.models {
+        eprintln!("serve: lint: building {name} (training + compiling)…");
+        let model = demo::load(name)?;
+        let a = analyze(&model.compiled.circuit);
+        print!("{}", report::render_text(name, &a, &chunks));
+        if !a.is_clean() {
+            dirty.push(name.clone());
+        }
+    }
+    if dirty.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("models with diagnostics: {}", dirty.join(", ")))
+    }
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let config = parse(args)?;
+    let (config, lint) = parse(args)?;
+    if lint {
+        return lint_models(&config);
+    }
     eprintln!(
         "serve: building {} (training + compiling at startup)…",
         config.models.join(", ")

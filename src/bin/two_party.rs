@@ -19,6 +19,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use deepsecure::analyze;
 use deepsecure::core::compile::plain_label;
 use deepsecure::core::protocol::{run_compiled, InferenceConfig};
 use deepsecure::core::session::{ClientSession, ServerSession, WireBreakdown};
@@ -30,10 +31,16 @@ usage:
   two_party evaluator --listen HOST:PORT [--model NAME] [--threads N]
   two_party garbler --connect HOST:PORT [--model NAME] [--input N]
                     [--chunk-gates N] [--threads N] [--check]
+  two_party lint [--model NAME] [--chunk-gates N]
 
 models: tiny_mlp (default), tiny_cnn, mnist_mlp
 
 The evaluator serves exactly one inference, then exits.
+
+`lint` runs no protocol: it compiles the model and prints the static
+analysis (structural diagnostics, garbling cost, peak resident tables at
+the chosen chunk size — see circuit_lint), failing on any diagnostic.
+What it predicts is what `garbler`/`evaluator` then measure.
 
 --threads N parallelises garbling, evaluation, and base-OT modexps
 across N worker threads (0 = one per core; default from
@@ -84,6 +91,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     let role = match args.first().map(String::as_str) {
         Some("garbler") => "garbler",
         Some("evaluator") => "evaluator",
+        Some("lint") => "lint",
         _ => return Err(format!("expected a role subcommand\n{USAGE}")),
     };
     let mut cli = Cli {
@@ -116,7 +124,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                     .parse()
                     .map_err(|_| format!("--input takes a sample index, got {v:?}"))?;
             }
-            "--chunk-gates" if role == "garbler" => {
+            "--chunk-gates" if role != "evaluator" => {
                 let v = value("--chunk-gates")?;
                 cli.chunk_gates = v
                     .parse()
@@ -132,7 +140,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             other => return Err(format!("unknown flag {other:?} for {role}\n{USAGE}")),
         }
     }
-    if cli.addr.is_empty() {
+    if cli.addr.is_empty() && role != "lint" {
         return Err(format!("{role} requires {addr_flag} HOST:PORT\n{USAGE}"));
     }
     Ok(cli)
@@ -151,10 +159,33 @@ fn run(args: &[String]) -> Result<(), String> {
     // The deterministic model zoo (training, compilation, fingerprint) is
     // shared with the serving stack via `deepsecure::serve::demo`.
     let model = demo::load(&cli.model).map_err(|e| format!("{e}\n{USAGE}"))?;
-    if cli.role == "garbler" {
-        run_garbler(&cli, &model)
+    match cli.role.as_str() {
+        "garbler" => run_garbler(&cli, &model),
+        "evaluator" => run_evaluator(&cli, &model),
+        _ => run_lint(&cli, &model),
+    }
+}
+
+/// The `lint` subcommand: static analysis of the exact circuit a
+/// `garbler`/`evaluator` pair would run, with the peak-resident-table
+/// prediction at the requested `--chunk-gates`.
+fn run_lint(cli: &Cli, model: &DemoModel) -> Result<(), String> {
+    let a = analyze::analyze(&model.compiled.circuit);
+    let chunks = if cli.chunk_gates > 0 {
+        vec![0, cli.chunk_gates]
     } else {
-        run_evaluator(&cli, &model)
+        analyze::report::DEFAULT_CHUNK_SIZES.to_vec()
+    };
+    print!("{}", analyze::report::render_text(&cli.model, &a, &chunks));
+    if a.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{}: {} error(s), {} warning(s)",
+            cli.model,
+            a.error_count(),
+            a.warning_count()
+        ))
     }
 }
 

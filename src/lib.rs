@@ -18,6 +18,7 @@
 //! | [`he`] | `deepsecure-he` | CryptoNets (BFV) baseline |
 //! | [`core`] | `deepsecure-core` | compiler, protocol, pre-processing, cost model |
 //! | [`serve`] | `deepsecure-serve` | concurrent inference server + precompute pool |
+//! | [`analyze`] | `deepsecure-analyze` | circuit verifier, cost analyzer, protocol-path lint |
 //!
 //! # Quickstart
 //!
@@ -34,6 +35,7 @@
 //! # }
 //! ```
 
+pub use deepsecure_analyze as analyze;
 pub use deepsecure_bigint as bigint;
 pub use deepsecure_circuit as circuit;
 pub use deepsecure_core as core;
