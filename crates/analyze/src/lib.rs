@@ -42,6 +42,7 @@
 //! assert_eq!(cost.table_bytes, 32); // two 128-bit ciphertexts
 //! ```
 
+pub mod budget;
 pub mod cost;
 pub mod report;
 pub mod srclint;

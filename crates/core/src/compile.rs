@@ -72,6 +72,22 @@ impl CompileOptions {
         }
     }
 
+    /// The compressed-inference operating point: synthesized lerp-style
+    /// nonlinearities (piecewise-linear secant/PLAN approximations — the
+    /// cheap end of the LUT menu; `Activation::TanhLut`/`SigmoidLut` are
+    /// the exact-table, expensive end) over the truncated multiplier.
+    /// Combined with a pruned network's sparsity map this is the
+    /// table-byte-minimal regime the WAN Pareto table measures.
+    pub fn compressed() -> CompileOptions {
+        CompileOptions {
+            relu: Activation::Relu,
+            tanh: Activation::TanhPl,
+            sigmoid: Activation::SigmoidPlan,
+            multiplier: Multiplier::Truncated { guard: 3 },
+            format: Format::Q3_12,
+        }
+    }
+
     /// Maps a training-time activation to its circuit realization.
     pub fn realize(&self, kind: ActKind) -> Activation {
         match kind {
@@ -250,13 +266,10 @@ pub(crate) fn build_layers(
                 for o in 0..d.n_out {
                     let bias = word::evaluator_word(b, bits);
                     weight_order.push(WeightRef::DenseBias { layer: li, o });
-                    let mut acc = bias;
-                    for i in 0..d.n_in {
-                        if let Some(w) = &w_words[o * d.n_in + i] {
-                            let p = opts.build_mul(b, &values[i], w);
-                            acc = arith::add(b, &acc, &p);
-                        }
-                    }
+                    let row = &w_words[o * d.n_in..(o + 1) * d.n_in];
+                    let acc = matvec::sparse_row(b, bias, &values, row, |b, x, w| {
+                        opts.build_mul(b, x, w)
+                    });
                     outs.push(acc);
                 }
                 values = outs;

@@ -21,10 +21,13 @@
 //! [`deepsecure_nn::prune`]; [`preprocess_network`] runs the combined
 //! pipeline and reports the compaction fold.
 
+use deepsecure_circuit::passes;
 use deepsecure_linalg::{vec_ops, Matrix};
 use deepsecure_nn::data::Dataset;
 use deepsecure_nn::train::{self, TrainConfig};
 use deepsecure_nn::{prune, ActKind, Dense, Layer, Network, Tensor};
+
+use crate::compile::Compiled;
 
 /// Parameters of Algorithm 1.
 #[derive(Clone, Debug)]
@@ -324,6 +327,56 @@ pub fn preprocess_network(
     (before / after, acc)
 }
 
+/// What the circuit pre-processing pass removed, in the same units the
+/// static analyzer's `OptReport` predicts — gate-exact, so a pipeline can
+/// assert `analyzer-predicted savings == applied savings` and the live
+/// protocol's `material_bytes` delta follows bit for bit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CircuitPreprocessReport {
+    /// Gates before / after the pass.
+    pub gates_before: u64,
+    /// Gates after.
+    pub gates_after: u64,
+    /// Non-free (table-carrying) gates before / after.
+    pub non_free_before: u64,
+    /// Non-free gates after.
+    pub non_free_after: u64,
+}
+
+impl CircuitPreprocessReport {
+    /// Garbled-table bytes the pass removed (32 B per non-free gate under
+    /// half-gates).
+    pub fn table_bytes_saved(&self) -> u64 {
+        32 * (self.non_free_before - self.non_free_after)
+    }
+}
+
+/// Circuit-level pre-processing: applies the dead/constant/duplicate-gate
+/// opportunities the analyzer reports by replaying the netlist through a
+/// fresh builder ([`deepsecure_circuit::passes::optimize`] — constant
+/// folding, CSE, dead-gate removal in one sweep). Input/output ordering is
+/// preserved, so the [`Compiled`] weight layout stays valid; gate count
+/// never grows. Builder-produced circuits are already optimal and pass
+/// through unchanged — the pass earns its keep on imported netlists and as
+/// the applied-before-garbling guarantee of the compressed pipeline.
+pub fn preprocess_compiled(compiled: Compiled) -> (Compiled, CircuitPreprocessReport) {
+    let before = compiled.circuit.stats();
+    let circuit = passes::optimize(&compiled.circuit);
+    let after = circuit.stats();
+    (
+        Compiled {
+            circuit,
+            ..compiled
+        },
+        CircuitPreprocessReport {
+            gates_before: before.total(),
+            gates_after: after.total(),
+            non_free_before: before.non_xor,
+            non_free_after: after.non_xor,
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use deepsecure_nn::data;
@@ -445,5 +498,91 @@ mod tests {
         );
         assert!(fold >= 3.0, "fold {fold}");
         assert!(acc > 0.5, "accuracy {acc}");
+    }
+
+    #[test]
+    fn circuit_preprocess_is_identity_on_builder_output_and_keeps_layout() {
+        use crate::compile::{compile, plain_label, CompileOptions};
+        let set = data::digits_small(16, 23);
+        let mut net = deepsecure_nn::zoo::tiny_mlp(set.num_classes);
+        prune::magnitude_prune(&mut net, 0.6);
+        let compiled = compile(&net, &CompileOptions::compressed());
+        let weight_order = compiled.weight_order.clone();
+        let label_before = plain_label(&compiled, &net, &set.inputs[0]);
+        let (opt, report) = preprocess_compiled(compiled);
+        // Builder circuits are already optimal: the pass must not grow
+        // anything, and on this input it removes nothing either.
+        assert_eq!(report.gates_before, report.gates_after);
+        assert_eq!(report.non_free_before, report.non_free_after);
+        assert_eq!(report.table_bytes_saved(), 0);
+        // The weight layout survives (input ordering is preserved).
+        assert_eq!(opt.weight_order, weight_order);
+        assert_eq!(plain_label(&opt, &net, &set.inputs[0]), label_before);
+    }
+
+    #[test]
+    fn circuit_preprocess_applies_reported_opportunities() {
+        use deepsecure_circuit::{Circuit, Gate, GateKind, Wire};
+        // A hand-built netlist with a duplicate AND and a dead OR — the
+        // kind an import produces. The pass must realize exactly the
+        // savings the analyzer's opportunity report prices.
+        let gates = vec![
+            Gate {
+                kind: GateKind::And,
+                a: Wire(2),
+                b: Wire(3),
+                out: Wire(4),
+            },
+            Gate {
+                kind: GateKind::And,
+                a: Wire(3),
+                b: Wire(2),
+                out: Wire(5),
+            },
+            Gate {
+                kind: GateKind::Or,
+                a: Wire(4),
+                b: Wire(3),
+                out: Wire(6), // dead: never read, never an output
+            },
+            Gate {
+                kind: GateKind::Xor,
+                a: Wire(4),
+                b: Wire(5),
+                out: Wire(7), // folds to const 0
+            },
+            Gate {
+                kind: GateKind::Or,
+                a: Wire(7),
+                b: Wire(4),
+                out: Wire(8), // folds to wire 4
+            },
+        ];
+        let circuit = Circuit::from_raw_parts(
+            9,
+            vec![Wire(2)],
+            vec![Wire(3)],
+            vec![Wire(8)],
+            gates,
+            vec![],
+        );
+        circuit.validate().unwrap();
+        let compiled = Compiled {
+            circuit,
+            weight_order: vec![],
+            format: deepsecure_fixed::Format::Q3_12,
+        };
+        let (opt, report) = preprocess_compiled(compiled);
+        assert_eq!(report.gates_before, 5);
+        assert_eq!(report.non_free_before, 4);
+        // One AND survives (the shared x & y); everything else folds.
+        assert_eq!(report.gates_after, 1);
+        assert_eq!(report.non_free_after, 1);
+        assert_eq!(report.table_bytes_saved(), 3 * 32);
+        for g in [false, true] {
+            for e in [false, true] {
+                assert_eq!(opt.circuit.eval(&[g], &[e]), [g && e]);
+            }
+        }
     }
 }

@@ -61,6 +61,36 @@ pub fn dot_masked(
     acc
 }
 
+/// Sparsity-aware accumulator row: sums `mul(xᵢ, wᵢ)` over the *declared*
+/// weight slots only (a `None` slot is a pruned weight that never reaches
+/// the netlist), on top of a starting word (typically the bias).
+///
+/// This is the synth-time half of the paper's §3.2.2 pipeline: the public
+/// sparsity map decides which multiplies exist at all, so a pruned MAC
+/// costs zero gates rather than being folded away after the fact. The
+/// multiplier is caller-supplied so the same row works for the exact and
+/// the truncated (`mul::mul_truncated`) datapaths.
+pub fn sparse_row<M>(
+    b: &mut Builder,
+    init: Word,
+    xs: &[Word],
+    ws: &[Option<Word>],
+    mut mul: M,
+) -> Word
+where
+    M: FnMut(&mut Builder, &Word, &Word) -> Word,
+{
+    assert_eq!(xs.len(), ws.len(), "sparse row arity mismatch");
+    let mut acc = init;
+    for (x, w) in xs.iter().zip(ws) {
+        if let Some(w) = w {
+            let p = mul(b, x, w);
+            acc = arith::add(b, &acc, &p);
+        }
+    }
+    acc
+}
+
 /// The folded sequential multiply-accumulate core of §3.5: "one MULT, one
 /// ADD, and multiple registers to accumulate the result", clocked once per
 /// weight.
@@ -197,6 +227,55 @@ mod tests {
             sparse.stats().non_xor,
             dense.stats().non_xor
         );
+    }
+
+    #[test]
+    fn sparse_row_matches_masked_dot() {
+        // sparse_row over Option slots == bias + dot_masked over the same
+        // mask, for the exact multiplier.
+        let mask = [true, false, true, false];
+        let mut b = Builder::new();
+        let xs: Vec<Word> = (0..4).map(|_| garbler_word(&mut b, 16)).collect();
+        let bias = word::evaluator_word(&mut b, 16);
+        let ws: Vec<Option<Word>> = mask
+            .iter()
+            .map(|&m| m.then(|| word::evaluator_word(&mut b, 16)))
+            .collect();
+        let out = sparse_row(&mut b, bias, &xs, &ws, |b, x, w| {
+            mul::mul_fixed(b, x, w, 12)
+        });
+        output_word(&mut b, &out);
+        let via_row = b.finish();
+
+        let mut b = Builder::new();
+        let xs: Vec<Word> = (0..4).map(|_| garbler_word(&mut b, 16)).collect();
+        let bias = word::evaluator_word(&mut b, 16);
+        let ws: Vec<Word> = mask
+            .iter()
+            .filter(|&&m| m)
+            .map(|_| word::evaluator_word(&mut b, 16))
+            .collect();
+        let xs_live: Vec<Word> = xs
+            .iter()
+            .zip(&mask)
+            .filter(|(_, &m)| m)
+            .map(|(x, _)| x.clone())
+            .collect();
+        let d = dot(&mut b, &xs_live, &ws, 12);
+        let out = arith::add(&mut b, &bias, &d);
+        output_word(&mut b, &out);
+        let via_dot = b.finish();
+
+        assert_eq!(via_row.stats().non_xor, via_dot.stats().non_xor);
+        let g: Vec<bool> = [0.5, -1.0, 2.0, 0.25]
+            .iter()
+            .flat_map(|&v| deepsecure_fixed::Fixed::from_f64(v, Q).to_bits())
+            .collect();
+        let e: Vec<bool> = [0.125, 1.5, -0.5]
+            .iter()
+            .flat_map(|&v| deepsecure_fixed::Fixed::from_f64(v, Q).to_bits())
+            .collect();
+        assert_eq!(via_row.eval(&g, &e), via_dot.eval(&g, &e));
     }
 
     #[test]

@@ -34,10 +34,14 @@ usage:
   circuit_lint --model NAME|all [--chunk-gates N[,N...]] [--deny-warnings] [--json]
   circuit_lint --netlist FILE [--deny-warnings] [--json]
   circuit_lint --src-lint ROOT [--allowlist FILE]
+  circuit_lint --help
 
-models: tiny_mlp, tiny_cnn, mnist_mlp (all = every zoo model)
+models: tiny_mlp, tiny_cnn, mnist_mlp, mnist_mlp_c (all = every zoo model)
 
-exit codes: 0 clean, 1 diagnostics or lint findings, 2 usage error.
+exit codes (stable — CI pipelines may rely on them):
+  0  clean (or --help)
+  1  diagnostics or lint findings
+  2  usage error (unknown flag, unreadable file, bad mode combination)
 
 --deny-warnings fails on DS-W* efficiency warnings as well as DS-E*
 structural errors (errors always fail).
@@ -53,6 +57,10 @@ fail the gate.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     match run(&args) {
         Ok(clean) => {
             if clean {

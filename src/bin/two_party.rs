@@ -33,9 +33,15 @@ usage:
                     [--chunk-gates N] [--threads N] [--check]
   two_party lint [--model NAME] [--chunk-gates N]
 
-models: tiny_mlp (default), tiny_cnn, mnist_mlp
+models: tiny_mlp (default), tiny_cnn, mnist_mlp, mnist_mlp_c
 
 The evaluator serves exactly one inference, then exits.
+
+mnist_mlp_c is the compressed mnist_mlp: deterministically pruned to 90%
+sparsity with masked re-training, compiled with the truncated multiplier
+and lerp-style nonlinearities, and circuit-preprocessed before garbling.
+Both processes derive the identical compressed model from the shared
+seeds; the fingerprint handshake pins it like any other model.
 
 `lint` runs no protocol: it compiles the model and prints the static
 analysis (structural diagnostics, garbling cost, peak resident tables at
