@@ -25,8 +25,15 @@ use std::path::{Path, PathBuf};
 pub const DENIED_TOKENS: &[&str] = &[".unwrap(", ".expect(", "panic!"];
 
 /// Directories scanned by default, relative to the repository root: the
-/// crates whose code runs inside a live two-party session.
-pub const DEFAULT_LINT_DIRS: &[&str] = &["crates/ot/src", "crates/core/src", "crates/serve/src"];
+/// crates whose code runs inside a live two-party session — including the
+/// vendored telemetry core, whose span guards and counters sit on every
+/// instrumented protocol path.
+pub const DEFAULT_LINT_DIRS: &[&str] = &[
+    "crates/ot/src",
+    "crates/core/src",
+    "crates/serve/src",
+    "vendor/telemetry/src",
+];
 
 /// One denied-token occurrence outside comments, strings and test modules.
 #[derive(Clone, Debug, PartialEq, Eq)]

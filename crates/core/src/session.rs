@@ -139,6 +139,53 @@ fn traffic<C: Channel>(chan: &C) -> u64 {
     chan.bytes_sent() + chan.bytes_received()
 }
 
+/// Process-global live wire counters: every phase delta a session measures
+/// is also added here the moment it is measured (per chunk on streamed
+/// table transfers), so a scraper sees the [`WireBreakdown`] decomposition
+/// *while* requests run instead of waiting for end-of-run reports. The
+/// counters observe the same deltas the breakdown records — they never
+/// touch the channel, so wire bytes are bit-identical with telemetry on or
+/// off.
+pub mod wire_metrics {
+    use telemetry::Counter;
+
+    /// Base-OT setup bytes (both directions).
+    pub static BASE_OT: Counter = Counter::new();
+    /// OT-extension bytes (both directions).
+    pub static OT_EXT: Counter = Counter::new();
+    /// Garbled-table bytes.
+    pub static TABLES: Counter = Counter::new();
+    /// Active input-label bytes.
+    pub static INPUT_LABELS: Counter = Counter::new();
+    /// Output color-bit bytes.
+    pub static OUTPUT_BITS: Counter = Counter::new();
+    /// Bytes sent by sessions in this process (direction counter).
+    pub static SENT: Counter = Counter::new();
+    /// Bytes received by sessions in this process (direction counter).
+    pub static RECEIVED: Counter = Counter::new();
+
+    /// The per-phase counters as `(phase_label, value)` rows, in
+    /// [`super::WireBreakdown`] field order — the `/metrics` family body.
+    #[must_use]
+    pub fn phases() -> [(&'static str, u64); 5] {
+        [
+            ("base_ot", BASE_OT.get()),
+            ("ot_ext", OT_EXT.get()),
+            ("tables", TABLES.get()),
+            ("input_labels", INPUT_LABELS.get()),
+            ("output_bits", OUTPUT_BITS.get()),
+        ]
+    }
+}
+
+/// Adds one measured phase delta to both the run's breakdown field and
+/// the matching process-global live counter — the single point keeping
+/// [`WireBreakdown`] and [`wire_metrics`] in agreement.
+fn tally(field: &mut u64, counter: &telemetry::Counter, delta: u64) {
+    *field += delta;
+    counter.add(delta);
+}
+
 /// Input-independent garbled material for one protocol run: every cycle's
 /// tables and labels plus the initial register labels — producible long
 /// before the inputs (or even the peer) exist.
@@ -348,25 +395,57 @@ fn client_cycle<C: Channel>(
     epoch: Instant,
 ) -> Result<(Vec<bool>, f64), ProtocolError> {
     if let Some((const_labels, initial_registers)) = first_payload {
+        let _s = telemetry::span!("client.input_labels");
         let before = traffic(chan);
         chan.send_block(const_labels[0])?;
         chan.send_block(const_labels[1])?;
         chan.send_blocks(initial_registers)?;
-        wire.input_labels += traffic(chan) - before;
+        tally(
+            &mut wire.input_labels,
+            &wire_metrics::INPUT_LABELS,
+            traffic(chan) - before,
+        );
     }
-    let before = traffic(chan);
-    chan.send_blocks(&cycle.tables)?;
-    wire.tables += traffic(chan) - before;
-    let before = traffic(chan);
-    chan.send_blocks(&cycle.garbler_active(g_bits))?;
-    wire.input_labels += traffic(chan) - before;
-    let before = traffic(chan);
-    ot.send(chan, &cycle.evaluator_input_labels)?;
-    wire.ot_ext += traffic(chan) - before;
+    {
+        let _s = telemetry::span!("client.tables");
+        let before = traffic(chan);
+        chan.send_blocks(&cycle.tables)?;
+        tally(
+            &mut wire.tables,
+            &wire_metrics::TABLES,
+            traffic(chan) - before,
+        );
+    }
+    {
+        let _s = telemetry::span!("client.input_labels");
+        let before = traffic(chan);
+        chan.send_blocks(&cycle.garbler_active(g_bits))?;
+        tally(
+            &mut wire.input_labels,
+            &wire_metrics::INPUT_LABELS,
+            traffic(chan) - before,
+        );
+    }
+    {
+        let _s = telemetry::span!("client.ot_ext");
+        let before = traffic(chan);
+        ot.send(chan, &cycle.evaluator_input_labels)?;
+        tally(
+            &mut wire.ot_ext,
+            &wire_metrics::OT_EXT,
+            traffic(chan) - before,
+        );
+    }
     let ot_end_s = epoch.elapsed().as_secs_f64();
+    let turnaround = telemetry::span!("client.turnaround");
     let before = traffic(chan);
     let colors = chan.recv_bits()?;
-    wire.output_bits += traffic(chan) - before;
+    tally(
+        &mut wire.output_bits,
+        &wire_metrics::OUTPUT_BITS,
+        traffic(chan) - before,
+    );
+    turnaround.end();
     let label_bits = colors
         .iter()
         .zip(&cycle.output_decode)
@@ -389,19 +468,29 @@ fn client_stream_prologue<C: Channel>(
     wire: &mut WireBreakdown,
     epoch: Instant,
 ) -> Result<f64, ProtocolError> {
-    if let Some((const_labels, initial_registers)) = first_payload {
+    {
+        let _s = telemetry::span!("client.input_labels");
         let before = traffic(chan);
-        chan.send_block(const_labels[0])?;
-        chan.send_block(const_labels[1])?;
-        chan.send_blocks(initial_registers)?;
-        wire.input_labels += traffic(chan) - before;
+        if let Some((const_labels, initial_registers)) = first_payload {
+            chan.send_block(const_labels[0])?;
+            chan.send_block(const_labels[1])?;
+            chan.send_blocks(initial_registers)?;
+        }
+        chan.send_blocks(g_active)?;
+        tally(
+            &mut wire.input_labels,
+            &wire_metrics::INPUT_LABELS,
+            traffic(chan) - before,
+        );
     }
-    let before = traffic(chan);
-    chan.send_blocks(g_active)?;
-    wire.input_labels += traffic(chan) - before;
+    let _s = telemetry::span!("client.ot_ext");
     let before = traffic(chan);
     ot.send(chan, evaluator_input_labels)?;
-    wire.ot_ext += traffic(chan) - before;
+    tally(
+        &mut wire.ot_ext,
+        &wire_metrics::OT_EXT,
+        traffic(chan) - before,
+    );
     Ok(epoch.elapsed().as_secs_f64())
 }
 
@@ -412,9 +501,14 @@ fn client_stream_epilogue<C: Channel>(
     output_decode: &[bool],
     wire: &mut WireBreakdown,
 ) -> Result<Vec<bool>, ProtocolError> {
+    let _s = telemetry::span!("client.turnaround");
     let before = traffic(chan);
     let colors = chan.recv_bits()?;
-    wire.output_bits += traffic(chan) - before;
+    tally(
+        &mut wire.output_bits,
+        &wire_metrics::OUTPUT_BITS,
+        traffic(chan) - before,
+    );
     Ok(colors
         .iter()
         .zip(output_decode)
@@ -446,11 +540,16 @@ fn client_cycle_streamed_ready<C: Channel>(
         wire,
         epoch,
     )?;
-    let before = traffic(chan);
     for chunk in cycle.tables.chunks(2 * chunk_gates) {
+        let _s = telemetry::span!("client.tables.chunk");
+        let before = traffic(chan);
         chan.send_blocks(chunk)?;
+        tally(
+            &mut wire.tables,
+            &wire_metrics::TABLES,
+            traffic(chan) - before,
+        );
     }
-    wire.tables += traffic(chan) - before;
     let label_bits = client_stream_epilogue(chan, &cycle.output_decode, wire)?;
     Ok((label_bits, ot_end_s))
 }
@@ -486,18 +585,30 @@ fn client_cycle_streamed_live<C: Channel, R: Rng + ?Sized>(
         epoch,
     )?;
     let stream_start_s = epoch.elapsed().as_secs_f64();
-    let before = traffic(chan);
+    // Umbrella span co-extensive with the recorded garble `PhaseSpan`:
+    // `trace_view --check` reconciles the two measurements of this window.
+    let stream = telemetry::span!("client.garble");
     let mut buf: Vec<Block> = Vec::with_capacity(2 * chunk_gates.min(1 << 20));
     loop {
         buf.clear();
-        if cycle.garble_chunk(chunk_gates, &mut buf) == 0 {
-            break;
+        {
+            let _s = telemetry::span!("client.garble.chunk");
+            if cycle.garble_chunk(chunk_gates, &mut buf) == 0 {
+                break;
+            }
         }
         peak.observe((buf.len() * 16) as u64);
+        let _s = telemetry::span!("client.tables.chunk");
+        let before = traffic(chan);
         chan.send_blocks(&buf)?;
+        tally(
+            &mut wire.tables,
+            &wire_metrics::TABLES,
+            traffic(chan) - before,
+        );
     }
-    wire.tables += traffic(chan) - before;
     let output_decode = cycle.finish();
+    stream.end();
     let stream_span = PhaseSpan {
         start_s: stream_start_s,
         end_s: epoch.elapsed().as_secs_f64(),
@@ -544,13 +655,19 @@ impl ClientSession {
         epoch: Instant,
     ) -> Result<ClientSetup, ProtocolError> {
         let start_s = epoch.elapsed().as_secs_f64();
+        let _s = telemetry::span!("client.base_ot");
         let sent0 = chan.bytes_sent();
         let recv0 = chan.bytes_received();
         let ot = ExtSender::setup_with_pool(chan, pre, self.cfg.pool())?;
+        let sent = chan.bytes_sent() - sent0;
+        let received = chan.bytes_received() - recv0;
+        wire_metrics::BASE_OT.add(sent + received);
+        wire_metrics::SENT.add(sent);
+        wire_metrics::RECEIVED.add(received);
         Ok(ClientSetup {
             ot,
-            sent: chan.bytes_sent() - sent0,
-            received: chan.bytes_received() - recv0,
+            sent,
+            received,
             span: PhaseSpan {
                 start_s,
                 end_s: epoch.elapsed().as_secs_f64(),
@@ -671,7 +788,9 @@ impl ClientSession {
                 for (i, g_bits) in garbler_bits_per_cycle.iter().enumerate() {
                     let t0 = epoch.elapsed().as_secs_f64();
                     if chunk_gates == 0 {
+                        let garble_span = telemetry::span!("client.garble");
                         let cycle = garbler.garble_cycle(&mut rng);
+                        garble_span.end();
                         peak.observe((cycle.tables.len() * 16) as u64);
                         let t1 = epoch.elapsed().as_secs_f64();
                         let first_payload = (i == 0)
@@ -732,6 +851,8 @@ impl ClientSession {
             sent + received,
             "breakdown must cover all online traffic"
         );
+        wire_metrics::SENT.add(sent);
+        wire_metrics::RECEIVED.add(received);
         Ok(ClientOutcome {
             label: *cycle_labels.last().expect("at least one cycle"),
             cycle_labels,
@@ -818,14 +939,16 @@ impl ServerSession {
     /// Returns [`ProtocolError`] on channel/OT failure.
     pub fn setup<C: Channel>(&self, chan: &mut C) -> Result<ServerSetup, ProtocolError> {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xb0b);
+        let _s = telemetry::span!("server.base_ot");
         let sent0 = chan.bytes_sent();
         let recv0 = chan.bytes_received();
         let ot = ExtReceiver::setup_with_pool(chan, &self.cfg.group, &mut rng, self.cfg.pool())?;
-        Ok(ServerSetup {
-            ot,
-            sent: chan.bytes_sent() - sent0,
-            received: chan.bytes_received() - recv0,
-        })
+        let sent = chan.bytes_sent() - sent0;
+        let received = chan.bytes_received() - recv0;
+        wire_metrics::BASE_OT.add(sent + received);
+        wire_metrics::SENT.add(sent);
+        wire_metrics::RECEIVED.add(received);
+        Ok(ServerSetup { ot, sent, received })
     }
 
     /// Runs one **online** inference over an established setup. With
@@ -868,11 +991,17 @@ impl ServerSession {
         let mut wire = WireBreakdown::default();
         let mut peak = PeakBytes::default();
 
+        let first_labels = telemetry::span!("server.input_labels");
         let before = traffic(chan);
         let const0 = chan.recv_block()?;
         let const1 = chan.recv_block()?;
         let init_regs = chan.recv_blocks(c.registers().len())?;
-        wire.input_labels += traffic(chan) - before;
+        tally(
+            &mut wire.input_labels,
+            &wire_metrics::INPUT_LABELS,
+            traffic(chan) - before,
+        );
+        first_labels.end();
         let mut evaluator = Evaluator::new(c).with_pool(self.cfg.pool());
         evaluator.set_constant_labels(const0, const1);
         evaluator.set_initial_registers(init_regs);
@@ -883,18 +1012,44 @@ impl ServerSession {
             let colors;
             let span;
             if chunk_gates == 0 {
-                let before = traffic(chan);
-                peak.alloc((2 * nonfree * 16) as u64);
-                let tables = chan.recv_blocks(2 * nonfree)?;
-                wire.tables += traffic(chan) - before;
-                let before = traffic(chan);
-                let g_labels = chan.recv_blocks(c.garbler_inputs().len())?;
-                wire.input_labels += traffic(chan) - before;
-                let before = traffic(chan);
-                let e_labels = setup.ot.receive(chan, choice_bits)?;
-                wire.ot_ext += traffic(chan) - before;
+                let tables;
+                {
+                    let _s = telemetry::span!("server.tables");
+                    let before = traffic(chan);
+                    peak.alloc((2 * nonfree * 16) as u64);
+                    tables = chan.recv_blocks(2 * nonfree)?;
+                    tally(
+                        &mut wire.tables,
+                        &wire_metrics::TABLES,
+                        traffic(chan) - before,
+                    );
+                }
+                let g_labels;
+                {
+                    let _s = telemetry::span!("server.input_labels");
+                    let before = traffic(chan);
+                    g_labels = chan.recv_blocks(c.garbler_inputs().len())?;
+                    tally(
+                        &mut wire.input_labels,
+                        &wire_metrics::INPUT_LABELS,
+                        traffic(chan) - before,
+                    );
+                }
+                let e_labels;
+                {
+                    let _s = telemetry::span!("server.ot_ext");
+                    let before = traffic(chan);
+                    e_labels = setup.ot.receive(chan, choice_bits)?;
+                    tally(
+                        &mut wire.ot_ext,
+                        &wire_metrics::OT_EXT,
+                        traffic(chan) - before,
+                    );
+                }
                 let t0 = epoch.elapsed().as_secs_f64();
+                let eval_span = telemetry::span!("server.eval");
                 colors = evaluator.eval_cycle(&tables, &g_labels, &e_labels, &no_decode);
+                eval_span.end();
                 let t1 = epoch.elapsed().as_secs_f64();
                 drop(tables);
                 peak.free((2 * nonfree * 16) as u64);
@@ -905,27 +1060,51 @@ impl ServerSession {
             } else {
                 // Streamed order: everything the gate walk needs arrives
                 // before the first chunk.
-                let before = traffic(chan);
-                let g_labels = chan.recv_blocks(c.garbler_inputs().len())?;
-                wire.input_labels += traffic(chan) - before;
-                let before = traffic(chan);
-                let e_labels = setup.ot.receive(chan, choice_bits)?;
-                wire.ot_ext += traffic(chan) - before;
+                let g_labels;
+                {
+                    let _s = telemetry::span!("server.input_labels");
+                    let before = traffic(chan);
+                    g_labels = chan.recv_blocks(c.garbler_inputs().len())?;
+                    tally(
+                        &mut wire.input_labels,
+                        &wire_metrics::INPUT_LABELS,
+                        traffic(chan) - before,
+                    );
+                }
+                let e_labels;
+                {
+                    let _s = telemetry::span!("server.ot_ext");
+                    let before = traffic(chan);
+                    e_labels = setup.ot.receive(chan, choice_bits)?;
+                    tally(
+                        &mut wire.ot_ext,
+                        &wire_metrics::OT_EXT,
+                        traffic(chan) - before,
+                    );
+                }
                 let t0 = epoch.elapsed().as_secs_f64();
+                // Umbrella span co-extensive with the recorded eval
+                // `PhaseSpan` (it includes table transfer time — the
+                // interleaving is the point of streaming).
+                let eval_span = telemetry::span!("server.eval");
                 let mut cycle = evaluator.begin_cycle(&g_labels, &e_labels);
                 let mut remaining = nonfree;
-                let mut table_bytes = 0u64;
                 while remaining > 0 {
                     let k = remaining.min(chunk_gates);
+                    let _s = telemetry::span!("server.eval.chunk");
                     let before = traffic(chan);
                     let chunk = chan.recv_blocks(2 * k)?;
-                    table_bytes += traffic(chan) - before;
+                    tally(
+                        &mut wire.tables,
+                        &wire_metrics::TABLES,
+                        traffic(chan) - before,
+                    );
                     peak.observe((chunk.len() * 16) as u64);
                     cycle.feed(&chunk);
                     remaining -= k;
                 }
-                wire.tables += table_bytes;
                 colors = cycle.finish(&no_decode);
+                eval_span.end();
                 span = PhaseSpan {
                     start_s: t0,
                     end_s: epoch.elapsed().as_secs_f64(),
@@ -933,7 +1112,11 @@ impl ServerSession {
             }
             let before = traffic(chan);
             chan.send_bits(&colors)?;
-            wire.output_bits += traffic(chan) - before;
+            tally(
+                &mut wire.output_bits,
+                &wire_metrics::OUTPUT_BITS,
+                traffic(chan) - before,
+            );
             evals.push(span);
         }
         // The final color bits are the last thing on the wire: without
@@ -947,6 +1130,8 @@ impl ServerSession {
             sent + received,
             "breakdown must cover all online traffic"
         );
+        wire_metrics::SENT.add(sent);
+        wire_metrics::RECEIVED.add(received);
         Ok(ServerOutcome {
             sent,
             received,
@@ -1106,6 +1291,45 @@ mod tests {
         }
         // Both requests moved identical byte counts (same circuit shape).
         assert_eq!(couts[0].wire, couts[1].wire);
+    }
+
+    #[test]
+    fn base_ot_setup_is_three_flights_on_a_simulated_link() {
+        use deepsecure_ot::sim::{NetModel, SimChannel};
+
+        let compiled = mac_compiled();
+        let cfg = InferenceConfig::default();
+        let (cc, cs) = mem_pair();
+        let mut cc = SimChannel::new(cc, NetModel::ideal());
+        let mut cs = SimChannel::new(cs, NetModel::ideal());
+        let epoch = Instant::now();
+
+        let counted_before = wire_metrics::BASE_OT.get();
+        let server = ServerSession::new(Arc::clone(&compiled), &cfg);
+        let handle = std::thread::spawn(move || {
+            let setup = server.setup(&mut cs).unwrap();
+            (setup.base_ot_bytes(), cs.turnarounds())
+        });
+        let client = ClientSession::new(Arc::clone(&compiled), &cfg);
+        let setup = client.setup(&mut cc, epoch).unwrap();
+        let (server_bytes, server_turnarounds) = handle.join().unwrap();
+
+        // Batched base OT is three one-way flights. Each flight is received
+        // exactly once, and on a strictly alternating link every receive is
+        // a turnaround, so the two endpoints' turnaround counts sum to the
+        // flight count: the first sender pays 1, the responder pays 2.
+        let mut flights = [cc.turnarounds(), server_turnarounds];
+        flights.sort_unstable();
+        assert_eq!(flights, [1, 2], "batched base OT must stay 3 flights");
+
+        // Both endpoints feed the process-global phase counter (sent +
+        // received each), so one setup adds twice the per-party total.
+        // Concurrent tests may add more in between, never less.
+        assert_eq!(setup.base_ot_bytes(), server_bytes);
+        assert!(
+            wire_metrics::BASE_OT.get() - counted_before >= 2 * server_bytes,
+            "wire_metrics::BASE_OT must observe the setup traffic"
+        );
     }
 
     /// One full run over `mem_pair` with the given chunk setting.

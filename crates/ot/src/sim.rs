@@ -87,6 +87,8 @@ pub struct SimChannel<C: Channel> {
     busy_until: Option<Instant>,
     /// Whether the next receive is a turnaround (pays one latency).
     turnaround: bool,
+    /// Turnarounds paid so far (latency charges; see [`SimChannel::turnarounds`]).
+    turnarounds: u64,
 }
 
 impl<C: Channel> SimChannel<C> {
@@ -100,7 +102,19 @@ impl<C: Channel> SimChannel<C> {
             // The session's first receive waits on a message that had to
             // travel the link.
             turnaround: true,
+            turnarounds: 0,
         }
+    }
+
+    /// Number of turnarounds this endpoint has paid: receives that
+    /// followed this endpoint's sends (or the very first receive), each
+    /// charged one propagation latency. This is the direction-change count
+    /// of the conversation as seen from this end — e.g. the batched base
+    /// OT's three constant flights cost the keypair sender exactly one
+    /// turnaround (send C → recv PK0s → send ciphertexts) however many
+    /// OTs are in the batch.
+    pub fn turnarounds(&self) -> u64 {
+        self.turnarounds
     }
 
     /// The link model in force.
@@ -155,6 +169,7 @@ impl<C: Channel> Channel for SimChannel<C> {
                 std::thread::sleep(self.model.latency);
             }
             self.turnaround = false;
+            self.turnarounds += 1;
         }
         self.inner.recv(n)
     }
@@ -223,6 +238,8 @@ mod tests {
         let elapsed = start.elapsed();
         assert!(elapsed >= Duration::from_millis(5), "{elapsed:?}");
         assert!(elapsed < Duration::from_millis(50), "{elapsed:?}");
+        assert_eq!(sa.turnarounds(), 1, "one latency charge, one count");
+        assert_eq!(sb.turnarounds(), 0, "the sender never turned around");
     }
 
     #[test]
@@ -257,6 +274,8 @@ mod tests {
             elapsed < Duration::from_millis(250),
             "one latency for the burst, not one per chunk: {elapsed:?}"
         );
+        assert_eq!(sb.turnarounds(), 1, "whole burst = one turnaround");
+        assert_eq!(sa.turnarounds(), 0);
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //! * [`registry`] — per-session IDs and the active-session table behind
 //!   graceful shutdown (stop accepting, drain the sessions in flight).
 //! * [`stats`] — per-request `WireBreakdown`/latency aggregation into
-//!   server-level counters.
+//!   server-level counters and mergeable latency histograms.
+//! * [`metrics`] — a scrapeable Prometheus `/metrics` endpoint over the
+//!   same [`stats`] snapshots, plus live pool/queue gauges and the
+//!   process-wide per-phase wire-byte counters.
 //! * [`proto`] — the framed request protocol shared by server and
 //!   clients.
 //! * [`client`] — [`client::ServeClient`]: the evaluator side of a
@@ -40,6 +43,7 @@
 
 pub mod client;
 pub mod demo;
+pub mod metrics;
 pub mod pool;
 pub mod proto;
 pub mod registry;

@@ -301,11 +301,13 @@ impl Server {
         for d in dispatchers {
             let _ = d.join();
         }
+        let pool_stats = shared.pool.stats();
         shared.pool.stop();
         let mut final_stats = ServeStats::default();
         for shard in &shared.shards {
             final_stats.merge(&lock(&shard.stats));
         }
+        final_stats.pool.merge(&pool_stats);
         final_stats
     }
 }
@@ -366,13 +368,41 @@ impl ServerHandle {
         self.shared.request_shutdown();
     }
 
-    /// Snapshot of the aggregated serving stats (merged across shards).
+    /// Snapshot of the aggregated serving stats (merged across shards,
+    /// with the process-global pool counters folded in).
     pub fn stats(&self) -> ServeStats {
         let mut total = ServeStats::default();
         for shard in &self.shared.shards {
             total.merge(&lock(&shard.stats));
         }
+        total.pool.merge(&self.shared.pool.stats());
         total
+    }
+
+    /// Per-shard stats snapshots, in shard order (the `/metrics`
+    /// endpoint's `shard`-labeled series; pool counters stay zero here —
+    /// the pool is process-global, see [`ServerHandle::stats`]).
+    pub fn shard_stats(&self) -> Vec<ServeStats> {
+        self.shared
+            .shards
+            .iter()
+            .map(|shard| lock(&shard.stats).clone())
+            .collect()
+    }
+
+    /// Connections accepted but not yet picked up by each shard's
+    /// dispatcher, in shard order.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.shared
+            .shards
+            .iter()
+            .map(|shard| lock(&shard.queue).len())
+            .collect()
+    }
+
+    /// Precompute-pool stock depths: `(base, per-model ready)`.
+    pub fn pool_depths(&self) -> (usize, Vec<(String, usize)>) {
+        self.shared.pool.depths()
     }
 
     /// Number of sessions currently being served.

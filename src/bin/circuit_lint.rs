@@ -12,8 +12,9 @@
 //!   stop-at-first-error behavior and report every structured diagnostic
 //!   (`DS-Exx`/`DS-Wxx`), e.g. for triaging a corrupt import.
 //! * `--src-lint ROOT` — token-level protocol-path lint over
-//!   `crates/{ot,core,serve}/src`, denying `unwrap()`/`expect()`/`panic!`
-//!   outside the checked-in allowlist (stale allowlist entries fail too).
+//!   `crates/{ot,core,serve}/src` and `vendor/telemetry/src`, denying
+//!   `unwrap()`/`expect()`/`panic!` outside the checked-in allowlist
+//!   (stale allowlist entries fail too).
 //!
 //! ```sh
 //! circuit_lint --model all --deny-warnings
@@ -49,8 +50,8 @@ structural errors (errors always fail).
 --chunk-gates takes a comma-separated list of streaming chunk sizes for
 the peak-resident-table prediction (default 0,1024,8192; 0 = buffered).
 
---src-lint scans crates/{ot,core,serve}/src under ROOT for
-unwrap()/expect()/panic! outside comments, strings and #[cfg(test)]
+--src-lint scans crates/{ot,core,serve}/src and vendor/telemetry/src
+under ROOT for unwrap()/expect()/panic! outside comments, strings and #[cfg(test)]
 modules. --allowlist names the audited-exception file (default
 ROOT/protocol_lint.allow if it exists); unmatched entries are stale and
 fail the gate.";

@@ -15,12 +15,15 @@ use std::process::ExitCode;
 
 use deepsecure::analyze::{analyze, report};
 use deepsecure::serve::demo;
+use deepsecure::serve::metrics::MetricsServer;
 use deepsecure::serve::server::{ServeConfig, Server};
+use deepsecure::trace;
 
 const USAGE: &str = "\
 usage:
   deepsecure_serve --listen HOST:PORT [--models NAME[,NAME…]] [--pool N]
                    [--chunk-gates N] [--sessions N] [--seed S] [--threads N]
+                   [--metrics-addr HOST:PORT] [--trace-out FILE]
   deepsecure_serve --lint [--models NAME[,NAME…]] [--chunk-gates N]
 
   --listen       address to serve on (port 0 picks an ephemeral port)
@@ -40,6 +43,14 @@ usage:
                  garbling/modexp pool width (0 = one per core; default
                  from DEEPSECURE_THREADS, else 1). A pure perf knob:
                  wire bytes are identical at any width.
+  --metrics-addr serve Prometheus text metrics over HTTP at this address
+                 (GET /metrics; port 0 picks an ephemeral port): request
+                 and session counters, online/setup latency histograms,
+                 precompute-pool depth and hit/miss counters, per-shard
+                 accept-queue depth, and live per-phase wire bytes
+  --trace-out    record wall-time spans of every session's protocol
+                 phases and write a Chrome trace-event JSON file at
+                 shutdown (view at https://ui.perfetto.dev)
   --lint         do not serve: statically analyze the hosted models
                  (structural verification, cost prediction, optimization
                  opportunities — see circuit_lint) and exit non-zero if
@@ -59,12 +70,21 @@ fn main() -> ExitCode {
     }
 }
 
-fn parse(args: &[String]) -> Result<(ServeConfig, bool), String> {
+struct ServeCli {
+    config: ServeConfig,
+    lint: bool,
+    metrics_addr: Option<String>,
+    trace_out: Option<String>,
+}
+
+fn parse(args: &[String]) -> Result<ServeCli, String> {
     let mut config = ServeConfig {
         addr: String::new(),
         ..ServeConfig::default()
     };
     let mut lint = false;
+    let mut metrics_addr = None;
+    let mut trace_out = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -108,6 +128,8 @@ fn parse(args: &[String]) -> Result<(ServeConfig, bool), String> {
                     .parse()
                     .map_err(|_| format!("--threads takes a count (0 = auto), got {v:?}"))?;
             }
+            "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")?),
+            "--trace-out" => trace_out = Some(value("--trace-out")?),
             "--lint" => lint = true,
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
@@ -115,7 +137,12 @@ fn parse(args: &[String]) -> Result<(ServeConfig, bool), String> {
     if config.addr.is_empty() && !lint {
         return Err(format!("--listen HOST:PORT is required\n{USAGE}"));
     }
-    Ok((config, lint))
+    Ok(ServeCli {
+        config,
+        lint,
+        metrics_addr,
+        trace_out,
+    })
 }
 
 /// Analyzes every hosted model instead of serving: the pre-deployment
@@ -145,9 +172,17 @@ fn lint_models(config: &ServeConfig) -> Result<(), String> {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let (config, lint) = parse(args)?;
+    let ServeCli {
+        config,
+        lint,
+        metrics_addr,
+        trace_out,
+    } = parse(args)?;
     if lint {
         return lint_models(&config);
+    }
+    if trace_out.is_some() {
+        let _ = trace::start();
     }
     eprintln!(
         "serve: building {} (training + compiling at startup)…",
@@ -173,7 +208,24 @@ fn run(args: &[String]) -> Result<(), String> {
             .map(|n| format!(", exits after {n} sessions"))
             .unwrap_or_default()
     );
+    let metrics = match &metrics_addr {
+        Some(addr) => {
+            let m = MetricsServer::start(addr, server.handle())
+                .map_err(|e| format!("binding metrics endpoint {addr}: {e}"))?;
+            eprintln!("serve: metrics at http://{}/metrics", m.local_addr());
+            Some(m)
+        }
+        None => None,
+    };
     let stats = server.run();
+    if let Some(m) = &metrics {
+        m.stop();
+    }
+    if let Some(path) = &trace_out {
+        // No report.* track: the sessions' umbrella spans are the record.
+        trace::write_trace(path, "serve", 0, &[])?;
+        eprintln!("serve: wrote trace to {path}");
+    }
     println!("serve: final stats\n{}", stats.summary());
     Ok(())
 }

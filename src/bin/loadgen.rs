@@ -18,11 +18,13 @@ use deepsecure::core::compile::plain_label;
 use deepsecure::core::protocol::{run_compiled, InferenceReport};
 use deepsecure::serve::client::{ClientModel, QueryOutcome, ServeClient};
 use deepsecure::serve::demo;
+use deepsecure::trace;
+use telemetry::HistSnapshot;
 
 const USAGE: &str = "\
 usage:
   loadgen --connect HOST:PORT [--model NAME] [--clients K] [--requests R]
-          [--check] [--seed S] [--threads N]
+          [--check] [--seed S] [--threads N] [--trace-out FILE]
 
   --connect   the deepsecure_serve address
   --model     zoo model to query (default tiny_mlp)
@@ -32,7 +34,10 @@ usage:
               or wire-byte divergence
   --seed      base OT-randomness seed, varied per client (default 1000)
   --threads   evaluator-side worker threads per client (0 = one per
-              core; default from DEEPSECURE_THREADS, else 1)";
+              core; default from DEEPSECURE_THREADS, else 1)
+  --trace-out record wall-time spans of every client's protocol phases
+              and write a Chrome trace-event JSON file (Perfetto shows
+              the K clients' sessions overlapping)";
 
 struct Cli {
     addr: String,
@@ -42,6 +47,7 @@ struct Cli {
     check: bool,
     seed: u64,
     threads: usize,
+    trace_out: Option<String>,
 }
 
 fn parse(args: &[String]) -> Result<Cli, String> {
@@ -53,6 +59,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         check: false,
         seed: 1000,
         threads: deepsecure::serve::demo::inference_config().threads,
+        trace_out: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -81,6 +88,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                     .ok_or_else(|| format!("--requests takes a positive count, got {v:?}"))?;
             }
             "--check" => cli.check = true,
+            "--trace-out" => cli.trace_out = Some(value("--trace-out")?),
             "--seed" => {
                 let v = value("--seed")?;
                 cli.seed = v
@@ -138,6 +146,9 @@ fn run(args: &[String]) -> Result<(), String> {
         cli.model, cli.clients, cli.requests, samples
     );
 
+    if cli.trace_out.is_some() {
+        let _ = trace::start();
+    }
     let wall = Instant::now();
     let workers: Vec<_> = (0..cli.clients)
         .map(|tid| {
@@ -183,15 +194,24 @@ fn run(args: &[String]) -> Result<(), String> {
         runs.push(worker.join().map_err(|_| "client thread panicked")??);
     }
     let wall_s = wall.elapsed().as_secs_f64();
+    if let Some(path) = &cli.trace_out {
+        // No report.* track: the clients' umbrella spans are the record.
+        trace::write_trace(path, "loadgen", 0, &[])?;
+        eprintln!("loadgen: wrote trace to {path}");
+    }
 
     let n_requests = (cli.clients * cli.requests) as f64;
-    let mut online: Vec<f64> = runs
-        .iter()
-        .flat_map(|r| r.queries.iter().map(|(_, o)| o.online_s))
-        .collect();
-    online.sort_by(|a, b| a.total_cmp(b));
-    let online_mean = online.iter().sum::<f64>() / n_requests;
-    let online_max = online.last().copied().unwrap_or(0.0);
+    // Latencies fold into the same mergeable log-scale histogram the
+    // server scrapes: percentiles are nearest-rank on bucket bounds
+    // (≤12.5% wide), not an exact order statistic of a sorted Vec.
+    let mut online_us = HistSnapshot::new();
+    for r in &runs {
+        for (_, o) in &r.queries {
+            online_us.record(to_us(o.online_s));
+        }
+    }
+    let online_mean = online_us.mean() / 1e6;
+    let online_max = online_us.quantile(1.0) as f64 / 1e6;
     let offline_mean = runs.iter().map(|r| r.offline_s).sum::<f64>() / cli.clients as f64;
     let total_mean = runs.iter().map(|r| r.total_s).sum::<f64>() / cli.clients as f64;
     let peak_resident = runs
@@ -216,14 +236,15 @@ fn run(args: &[String]) -> Result<(), String> {
     println!(
         "  per-request online (OT ext + tables + eval)          mean {online_mean:.3} s  \
          p50 {:.3} s  p95 {:.3} s  p99 {:.3} s  max {online_max:.3} s",
-        percentile(&online, 50.0),
-        percentile(&online, 95.0),
-        percentile(&online, 99.0),
+        online_us.quantile(0.50) as f64 / 1e6,
+        online_us.quantile(0.95) as f64 / 1e6,
+        online_us.quantile(0.99) as f64 / 1e6,
     );
     println!(
         "  session end-to-end                                   mean {total_mean:.3} s ({:.0}% spent online)",
         100.0 * (cli.requests as f64 * online_mean) / total_mean
     );
+    print_histogram(&online_us);
 
     if cli.check {
         check(&model, &runs)?;
@@ -231,16 +252,26 @@ fn run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Nearest-rank percentile of an ascending-sorted latency sample:
-/// the smallest value with at least `p`% of the sample at or below it.
-/// With few requests the tail percentiles all collapse onto the max —
-/// honest, if not very informative, for tiny runs.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
+/// Seconds to histogram microseconds.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn to_us(seconds: f64) -> u64 {
+    (seconds.max(0.0) * 1e6) as u64
+}
+
+/// The online-latency distribution, one line per occupied bucket.
+#[allow(clippy::cast_precision_loss)]
+fn print_histogram(h: &HistSnapshot) {
+    const BAR: usize = 40;
+    let peak = h.nonzero_buckets().map(|(_, n)| n).max().unwrap_or(1);
+    println!("  online latency histogram ({} samples)", h.count());
+    for (bound, count) in h.nonzero_buckets() {
+        let bar = (count as usize * BAR).div_ceil(peak as usize).min(BAR);
+        println!(
+            "    <= {:>9.3} ms  {count:>6}  {}",
+            bound as f64 / 1e3,
+            "#".repeat(bar)
+        );
     }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Replays every queried sample in-memory and asserts labels and wire

@@ -22,15 +22,20 @@ use std::time::{Duration, Instant};
 use deepsecure::analyze;
 use deepsecure::core::compile::plain_label;
 use deepsecure::core::protocol::{run_compiled, InferenceConfig};
-use deepsecure::core::session::{ClientSession, ServerSession, WireBreakdown};
-use deepsecure::ot::{Channel, FramedChannel, TcpChannel};
+use deepsecure::core::session::{
+    ClientOutcome, ClientSession, ServerOutcome, ServerSession, WireBreakdown,
+};
+use deepsecure::ot::{Channel, FramedChannel, NetModel, SimChannel, TcpChannel};
 use deepsecure::serve::demo::{self, DemoModel};
+use deepsecure::trace;
 
 const USAGE: &str = "\
 usage:
   two_party evaluator --listen HOST:PORT [--model NAME] [--threads N]
+                      [--sim lan|wan] [--trace-out FILE]
   two_party garbler --connect HOST:PORT [--model NAME] [--input N]
                     [--chunk-gates N] [--threads N] [--check]
+                    [--sim lan|wan] [--trace-out FILE]
   two_party lint [--model NAME] [--chunk-gates N]
 
 models: tiny_mlp (default), tiny_cnn, mnist_mlp, mnist_mlp_c
@@ -66,7 +71,20 @@ value for both processes. Chunking never changes what crosses the wire
 threads) and fail unless the decoded label and the wire-byte totals
 match the TCP run; with --chunk-gates it additionally replays the
 buffered path and fails unless the streamed run moved bit-identical
-per-phase wire bytes.";
+per-phase wire bytes.
+
+--sim lan|wan wraps this endpoint's TCP channel in the simulated link
+model after the handshake (LAN: 1 Gbps, 1 ms one-way; WAN: 40 Mbps,
+40 ms): sleeps model latency once per turnaround and serialization at
+the link rate. A local observability knob — wire bytes are untouched,
+so --check still passes.
+
+--trace-out FILE records wall-time spans for every protocol phase
+(including per-chunk garbling/transfer/evaluation) and writes a
+Chrome trace-event JSON file viewable at https://ui.perfetto.dev.
+The outcome's phase windows ride along as report.* spans, so
+`trace_view FILE --check` can reconcile span totals against the
+report independently of this process.";
 
 /// Handshake protocol tag; bump on any wire-format change (v2: the hello
 /// gained the chunk-gates field).
@@ -91,6 +109,8 @@ struct Cli {
     chunk_gates: usize,
     threads: usize,
     check: bool,
+    sim: Option<NetModel>,
+    trace_out: Option<String>,
 }
 
 fn parse(args: &[String]) -> Result<Cli, String> {
@@ -108,6 +128,8 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         chunk_gates: 0,
         threads: demo::inference_config().threads,
         check: false,
+        sim: None,
+        trace_out: None,
     };
     let addr_flag = if role == "garbler" {
         "--connect"
@@ -143,6 +165,15 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                     .map_err(|_| format!("--threads takes a count (0 = auto), got {v:?}"))?;
             }
             "--check" if role == "garbler" => cli.check = true,
+            "--sim" if role != "lint" => {
+                let v = value("--sim")?;
+                cli.sim = Some(match v.as_str() {
+                    "lan" => NetModel::lan(),
+                    "wan" => NetModel::wan(),
+                    _ => return Err(format!("--sim takes lan or wan, got {v:?}")),
+                });
+            }
+            "--trace-out" if role != "lint" => cli.trace_out = Some(value("--trace-out")?),
             other => return Err(format!("unknown flag {other:?} for {role}\n{USAGE}")),
         }
     }
@@ -229,11 +260,28 @@ fn run_garbler(cli: &Cli, model: &DemoModel) -> Result<(), String> {
     let mut chan = framed.into_inner();
 
     let client = ClientSession::new(Arc::clone(&compiled), &cfg);
-    let epoch = Instant::now();
-    let out = client
-        .run(&mut chan, std::slice::from_ref(&input_bits), epoch)
-        .map_err(|e| format!("protocol: {e}"))?;
+    let (epoch, trace_offset_us) = protocol_epoch(cli.trace_out.is_some());
+    let out = match cli.sim {
+        Some(model) => {
+            let mut sim = SimChannel::new(chan, model);
+            let out = client
+                .run(&mut sim, std::slice::from_ref(&input_bits), epoch)
+                .map_err(|e| format!("protocol: {e}"))?;
+            eprintln!(
+                "garbler: simulated link paid latency on {} turnaround(s)",
+                sim.turnarounds()
+            );
+            out
+        }
+        None => client
+            .run(&mut chan, std::slice::from_ref(&input_bits), epoch)
+            .map_err(|e| format!("protocol: {e}"))?,
+    };
     let total_s = epoch.elapsed().as_secs_f64();
+    if let Some(path) = &cli.trace_out {
+        write_garbler_trace(path, trace_offset_us, &out)?;
+        eprintln!("garbler: wrote trace to {path}");
+    }
 
     println!(
         "garbler: model {}, input #{} -> label {}",
@@ -389,10 +437,27 @@ fn run_evaluator(cli: &Cli, model: &DemoModel) -> Result<(), String> {
     };
     let weight_bits = compiled.weight_bits(&model.net);
     let server = ServerSession::new(compiled, &cfg);
-    let epoch = Instant::now();
-    let out = server
-        .run(&mut chan, std::slice::from_ref(&weight_bits), epoch)
-        .map_err(|e| format!("protocol: {e}"))?;
+    let (epoch, trace_offset_us) = protocol_epoch(cli.trace_out.is_some());
+    let out = match cli.sim {
+        Some(model) => {
+            let mut sim = SimChannel::new(chan, model);
+            let out = server
+                .run(&mut sim, std::slice::from_ref(&weight_bits), epoch)
+                .map_err(|e| format!("protocol: {e}"))?;
+            eprintln!(
+                "evaluator: simulated link paid latency on {} turnaround(s)",
+                sim.turnarounds()
+            );
+            out
+        }
+        None => server
+            .run(&mut chan, std::slice::from_ref(&weight_bits), epoch)
+            .map_err(|e| format!("protocol: {e}"))?,
+    };
+    if let Some(path) = &cli.trace_out {
+        write_evaluator_trace(path, trace_offset_us, &out)?;
+        eprintln!("evaluator: wrote trace to {path}");
+    }
     println!(
         "evaluator: served 1 inference in {:.3} s (evaluation {:.3} s)",
         epoch.elapsed().as_secs_f64(),
@@ -408,6 +473,40 @@ fn run_evaluator(cli: &Cli, model: &DemoModel) -> Result<(), String> {
     );
     print_breakdown(&out.wire);
     Ok(())
+}
+
+/// The protocol epoch: telemetry-aligned when a trace is requested (so
+/// `report.*` spans land on the span timeline), a plain `Instant`
+/// otherwise — spans then cost one relaxed load each.
+fn protocol_epoch(tracing: bool) -> (Instant, u64) {
+    if tracing {
+        trace::start()
+    } else {
+        (Instant::now(), 0)
+    }
+}
+
+/// Writes the garbler's trace: every drained protocol span plus the
+/// outcome's phase windows as `report.*` spans (`trace_view --check`
+/// reconciles the two).
+fn write_garbler_trace(path: &str, offset_us: u64, out: &ClientOutcome) -> Result<(), String> {
+    let mut reports: Vec<trace::ReportSpan> =
+        vec![("report.ot_setup", out.ot_setup.start_s, out.ot_setup.end_s)];
+    for (garble, online) in &out.cycles {
+        reports.push(("report.garble", garble.start_s, garble.end_s));
+        reports.push(("report.online", online.start_s, online.end_s));
+    }
+    trace::write_trace(path, "garbler", offset_us, &reports)
+}
+
+/// Writes the evaluator's trace (`report.eval` windows ride along).
+fn write_evaluator_trace(path: &str, offset_us: u64, out: &ServerOutcome) -> Result<(), String> {
+    let reports: Vec<trace::ReportSpan> = out
+        .evals
+        .iter()
+        .map(|s| ("report.eval", s.start_s, s.end_s))
+        .collect();
+    trace::write_trace(path, "evaluator", offset_us, &reports)
 }
 
 fn print_breakdown(wire: &WireBreakdown) {

@@ -19,6 +19,7 @@
 //! | [`core`] | `deepsecure-core` | compiler, protocol, pre-processing, cost model |
 //! | [`serve`] | `deepsecure-serve` | concurrent inference server + precompute pool |
 //! | [`analyze`] | `deepsecure-analyze` | circuit verifier, cost analyzer, protocol-path lint |
+//! | [`trace`] | (this crate) | Chrome trace-event export shared by the binaries |
 //!
 //! # Quickstart
 //!
@@ -34,6 +35,8 @@
 //! # let _ = (model,);
 //! # }
 //! ```
+
+pub mod trace;
 
 pub use deepsecure_analyze as analyze;
 pub use deepsecure_bigint as bigint;

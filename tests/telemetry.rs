@@ -1,0 +1,102 @@
+//! End-to-end telemetry: the `--trace-out` Chrome trace written by a
+//! streamed sim-WAN `two_party` run must be valid trace-event JSON whose
+//! span-derived phase totals reconcile with the `InferenceReport` phase
+//! windows — checked by the `trace_view` binary, the same tool a human
+//! would point at the file before loading it into Perfetto.
+
+use std::process::{Command, Stdio};
+
+/// Picks a free port by binding port 0 and dropping the listener. The
+/// tiny race with another process re-binding it is acceptable for tests.
+fn free_port() -> u16 {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .and_then(|l| l.local_addr())
+        .map(|a| a.port())
+        .expect("binding an ephemeral port")
+}
+
+#[test]
+fn sim_wan_streamed_trace_is_valid_and_reconciles_with_the_report() {
+    let port = free_port();
+    let addr = format!("127.0.0.1:{port}");
+    let dir = std::env::temp_dir().join(format!("ds_telemetry_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("creating trace dir");
+    let garbler_trace = dir.join("garbler.json");
+    let evaluator_trace = dir.join("evaluator.json");
+
+    // Evaluator first (the garbler retries its connect for 15 s).
+    let mut evaluator = Command::new(env!("CARGO_BIN_EXE_two_party"))
+        .args(["evaluator", "--listen", &addr, "--model", "tiny_mlp"])
+        .arg("--trace-out")
+        .arg(&evaluator_trace)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawning evaluator");
+    // Streamed over the simulated WAN: chunk spans + link pacing on the
+    // garbler's side of the channel.
+    let garbler = Command::new(env!("CARGO_BIN_EXE_two_party"))
+        .args([
+            "garbler",
+            "--connect",
+            &addr,
+            "--model",
+            "tiny_mlp",
+            "--input",
+            "0",
+            "--chunk-gates",
+            "2000",
+            "--sim",
+            "wan",
+        ])
+        .arg("--trace-out")
+        .arg(&garbler_trace)
+        .output()
+        .expect("running garbler");
+    let garbler_err = String::from_utf8_lossy(&garbler.stderr).into_owned();
+    assert!(garbler.status.success(), "garbler failed:\n{garbler_err}");
+    assert!(
+        evaluator.wait().expect("joining evaluator").success(),
+        "evaluator failed"
+    );
+
+    for (trace, expect_span) in [
+        (&garbler_trace, "client.garble.chunk"),
+        (&evaluator_trace, "server.eval.chunk"),
+    ] {
+        let text = std::fs::read_to_string(trace).expect("reading trace");
+        // Object-form Chrome trace: Perfetto and chrome://tracing load it.
+        assert!(
+            text.starts_with("{\"traceEvents\":["),
+            "unexpected trace shape: {}…",
+            &text[..text.len().min(80)]
+        );
+        assert!(
+            text.contains(expect_span),
+            "trace misses the {expect_span} spans"
+        );
+        assert!(text.contains("report."), "trace misses the report.* track");
+
+        // trace_view validates the JSON, tabulates phases, and — with
+        // --check — reconciles span totals against the report windows
+        // within its 5% tolerance.
+        let view = Command::new(env!("CARGO_BIN_EXE_trace_view"))
+            .arg(trace)
+            .arg("--check")
+            .output()
+            .expect("running trace_view");
+        let stdout = String::from_utf8_lossy(&view.stdout).into_owned();
+        let stderr = String::from_utf8_lossy(&view.stderr).into_owned();
+        assert!(
+            view.status.success(),
+            "trace_view --check failed on {}:\n{stdout}\n{stderr}",
+            trace.display()
+        );
+        assert!(
+            stdout.contains("check OK"),
+            "no reconciliation ran on {}:\n{stdout}",
+            trace.display()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

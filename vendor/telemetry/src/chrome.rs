@@ -1,0 +1,123 @@
+//! Chrome trace-event JSON rendering (the format Perfetto and
+//! `chrome://tracing` load).
+//!
+//! Only the subset the workspace emits: complete events (`"ph":"X"`, one
+//! object per span with microsecond `ts`/`dur`) and thread-name metadata
+//! events (`"ph":"M"`), wrapped in the `{"traceEvents":[...]}` object form.
+//! Writing only — `trace_view` parses traces back with the workspace's
+//! existing mini JSON reader.
+
+use std::fmt::Write as _;
+
+use crate::span::SpanEvent;
+
+/// Builder for one trace file.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<String>,
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        ChromeTrace::default()
+    }
+
+    /// Adds one complete (`"ph":"X"`) event.
+    pub fn push_span(&mut self, name: &str, pid: u64, tid: u64, start_us: u64, dur_us: u64) {
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{start_us},\"dur\":{dur_us}}}",
+            escape_json(name)
+        ));
+    }
+
+    /// Adds every drained telemetry [`SpanEvent`] under one process id.
+    pub fn push_events(&mut self, pid: u64, events: &[SpanEvent]) {
+        for e in events {
+            self.push_span(e.name, pid, e.tid, e.start_us, e.dur_us);
+        }
+    }
+
+    /// Names a thread track (`"ph":"M"` metadata), e.g. `"garbler"` or
+    /// `"report"` for the `InferenceReport`-derived reference track.
+    pub fn name_thread(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+            escape_json(name)
+        ));
+    }
+
+    /// The finished JSON document (`{"traceEvents":[...],"displayTimeUnit":"ms"}`).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(e);
+            if i + 1 < self.events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_complete_and_metadata_events() {
+        let mut t = ChromeTrace::new();
+        t.name_thread(1, 0, "garbler");
+        t.push_span("client.garble", 1, 0, 100, 250);
+        t.push_events(
+            1,
+            &[SpanEvent {
+                name: "server.eval.chunk",
+                tid: 3,
+                start_us: 400,
+                dur_us: 20,
+            }],
+        );
+        let json = t.render();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        assert!(json.contains(
+            "{\"name\":\"client.garble\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":100,\"dur\":250}"
+        ));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"args\":{\"name\":\"garbler\"}"));
+        assert!(json.contains("server.eval.chunk"));
+        // Exactly one comma between events, none trailing.
+        assert_eq!(json.matches(",\n").count(), 2);
+    }
+
+    #[test]
+    fn escapes_hostile_names() {
+        let mut t = ChromeTrace::new();
+        t.push_span("a\"b\\c\nd", 1, 0, 0, 1);
+        let json = t.render();
+        assert!(json.contains("a\\\"b\\\\c\\nd"));
+    }
+}

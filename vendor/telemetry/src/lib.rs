@@ -1,0 +1,39 @@
+//! Minimal offline telemetry core for the DeepSecure workspace.
+//!
+//! The build environment has no crates.io access, so this crate carries the
+//! same discipline as the other `vendor/` members (`workpool`, `rand`):
+//! std-only, no unsafe, no dependencies. It provides the four primitives the
+//! protocol and the server instrument themselves with:
+//!
+//! * [`Counter`] / [`Gauge`] — lock-free atomic scalars, `const`-constructible
+//!   so protocol crates can keep them in `static`s with zero setup cost.
+//! * [`Histogram`] / [`HistSnapshot`] — fixed-bucket log-linear histograms
+//!   (8 sub-buckets per octave, ≤ 12.5 % relative bucket width) with
+//!   mergeable plain snapshots and nearest-rank p50/p95/p99.
+//! * [`span!`] — scoped wall-time spans recorded into bounded per-thread
+//!   ring buffers behind one global enable flag. Disabled, a span is a
+//!   single relaxed atomic load (asserted by `bench/benches/components.rs`).
+//! * [`prom`] / [`chrome`] — renderers: Prometheus text exposition format
+//!   for `/metrics`, and Chrome trace-event JSON for Perfetto.
+//!
+//! The crate never touches the protocol's channels: instrumentation observes
+//! wall time and byte counts that the protocol already computes, so wire
+//! bytes are bit-identical whether telemetry is enabled or not.
+
+pub mod chrome;
+pub mod metrics;
+pub mod prom;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, HistSnapshot, Histogram};
+pub use span::{drain, dropped_total, enabled, reset, set_enabled, SpanEvent, SpanGuard};
+
+/// Recovers the guarded value from a poisoned mutex: telemetry state is a
+/// bag of monotone counters and ring buffers, valid after any panic in an
+/// unrelated holder, so waiting threads proceed with whatever was recorded.
+pub(crate) fn lock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}

@@ -1,0 +1,367 @@
+//! Atomic counters, gauges, and log-scale histograms.
+//!
+//! All primitives are safe to share across threads and record with relaxed
+//! atomics: metrics never synchronize protocol data, they only have to end
+//! up monotone and complete by the time somebody snapshots them (which
+//! happens behind the caller's own synchronization — a scrape lock, a
+//! thread join).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone event counter. `const`-constructible so protocol crates can
+/// hold one in a `static` with zero initialization cost.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable instantaneous value (queue depths, active sessions).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero (a release racing a scrape must
+    /// never wrap to 2^64 - 1).
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Log-linear bucket layout: values 0..16 get exact buckets, then every
+/// octave is split into 8 sub-buckets, so any recorded value lands in a
+/// bucket whose bounds are within 12.5 % of it. 496 buckets cover all of
+/// `u64`; unit is the caller's choice (the workspace records microseconds
+/// and bytes).
+pub const NUM_BUCKETS: usize = 496;
+const SUB_LOG: u32 = 3; // 2^3 = 8 sub-buckets per octave
+
+/// Bucket index for a value (total order preserving).
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v < 1 << (SUB_LOG + 1) {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros();
+    let shifted = (v >> (octave - SUB_LOG)) as usize;
+    ((octave - SUB_LOG) as usize) * (1 << SUB_LOG) + shifted
+}
+
+/// Largest value that falls in bucket `i` (the `le` bound Prometheus
+/// exposes, and the value quantiles report).
+#[must_use]
+pub fn bucket_bound(i: usize) -> u64 {
+    if i < 1 << (SUB_LOG + 1) {
+        return i as u64;
+    }
+    let octave = (i as u32 >> SUB_LOG) + SUB_LOG - 1;
+    let sub = (i as u128 & ((1 << SUB_LOG) - 1)) | (1 << SUB_LOG);
+    // The very top bucket's exclusive bound is 2^64, hence the u128 detour.
+    let bound = ((sub + 1) << (octave - SUB_LOG)) - 1;
+    u64::try_from(bound).unwrap_or(u64::MAX)
+}
+
+/// A shareable histogram: fixed atomic buckets plus count and sum.
+/// Concurrent recorders never contend on a lock; readers take a
+/// [`HistSnapshot`] and do all arithmetic on the plain copy.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(NUM_BUCKETS);
+        buckets.resize_with(NUM_BUCKETS, || AtomicU64::new(0));
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        if let Some(b) = self.buckets.get(bucket_index(v)) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// A plain, mergeable copy of the current state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain (non-atomic) histogram state: `Clone`, mergeable, and usable
+/// directly as a single-threaded accumulator (it has `record` too, so code
+/// already behind a lock does not need the atomic variant).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// An empty snapshot.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        if let Some(b) = self.buckets.get_mut(bucket_index(v)) {
+            *b += 1;
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Adds every observation of `other` into `self`.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (caller's unit).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean observation, `0.0` when empty.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile: the upper bound of the bucket holding the
+    /// `ceil(q * count)`-th smallest observation. `0` when empty; `q` is
+    /// clamped to `[0, 1]`.
+    #[must_use]
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(NUM_BUCKETS - 1)
+    }
+
+    /// Occupied buckets as `(upper_bound, count)`, ascending. This is the
+    /// iteration Prometheus rendering and report printing share.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_bound(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_monotone_and_self_consistent() {
+        // Exhaustive over the exact range, then spot checks across octaves.
+        let mut last = 0;
+        for v in 0u64..2048 {
+            let i = bucket_index(v);
+            assert!(i >= last, "index must be monotone at v={v}");
+            last = i;
+            assert!(bucket_bound(i) >= v, "bound {} < v {v}", bucket_bound(i));
+            // Bucket relative width ≤ 12.5%.
+            assert!(bucket_bound(i) <= v + v / 8 + 1);
+        }
+        for shift in 4..63 {
+            let v = 1u64 << shift;
+            for probe in [v - 1, v, v + v / 2, (v << 1) - 1] {
+                let i = bucket_index(probe);
+                assert!(bucket_bound(i) >= probe);
+                assert!(i < NUM_BUCKETS);
+                if i > 0 {
+                    assert!(bucket_bound(i - 1) < probe, "probe {probe} in bucket {i}");
+                }
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_bound(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank_within_bucket_width() {
+        let mut h = HistSnapshot::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        for (q, exact) in [(0.5, 500u64), (0.95, 950), (0.99, 990), (1.0, 1000)] {
+            let got = h.quantile(q);
+            assert!(
+                got >= exact && got <= exact + exact / 8 + 1,
+                "q{q}: got {got}, exact {exact}"
+            );
+        }
+        assert_eq!(HistSnapshot::new().quantile(0.5), 0);
+        let mut one = HistSnapshot::new();
+        one.record(42);
+        assert_eq!(one.quantile(0.0), one.quantile(1.0));
+    }
+
+    #[test]
+    fn snapshots_merge_like_concatenated_streams() {
+        let mut a = HistSnapshot::new();
+        let mut b = HistSnapshot::new();
+        let mut all = HistSnapshot::new();
+        for v in 0..500u64 {
+            a.record(v * 7);
+            all.record(v * 7);
+        }
+        for v in 0..300u64 {
+            b.record(v * 13 + 1);
+            all.record(v * 13 + 1);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn atomic_histogram_snapshot_matches_plain_recording() {
+        let h = Histogram::new();
+        let mut plain = HistSnapshot::new();
+        for v in [0, 1, 15, 16, 17, 1000, 123_456_789] {
+            h.record(v);
+            plain.record(v);
+        }
+        assert_eq!(h.snapshot(), plain);
+    }
+
+    #[test]
+    fn counters_and_gauges() {
+        static C: Counter = Counter::new();
+        C.inc();
+        C.add(4);
+        assert_eq!(C.get(), 5);
+        let g = Gauge::new();
+        g.set(10);
+        g.add(2);
+        g.sub(5);
+        assert_eq!(g.get(), 7);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "gauge subtraction saturates");
+    }
+}

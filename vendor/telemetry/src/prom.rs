@@ -1,0 +1,163 @@
+//! Prometheus text exposition format (version 0.0.4) rendering.
+//!
+//! Just enough of the format for a scrapeable `/metrics` endpoint: one
+//! `# HELP`/`# TYPE` header per family, labeled samples, and cumulative
+//! histogram series derived from a [`HistSnapshot`]. No timestamps — the
+//! scraper assigns them.
+
+use std::fmt::Write as _;
+
+use crate::metrics::HistSnapshot;
+
+/// Accumulates one exposition document.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+/// Escapes a label value (`\`, `"`, newline — the three the format requires).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_labels(out: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out.push('}');
+}
+
+/// Formats a sample value the way Prometheus expects (`1e9`-style floats
+/// round-trip; integral values print without a fraction).
+fn fmt_value(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+impl PromWriter {
+    /// An empty document.
+    #[must_use]
+    pub fn new() -> Self {
+        PromWriter::default()
+    }
+
+    /// Writes the `# HELP` / `# TYPE` header for a family. Call once per
+    /// family, before its samples; `kind` is `counter`, `gauge`, or
+    /// `histogram`.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Writes one labeled sample.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        write_labels(&mut self.out, labels);
+        let _ = writeln!(self.out, " {}", fmt_value(value));
+    }
+
+    /// Writes a full cumulative histogram family body (`_bucket` series for
+    /// every occupied bound plus `+Inf`, then `_sum` and `_count`).
+    /// `scale` converts the snapshot's integer unit into the exposition
+    /// unit — e.g. `1e-6` to expose microsecond recordings as seconds.
+    #[allow(clippy::cast_precision_loss)]
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], h: &HistSnapshot, scale: f64) {
+        let mut cumulative = 0u64;
+        for (bound, count) in h.nonzero_buckets() {
+            cumulative += count;
+            let le = fmt_value(bound as f64 * scale);
+            self.out.push_str(name);
+            self.out.push_str("_bucket");
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", &le));
+            write_labels(&mut self.out, &with_le);
+            let _ = writeln!(self.out, " {cumulative}");
+        }
+        self.out.push_str(name);
+        self.out.push_str("_bucket");
+        let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+        with_le.push(("le", "+Inf"));
+        write_labels(&mut self.out, &with_le);
+        let _ = writeln!(self.out, " {}", h.count());
+        self.out.push_str(name);
+        self.out.push_str("_sum");
+        write_labels(&mut self.out, labels);
+        let _ = writeln!(self.out, " {}", fmt_value(h.sum() as f64 * scale));
+        self.out.push_str(name);
+        self.out.push_str("_count");
+        write_labels(&mut self.out, labels);
+        let _ = writeln!(self.out, " {}", h.count());
+    }
+
+    /// The finished document.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_gauges_and_labels() {
+        let mut w = PromWriter::new();
+        w.family("ds_requests_total", "counter", "Completed requests.");
+        w.sample("ds_requests_total", &[("shard", "0")], 3.0);
+        w.sample("ds_requests_total", &[], 7.0);
+        w.family("ds_active", "gauge", "Active sessions.");
+        w.sample("ds_active", &[("model", "a\"b\\c")], 2.0);
+        let text = w.finish();
+        assert!(text.contains("# TYPE ds_requests_total counter"));
+        assert!(text.contains("ds_requests_total{shard=\"0\"} 3"));
+        assert!(text.contains("\nds_requests_total 7\n"));
+        assert!(text.contains("ds_active{model=\"a\\\"b\\\\c\"} 2"));
+    }
+
+    #[test]
+    fn histogram_series_are_cumulative_and_scaled() {
+        let mut h = HistSnapshot::new();
+        for v in [1_000u64, 2_000, 2_000, 1_000_000] {
+            h.record(v);
+        }
+        let mut w = PromWriter::new();
+        w.family("ds_latency_seconds", "histogram", "Online latency.");
+        w.histogram("ds_latency_seconds", &[], &h, 1e-6);
+        let text = w.finish();
+        // 1000µs lands in the bucket bounded at 1023µs.
+        assert!(
+            text.contains("ds_latency_seconds_bucket{le=\"0.001023\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("ds_latency_seconds_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("ds_latency_seconds_count 4"));
+        // Sum: 1.005 ms in seconds.
+        assert!(text.contains("ds_latency_seconds_sum 1.005"));
+        // Buckets are cumulative: the 2ms bound counts the 1ms samples too.
+        let two_ms = text
+            .lines()
+            .find(|l| l.contains("le=\"0.002"))
+            .map(|l| l.rsplit(' ').next().map(str::to_string));
+        assert_eq!(two_ms.flatten().as_deref(), Some("3"), "{text}");
+    }
+}

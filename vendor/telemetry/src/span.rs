@@ -1,0 +1,275 @@
+//! Scoped wall-time spans recorded into bounded per-thread ring buffers.
+//!
+//! ```
+//! telemetry::set_enabled(true);
+//! {
+//!     let _g = telemetry::span!("garble.chunk");
+//!     // ... work ...
+//! }
+//! let events = telemetry::drain();
+//! assert_eq!(events[0].name, "garble.chunk");
+//! ```
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Disabled must be free.** The global sink defaults to off; an
+//!    un-enabled `span!` is one relaxed atomic load and a `bool` check in
+//!    `Drop`. The protocol keeps its spans unconditionally in the source.
+//! 2. **Recording must not block peers.** Each thread owns its ring buffer
+//!    (a `Mutex` that only the owner and `drain` ever touch, so it is
+//!    uncontended on the hot path) and overwrites its own oldest events
+//!    past [`RING_CAPACITY`] rather than growing or blocking.
+//! 3. **Timestamps are comparable across threads**: microseconds since a
+//!    process-wide epoch ([`now_us`]), so traces from garbler and pool
+//!    threads interleave correctly in Perfetto.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::lock;
+
+/// Per-thread ring capacity. A protocol run emits a few spans per chunk
+/// (~1k chunks for the paper-scale model), so 65 536 keeps whole runs; a
+/// long-lived server keeps the most recent window instead of growing.
+pub const RING_CAPACITY: usize = 65_536;
+
+/// One completed span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Static label, dot-separated by convention (`"client.garble.chunk"`).
+    pub name: &'static str,
+    /// Small dense id of the recording thread (assigned on first span).
+    pub tid: u64,
+    /// Microseconds from the process epoch to the span's start.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+struct Ring {
+    buf: Vec<SpanEvent>,
+    /// Next write position once `buf` has reached capacity.
+    head: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, ev: SpanEvent) {
+        if self.buf.len() < RING_CAPACITY {
+            self.buf.push(ev);
+        } else if let Some(slot) = self.buf.get_mut(self.head) {
+            *slot = ev;
+            self.head = (self.head + 1) % RING_CAPACITY;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events in recording order, clearing the ring.
+    fn take(&mut self) -> Vec<SpanEvent> {
+        let head = std::mem::take(&mut self.head);
+        let buf = std::mem::take(&mut self.buf);
+        if buf.len() < RING_CAPACITY || head == 0 {
+            return buf;
+        }
+        let mut out = Vec::with_capacity(buf.len());
+        out.extend_from_slice(&buf[head..]);
+        out.extend_from_slice(&buf[..head]);
+        out
+    }
+}
+
+type SharedRing = Arc<Mutex<Ring>>;
+
+fn registry() -> &'static Mutex<Vec<SharedRing>> {
+    static REGISTRY: OnceLock<Mutex<Vec<SharedRing>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: (u64, SharedRing) = {
+        let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        let ring = Arc::new(Mutex::new(Ring {
+            buf: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }));
+        lock(registry()).push(Arc::clone(&ring));
+        (tid, ring)
+    };
+}
+
+/// Turns the global sink on or off. Spans started while enabled still
+/// record on drop even if the sink is disabled meanwhile (their cost is
+/// already paid; dropping them would only skew traces).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether spans are currently being recorded.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Microseconds since the process-wide trace epoch (first telemetry use).
+#[must_use]
+pub fn now_us() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Collects every recorded span from every thread's ring, in global
+/// `start_us` order, and clears the rings.
+#[must_use]
+pub fn drain() -> Vec<SpanEvent> {
+    let rings: Vec<SharedRing> = lock(registry()).clone();
+    let mut out = Vec::new();
+    for ring in rings {
+        out.append(&mut lock(&ring).take());
+    }
+    out.sort_by_key(|e| (e.start_us, e.tid));
+    out
+}
+
+/// Total events overwritten ring-wide since the process started (spans
+/// recorded past [`RING_CAPACITY`] per thread between drains).
+#[must_use]
+pub fn dropped_total() -> u64 {
+    let rings: Vec<SharedRing> = lock(registry()).clone();
+    rings.iter().map(|r| lock(r).dropped).sum()
+}
+
+/// Clears all rings and drop counts without reading them (test isolation).
+pub fn reset() {
+    let rings: Vec<SharedRing> = lock(registry()).clone();
+    for ring in rings {
+        let mut g = lock(&ring);
+        g.buf.clear();
+        g.head = 0;
+        g.dropped = 0;
+    }
+}
+
+/// RAII guard created by [`span!`]: records one [`SpanEvent`] on drop when
+/// the sink was enabled at creation.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start_us: u64,
+    armed: bool,
+}
+
+/// Starts a span (prefer the [`span!`] macro, which reads as a statement).
+#[must_use]
+pub fn enter(name: &'static str) -> SpanGuard {
+    let armed = enabled();
+    SpanGuard {
+        name,
+        start_us: if armed { now_us() } else { 0 },
+        armed,
+    }
+}
+
+impl SpanGuard {
+    /// Ends the span now (dropping it does the same).
+    pub fn end(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let end = now_us();
+        let ev = |tid: u64| SpanEvent {
+            name: self.name,
+            tid,
+            start_us: self.start_us,
+            dur_us: end.saturating_sub(self.start_us),
+        };
+        // try_with: never panic from a Drop during thread teardown.
+        let _ = LOCAL.try_with(|(tid, ring)| lock(ring).push(ev(*tid)));
+    }
+}
+
+/// Records a wall-time span for the enclosing scope:
+/// `let _g = span!("server.eval.chunk");`. One relaxed load when the
+/// global sink is disabled.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global sink is process-wide, so every assertion about ring
+    // contents lives in this one test (cargo runs tests concurrently).
+    #[test]
+    fn spans_record_drain_and_bound() {
+        reset();
+        set_enabled(false);
+        {
+            let _g = crate::span!("off");
+        }
+        set_enabled(true);
+        {
+            let _g = crate::span!("outer");
+            let inner = crate::span!("inner");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            inner.end();
+        }
+        let worker = std::thread::spawn(|| {
+            let _g = crate::span!("worker");
+        });
+        worker.join().ok();
+        set_enabled(false);
+        let events = drain();
+        let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+        assert!(!names.contains(&"off"), "disabled spans must not record");
+        assert!(names.contains(&"outer"));
+        assert!(names.contains(&"inner"));
+        assert!(names.contains(&"worker"));
+        let inner = events.iter().find(|e| e.name == "inner").map(|e| e.dur_us);
+        assert!(
+            inner.is_some_and(|d| d >= 2_000),
+            "inner slept 2ms: {inner:?}"
+        );
+        let (outer, worker) = (
+            events.iter().find(|e| e.name == "outer"),
+            events.iter().find(|e| e.name == "worker"),
+        );
+        assert_ne!(
+            outer.map(|e| e.tid),
+            worker.map(|e| e.tid),
+            "threads get distinct tids"
+        );
+        assert!(drain().is_empty(), "drain clears the rings");
+
+        // Overflow: the ring keeps the newest RING_CAPACITY events.
+        set_enabled(true);
+        let before_dropped = dropped_total();
+        for _ in 0..RING_CAPACITY + 10 {
+            let _g = crate::span!("flood");
+        }
+        set_enabled(false);
+        let flood = drain();
+        let flood_count = flood.iter().filter(|e| e.name == "flood").count();
+        assert!(flood_count <= RING_CAPACITY);
+        assert!(dropped_total() >= before_dropped + 10);
+        let mut last = 0;
+        for e in &flood {
+            assert!(e.start_us >= last, "drain is start-ordered");
+            last = e.start_us;
+        }
+        reset();
+    }
+}
