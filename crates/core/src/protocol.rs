@@ -20,7 +20,7 @@
 //! `two_party` binary).
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use deepsecure_bigint::DhGroup;
 use deepsecure_circuit::Circuit;
@@ -64,7 +64,17 @@ impl std::fmt::Display for ProtocolError {
     }
 }
 
-impl std::error::Error for ProtocolError {}
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Ot(e) => Some(e),
+            ProtocolError::Channel(e) => Some(e),
+            ProtocolError::PartyPanic(_) => None,
+            // The server's error is usually the root cause.
+            ProtocolError::BothParties { server, .. } => Some(server.as_ref()),
+        }
+    }
+}
 
 impl From<OtError> for ProtocolError {
     fn from(e: OtError) -> ProtocolError {
@@ -97,10 +107,17 @@ pub struct InferenceConfig {
     pub chunk_gates: usize,
     /// Worker threads for garbling, evaluation, and base-OT modexps. `1`
     /// is the sequential path; `0` means auto (one per available core).
+    ///
     /// A pure perf knob: every thread count moves **bit-identical** wire
     /// bytes, so the parties need not agree on it. Defaults to the
     /// `DEEPSECURE_THREADS` env var, else `1`.
     pub threads: usize,
+    /// Session-level deadline. `None` (the default) never times out;
+    /// `Some(d)` is a wall-clock budget for the whole session that
+    /// transports can translate into per-phase I/O timeouts and that
+    /// retry loops must stop at. A local policy knob — the parties need
+    /// not agree on it and it moves no wire bytes.
+    pub deadline: Option<Duration>,
 }
 
 impl InferenceConfig {
@@ -123,6 +140,7 @@ impl Default for InferenceConfig {
             seed: 0,
             chunk_gates: 0,
             threads: workpool::threads_from_env("DEEPSECURE_THREADS").unwrap_or(1),
+            deadline: None,
         }
     }
 }

@@ -306,6 +306,15 @@ impl ClientSetup {
     pub fn base_ot_bytes(&self) -> u64 {
         self.sent + self.received
     }
+
+    /// `true` when the OT-extension state is at a batch boundary and can
+    /// be carried across a reconnect without re-running base OT. `false`
+    /// while an extension batch is mid-transfer (the correlation streams
+    /// have advanced past the peer's view — resuming would desynchronise).
+    #[must_use]
+    pub fn resumable(&self) -> bool {
+        !self.ot.is_in_flight()
+    }
 }
 
 /// A server session's completed base-OT setup (IKNP receiver side).
@@ -322,6 +331,13 @@ impl ServerSetup {
     /// Both directions of the base-OT setup — the `base_ot` wire term.
     pub fn base_ot_bytes(&self) -> u64 {
         self.sent + self.received
+    }
+
+    /// `true` when the OT-extension state is at a batch boundary and can
+    /// be carried across a reconnect — see [`ClientSetup::resumable`].
+    #[must_use]
+    pub fn resumable(&self) -> bool {
+        !self.ot.is_in_flight()
     }
 }
 

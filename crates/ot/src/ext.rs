@@ -66,6 +66,7 @@ pub struct ExtSender {
     seeds: Vec<Prg>,
     hash: FixedKeyHash,
     tweak: u64,
+    in_flight: bool,
 }
 
 impl std::fmt::Debug for ExtSender {
@@ -81,6 +82,7 @@ pub struct ExtReceiver {
     seed_pairs: Vec<(Prg, Prg)>,
     hash: FixedKeyHash,
     tweak: u64,
+    in_flight: bool,
 }
 
 impl std::fmt::Debug for ExtReceiver {
@@ -139,7 +141,19 @@ impl ExtSender {
             seeds: seeds_blocks.into_iter().map(Prg::from_seed).collect(),
             hash: FixedKeyHash::new(),
             tweak: 0,
+            in_flight: false,
         })
+    }
+
+    /// `true` while a [`ExtSender::send`] batch is mid-transfer: the
+    /// internal PRG streams and tweak have advanced but the peer may not
+    /// have consumed the matching flight. An in-flight sender must not be
+    /// reused on a new connection (resumption would desynchronise the
+    /// correlation); a sender that is *not* in flight is safe to carry
+    /// across a reconnect.
+    #[must_use]
+    pub fn is_in_flight(&self) -> bool {
+        self.in_flight
     }
 
     /// Sends `pairs.len()` chosen-message OTs.
@@ -156,6 +170,7 @@ impl ExtSender {
         if m == 0 {
             return Ok(());
         }
+        self.in_flight = true;
         // Column i of Q: q_i = G(k_{s_i}) ⊕ s_i · u_i  (u from receiver).
         let mut q_rows = vec![Block::ZERO; m];
         let bytes_per_col = m.div_ceil(8);
@@ -190,6 +205,7 @@ impl ExtSender {
         }
         self.tweak += m as u64;
         channel.send_blocks(&cts)?;
+        self.in_flight = false;
         Ok(())
     }
 }
@@ -233,7 +249,16 @@ impl ExtReceiver {
                 .collect(),
             hash: FixedKeyHash::new(),
             tweak: 0,
+            in_flight: false,
         })
+    }
+
+    /// `true` while a [`ExtReceiver::receive`] batch is mid-transfer. See
+    /// [`ExtSender::is_in_flight`] — an in-flight receiver has advanced
+    /// its PRG streams past the peer's view and must not be resumed.
+    #[must_use]
+    pub fn is_in_flight(&self) -> bool {
+        self.in_flight
     }
 
     /// Receives `choices.len()` OTs; returns the chosen blocks.
@@ -250,6 +275,7 @@ impl ExtReceiver {
         if m == 0 {
             return Ok(Vec::new());
         }
+        self.in_flight = true;
         let bytes_per_col = m.div_ceil(8);
         let mut r_packed = vec![0u8; bytes_per_col];
         for (j, &c) in choices.iter().enumerate() {
@@ -283,6 +309,7 @@ impl ExtReceiver {
             out.push(ct ^ self.hash.hash(t_rows[j], t));
         }
         self.tweak += m as u64;
+        self.in_flight = false;
         Ok(out)
     }
 }
@@ -369,6 +396,36 @@ mod tests {
         for ((pair, &c), msg) in pairs.iter().zip(&choices).zip(&got) {
             assert_eq!(*msg, if c { pair.1 } else { pair.0 });
         }
+    }
+
+    #[test]
+    fn in_flight_tracks_batch_boundaries() {
+        let group = DhGroup::modp_768();
+        let (mut ca, mut cb) = mem_pair();
+        let g2 = group.clone();
+        let sender = std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut s = ExtSender::setup(&mut ca, &g2, &mut rng).unwrap();
+            assert!(!s.is_in_flight());
+            s.send(&mut ca, &[(Block::ZERO, Block::ONES); 4]).unwrap();
+            assert!(!s.is_in_flight(), "completed batch must clear in_flight");
+            s.send(&mut ca, &[]).unwrap();
+            assert!(!s.is_in_flight(), "empty batch never enters flight");
+        });
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut r = ExtReceiver::setup(&mut cb, &group, &mut rng).unwrap();
+        assert!(!r.is_in_flight());
+        let _ = r.receive(&mut cb, &[true; 4]).unwrap();
+        assert!(!r.is_in_flight(), "completed batch must clear in_flight");
+        let _ = r.receive(&mut cb, &[]).unwrap();
+        assert!(!r.is_in_flight(), "empty batch never enters flight");
+        sender.join().unwrap();
+        // The sender thread (and its channel end) are gone: a batch torn
+        // mid-transfer must leave the receiver marked in flight, so a
+        // reconnect knows the correlation state cannot be resumed.
+        let err = r.receive(&mut cb, &[true; 4]);
+        assert!(err.is_err());
+        assert!(r.is_in_flight(), "torn batch must stay in flight");
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //!   joins in-process threads; [`tcp::TcpChannel`] joins real processes
 //!   over sockets; [`framed::FramedChannel`] adds length-prefixed message
 //!   framing over either; [`sim::SimChannel`] models LAN/WAN latency and
-//!   bandwidth in-process.
+//!   bandwidth in-process; [`fault::FaultChannel`] injects a seeded,
+//!   deterministic schedule of delays, short reads/writes, and connection
+//!   drops for resilience testing.
 //!
 //! # Example
 //!
@@ -46,6 +48,7 @@
 pub mod base;
 pub mod channel;
 pub mod ext;
+pub mod fault;
 pub mod framed;
 pub mod sim;
 pub mod tcp;
@@ -53,6 +56,7 @@ pub mod tcp;
 pub use base::ReceiverKeys;
 pub use channel::{mem_pair, Channel, ChannelError, MemChannel};
 pub use ext::SenderPrecomp;
+pub use fault::{ChaosSpec, FaultChannel, FaultProfile};
 pub use framed::FramedChannel;
 pub use sim::{NetModel, SimChannel};
 pub use tcp::{tcp_pair, TcpChannel};

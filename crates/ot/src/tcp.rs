@@ -76,16 +76,19 @@ impl TcpChannel {
 
     /// Connects, retrying with capped exponential backoff until `timeout`
     /// elapses — lets a client process start before its server has bound
-    /// the port without hammering the listener at a fixed cadence.
-    /// Permanent errors (unresolvable host, unreachable network) surface
-    /// immediately.
+    /// the port without hammering the listener at a fixed cadence. Each
+    /// backoff carries ±50% deterministic-per-process jitter (seeded from
+    /// the process ID and attempt count), so a fleet of simultaneous
+    /// clients does not retry in lockstep and reconnect stampedes spread
+    /// out. Permanent errors (unresolvable host, unreachable network)
+    /// surface immediately.
     ///
     /// # Errors
     ///
     /// Returns a [`ChannelError`] whose context records the attempt count
-    /// and elapsed time, with the last underlying [`std::io::Error`] as
-    /// its source — either the first permanent error or the final refusal
-    /// once `timeout` has elapsed.
+    /// and total elapsed time, with the last underlying
+    /// [`std::io::Error`] as its source — either the first permanent
+    /// error or the final refusal once `timeout` has elapsed.
     pub fn connect_retry<A: ToSocketAddrs + Clone>(
         addr: A,
         timeout: Duration,
@@ -95,6 +98,7 @@ impl TcpChannel {
         let start = Instant::now();
         let mut backoff = INITIAL_BACKOFF;
         let mut attempts: u32 = 0;
+        let mut jitter_state = u64::from(std::process::id()) ^ 0x5eed_cafe;
         loop {
             attempts += 1;
             match TcpChannel::connect(addr.clone()) {
@@ -114,19 +118,26 @@ impl TcpChannel {
                         return Err(ChannelError::io(
                             format!(
                                 "connecting: gave up after {attempts} attempts over \
-                                 {:.2} s (capped exponential backoff)",
+                                 {:.2} s (capped exponential backoff with jitter)",
                                 elapsed.as_secs_f64()
                             ),
                             e,
                         ));
                     }
-                    // Never sleep past the deadline.
-                    std::thread::sleep(backoff.min(timeout - elapsed));
+                    // Full backoff ±50% jitter; never sleep past the
+                    // deadline. Lockstep retries from many clients would
+                    // otherwise synchronize their reconnect storms.
+                    let sleep = jittered(backoff, &mut jitter_state);
+                    std::thread::sleep(sleep.min(timeout - elapsed));
                     backoff = (backoff * 2).min(MAX_BACKOFF);
                 }
                 Err(e) => {
                     return Err(ChannelError::io(
-                        format!("connecting: permanent error on attempt {attempts}"),
+                        format!(
+                            "connecting: permanent error on attempt {attempts} after \
+                             {:.2} s",
+                            start.elapsed().as_secs_f64()
+                        ),
                         e,
                     ))
                 }
@@ -144,9 +155,37 @@ impl TcpChannel {
         TcpChannel::from_stream(stream)
     }
 
+    /// Sets per-operation socket timeouts (SO_RCVTIMEO / SO_SNDTIMEO):
+    /// any single blocking read or write that stalls longer than its
+    /// timeout fails with [`std::io::ErrorKind::WouldBlock`]/`TimedOut`
+    /// instead of pinning the session forever — the per-phase deadline
+    /// primitive under a session-level deadline. `None` restores blocking
+    /// I/O.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the socket options cannot be set (or a timeout is zero).
+    pub fn set_io_timeouts(
+        &mut self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(read)?;
+        self.reader.get_ref().set_write_timeout(write)?;
+        Ok(())
+    }
+
     /// The remote endpoint's address.
     pub fn peer_addr(&self) -> SocketAddr {
         self.peer
+    }
+
+    /// Closes both directions of the socket immediately (best effort).
+    /// A reconnecting client calls this *before* dialing again so the
+    /// peer's blocked I/O on the dead connection fails promptly instead
+    /// of lingering until this endpoint's buffers drop.
+    pub fn shutdown(&self) {
+        let _ = self.reader.get_ref().shutdown(std::net::Shutdown::Both);
     }
 }
 
@@ -220,6 +259,19 @@ impl Channel for TcpChannel {
     fn bytes_received(&self) -> u64 {
         self.received
     }
+}
+
+/// `backoff` scaled by a factor drawn uniformly from [0.5, 1.5): full
+/// backoff ±50% jitter, from a splitmix64 step of `state`.
+fn jittered(backoff: Duration, state: &mut u64) -> Duration {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    // factor in [512, 1536) / 1024
+    let factor = 512 + (z & 1023);
+    Duration::from_nanos((backoff.as_nanos() as u64 / 1024).saturating_mul(factor))
 }
 
 /// Creates a connected loopback pair on an ephemeral port — the TCP

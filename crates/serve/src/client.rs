@@ -7,15 +7,35 @@
 //! [`ServerSession`]. The split is what makes the measured online latency
 //! directly comparable to the server's precompute claim.
 //!
+//! # Resilience
+//!
+//! The client survives a hostile network. [`ClientOptions`] adds:
+//!
+//! * **Chaos** — wrap the socket in a seeded [`FaultChannel`] so drops,
+//!   delays, and short I/O are reproducible.
+//! * **Deadline** — a session-level wall-clock budget every retry loop
+//!   stops at; per-phase socket timeouts (`SO_RCVTIMEO`/`SO_SNDTIMEO`)
+//!   bound each individual read/write.
+//! * **Retry with resumption** — a transport failure re-issues the whole
+//!   query on a new connection (a retried query never splits one garbling
+//!   across two attempts: the server always serves fresh material per
+//!   issue). When the OT-extension state died at a batch boundary the
+//!   reconnect presents the `RESUME` token from the `OK` frame and skips
+//!   the base OTs entirely — zero extra modexps, zero extra flights; a
+//!   mid-batch death falls back to a full fresh setup.
+//! * **Backoff on `BUSY`** — a shed server names its own retry-after
+//!   hint; the client honors it with jitter instead of hammering.
+//!
 //! [`query`]: ServeClient::query
 //! [`ServerSession`]: deepsecure_core::session::ServerSession
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use deepsecure_core::compile::Compiled;
 use deepsecure_core::protocol::InferenceConfig;
 use deepsecure_core::session::{ServerSession, ServerSetup, WireBreakdown};
-use deepsecure_ot::{Channel, FramedChannel, TcpChannel};
+use deepsecure_ot::{Channel, ChaosSpec, FaultChannel, FramedChannel, TcpChannel};
 
 use crate::demo::{self, DemoModel};
 use crate::proto;
@@ -45,12 +65,61 @@ impl ClientModel {
     }
 }
 
+/// Connection-time knobs for a [`ServeClient`].
+#[derive(Clone, Copy, Debug)]
+pub struct ClientOptions {
+    /// Evaluator OT randomness seed (varied per fresh setup).
+    pub seed: u64,
+    /// Budget for each TCP connect (with the channel's own jittered
+    /// backoff inside it).
+    pub connect_timeout: Duration,
+    /// Evaluator worker threads (`0` = one per core). A pure client-side
+    /// perf knob — wire bytes are identical at any width.
+    pub threads: usize,
+    /// Deterministic fault injection on this client's sockets.
+    pub chaos: Option<ChaosSpec>,
+    /// Session-level wall-clock budget; every retry loop stops at it.
+    /// `None` retries on failures but never on the clock.
+    pub deadline: Option<Duration>,
+    /// Per-read/per-write socket timeout (`SO_RCVTIMEO`/`SO_SNDTIMEO`) —
+    /// what turns a wedged peer into a retryable failure.
+    pub io_timeout: Option<Duration>,
+    /// Transport-failure retries per query (and per initial setup).
+    pub max_retries: u32,
+    /// `BUSY` sheds tolerated (with backoff) per handshake before the
+    /// error surfaces. `0` makes the first shed an immediate
+    /// [`ServeError::Busy`] — what an open-loop load generator wants, so
+    /// a shed counts as shed instead of turning into queueing delay.
+    pub busy_attempt_cap: u32,
+}
+
+impl Default for ClientOptions {
+    fn default() -> ClientOptions {
+        ClientOptions {
+            seed: 1,
+            connect_timeout: Duration::from_secs(5),
+            threads: demo::inference_config().threads,
+            chaos: None,
+            deadline: None,
+            io_timeout: None,
+            max_retries: 3,
+            busy_attempt_cap: HANDSHAKE_ATTEMPT_CAP,
+        }
+    }
+}
+
+/// Most handshake attempts (busy waits + chaos-killed hellos) in one
+/// [`establish`] call before giving up — the backstop when no deadline
+/// is configured.
+const HANDSHAKE_ATTEMPT_CAP: u32 = 64;
+
 /// What one request yielded, client side.
 #[derive(Clone, Copy, Debug)]
 pub struct QueryOutcome {
     /// The decoded inference label the server reported.
     pub label: usize,
-    /// Online-phase latency: request sent → label received, seconds.
+    /// Online-phase latency: request sent → label received, seconds
+    /// (includes any retries the request needed).
     pub online_s: f64,
     /// The request's online wire traffic (`base_ot` is 0 — setup traffic
     /// is reported by [`ServeClient::setup_bytes`]).
@@ -63,13 +132,23 @@ pub struct QueryOutcome {
 
 /// One live serving session, evaluator side.
 pub struct ServeClient {
-    chan: TcpChannel,
+    chan: FaultChannel<TcpChannel>,
     session: ServerSession,
     setup: ServerSetup,
     e_bits: Vec<Vec<bool>>,
     samples: usize,
     epoch: Instant,
-    /// Server-assigned session ID (from the `OK` frame).
+    start: Instant,
+    addr: String,
+    model_name: String,
+    fingerprint: u64,
+    compiled: Arc<Compiled>,
+    opts: ClientOptions,
+    rng_state: u64,
+    setup_bytes_total: u64,
+    token: u64,
+    /// Server-assigned session ID (from the `OK` frame; changes when a
+    /// reconnect could not resume and opened a fresh session).
     pub session_id: u64,
     /// Table-chunk size the server pinned in its `OK` frame (non-free
     /// gates per chunk; `0` = buffered). The evaluator adopts it so both
@@ -78,6 +157,15 @@ pub struct ServeClient {
     /// Wall-clock cost of connect + handshake + base-OT setup, seconds —
     /// the per-session offline cost.
     pub offline_s: f64,
+    /// Query re-issues after a transport failure.
+    pub retries: u64,
+    /// Reconnects that re-attached the existing OT-extension state via
+    /// `RESUME` (zero base-OT cost).
+    pub resumes: u64,
+    /// Reconnects that had to pay a full fresh base-OT setup.
+    pub fresh_reconnects: u64,
+    /// `BUSY` sheds honored with a backoff sleep.
+    pub busy_backoffs: u64,
 }
 
 impl std::fmt::Debug for ServeClient {
@@ -85,6 +173,161 @@ impl std::fmt::Debug for ServeClient {
         f.debug_struct("ServeClient")
             .field("session_id", &self.session_id)
             .finish_non_exhaustive()
+    }
+}
+
+/// Whether an error is a transport failure a reconnect can cure (channel
+/// or socket death — including injected chaos — but never a protocol
+/// rejection like `ERR` or an out-of-range index).
+fn is_transport(e: &ServeError) -> bool {
+    match e {
+        ServeError::Channel(_) | ServeError::Io(_) => true,
+        ServeError::Protocol(_) => {
+            // Dig for a channel/socket error under the protocol wrapper.
+            let mut cur: Option<&(dyn std::error::Error + 'static)> = Some(e);
+            while let Some(err) = cur {
+                if err.downcast_ref::<std::io::Error>().is_some()
+                    || err.downcast_ref::<deepsecure_ot::ChannelError>().is_some()
+                {
+                    return true;
+                }
+                cur = err.source();
+            }
+            false
+        }
+        ServeError::Handshake(_)
+        | ServeError::Model(_)
+        | ServeError::Busy { .. }
+        | ServeError::DeadlineExceeded { .. } => false,
+    }
+}
+
+/// One splitmix64 step — the client's jitter stream.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// `d` scaled by a uniform factor in `[0.5, 1.5)` — simultaneous clients
+/// must not retry in lockstep.
+fn jittered(d: Duration, state: &mut u64) -> Duration {
+    let factor = 512 + (splitmix(state) & 1023);
+    let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+    Duration::from_nanos((nanos / 1024).saturating_mul(factor))
+}
+
+/// Errors out once the session deadline is spent.
+fn check_deadline(opts: &ClientOptions, start: Instant) -> Result<(), ServeError> {
+    if let Some(deadline) = opts.deadline {
+        if start.elapsed() >= deadline {
+            return Err(ServeError::DeadlineExceeded { deadline });
+        }
+    }
+    Ok(())
+}
+
+/// A completed handshake: the channel plus what the `OK` frame granted.
+struct Established {
+    chan: FaultChannel<TcpChannel>,
+    session_id: u64,
+    chunk_gates: usize,
+    token: u64,
+    /// The server echoed the claimed session ID — the stashed extension
+    /// state is live again and base OT must be skipped.
+    resumed: bool,
+}
+
+/// Connects and handshakes, honoring `BUSY` backoff hints and retrying
+/// chaos-killed hellos, until accepted or out of budget. `resume` is the
+/// `(session_id, token)` claim of a reconnect.
+#[allow(clippy::too_many_arguments)]
+fn establish(
+    addr: &str,
+    model_name: &str,
+    fingerprint: u64,
+    opts: &ClientOptions,
+    rng_state: &mut u64,
+    start: Instant,
+    resume: Option<(u64, u64)>,
+    busy_backoffs: &mut u64,
+) -> Result<Established, ServeError> {
+    let mut attempts = 0u32;
+    loop {
+        check_deadline(opts, start)?;
+        let connect_budget = match opts.deadline {
+            Some(d) => opts.connect_timeout.min(d.saturating_sub(start.elapsed())),
+            None => opts.connect_timeout,
+        };
+        let handshake =
+            (|| -> Result<(FramedChannel<FaultChannel<TcpChannel>>, proto::Reply), ServeError> {
+                let mut tcp = TcpChannel::connect_retry(addr, connect_budget)?;
+                tcp.set_io_timeouts(opts.io_timeout, opts.io_timeout)?;
+                let chan = match opts.chaos {
+                    // Re-key the fault schedule per connection (still fully
+                    // deterministic via the jitter stream): a drop that lands
+                    // at a fixed operation index must not recur at the same
+                    // spot on every reconnect, or no retry budget ever gets a
+                    // session past it — real networks don't fail on a replay
+                    // schedule either.
+                    Some(spec) => FaultChannel::new(
+                        tcp,
+                        ChaosSpec {
+                            seed: spec.seed.wrapping_add(splitmix(rng_state)),
+                            ..spec
+                        },
+                    ),
+                    None => FaultChannel::transparent(tcp),
+                };
+                let mut framed = FramedChannel::new(chan);
+                let hello = match resume {
+                    Some((sid, token)) => proto::hello_resume(model_name, fingerprint, sid, token),
+                    None => proto::hello(model_name, fingerprint),
+                };
+                framed.send_frame(hello.as_bytes())?;
+                let reply =
+                    proto::parse_reply(&framed.recv_frame()?).map_err(ServeError::Handshake)?;
+                Ok((framed, reply))
+            })();
+        match handshake {
+            Ok((
+                framed,
+                proto::Reply::Accepted {
+                    session_id,
+                    chunk_gates,
+                    token,
+                },
+            )) => {
+                return Ok(Established {
+                    chan: framed.into_inner(),
+                    session_id,
+                    chunk_gates,
+                    token,
+                    resumed: resume.is_some_and(|(sid, _)| sid == session_id),
+                });
+            }
+            Ok((_, proto::Reply::Busy { retry_after_ms })) => {
+                attempts += 1;
+                if attempts > opts.busy_attempt_cap {
+                    return Err(ServeError::Busy { retry_after_ms });
+                }
+                *busy_backoffs += 1;
+                std::thread::sleep(jittered(
+                    Duration::from_millis(retry_after_ms.max(1)),
+                    rng_state,
+                ));
+            }
+            Err(e) if is_transport(&e) => {
+                attempts += 1;
+                if attempts > HANDSHAKE_ATTEMPT_CAP {
+                    return Err(e);
+                }
+                std::thread::sleep(jittered(Duration::from_millis(25), rng_state));
+            }
+            Err(e) => return Err(e),
+        }
     }
 }
 
@@ -103,13 +346,19 @@ impl ServeClient {
         seed: u64,
         timeout: Duration,
     ) -> Result<ServeClient, ServeError> {
-        Self::connect_with_threads(addr, model, seed, timeout, demo::inference_config().threads)
+        Self::connect_opts(
+            addr,
+            model,
+            ClientOptions {
+                seed,
+                connect_timeout: timeout,
+                ..ClientOptions::default()
+            },
+        )
     }
 
     /// [`ServeClient::connect`] with an explicit evaluator thread count
     /// (`0` = one per core) instead of the `DEEPSECURE_THREADS` default.
-    /// A pure client-side perf knob: the wire bytes are identical at any
-    /// width, so it needs no agreement with the server.
     ///
     /// # Errors
     ///
@@ -122,47 +371,177 @@ impl ServeClient {
         timeout: Duration,
         threads: usize,
     ) -> Result<ServeClient, ServeError> {
-        let t0 = Instant::now();
-        let chan = TcpChannel::connect_retry(addr, timeout)?;
-        let mut framed = FramedChannel::new(chan);
-        framed.send_frame(proto::hello(&model.demo.name, model.demo.fingerprint).as_bytes())?;
-        let (session_id, chunk_gates) =
-            proto::parse_reply(&framed.recv_frame()?).map_err(ServeError::Handshake)?;
-        let mut chan = framed.into_inner();
-        // The server decides the chunking; adopting it here is what keeps
-        // both sides' derived chunk boundaries identical.
-        let cfg = InferenceConfig {
-            seed,
-            chunk_gates,
-            threads,
-            ..demo::inference_config()
-        };
-        let session = ServerSession::new(Arc::clone(&model.demo.compiled), &cfg);
-        let setup = session.setup(&mut chan)?;
-        Ok(ServeClient {
-            chan,
-            session,
-            setup,
-            e_bits: vec![model.weight_bits.clone()],
-            samples: model.demo.dataset.len(),
-            epoch: t0,
-            session_id,
-            chunk_gates,
-            offline_s: t0.elapsed().as_secs_f64(),
-        })
+        Self::connect_opts(
+            addr,
+            model,
+            ClientOptions {
+                seed,
+                connect_timeout: timeout,
+                threads,
+                ..ClientOptions::default()
+            },
+        )
     }
 
-    /// Both directions of the base-OT setup traffic (the session's
-    /// offline bytes; requests report everything else).
+    /// Connects with the full resilience knob set.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection/handshake/OT failure (after exhausting the
+    /// retry budget), the server's `ERR` rejection, an un-backed-off
+    /// `BUSY` storm, or a blown deadline.
+    pub fn connect_opts(
+        addr: &str,
+        model: &ClientModel,
+        opts: ClientOptions,
+    ) -> Result<ServeClient, ServeError> {
+        let start = Instant::now();
+        let mut rng_state = opts.seed ^ 0xc11e_4775_ba5e_0ff5;
+        let mut busy_backoffs = 0u64;
+        let mut retries = 0u64;
+        let mut attempt = 0u32;
+        loop {
+            check_deadline(&opts, start)?;
+            let est = establish(
+                addr,
+                &model.demo.name,
+                model.demo.fingerprint,
+                &opts,
+                &mut rng_state,
+                start,
+                None,
+                &mut busy_backoffs,
+            )?;
+            // The server decides the chunking; adopting it here is what
+            // keeps both sides' derived chunk boundaries identical.
+            let cfg = InferenceConfig {
+                seed: opts.seed.wrapping_add(u64::from(attempt)),
+                chunk_gates: est.chunk_gates,
+                threads: opts.threads,
+                deadline: opts.deadline,
+                ..demo::inference_config()
+            };
+            let session = ServerSession::new(Arc::clone(&model.demo.compiled), &cfg);
+            let mut chan = est.chan;
+            match session.setup(&mut chan) {
+                Ok(setup) => {
+                    return Ok(ServeClient {
+                        setup_bytes_total: setup.base_ot_bytes(),
+                        chan,
+                        session,
+                        setup,
+                        e_bits: vec![model.weight_bits.clone()],
+                        samples: model.demo.dataset.len(),
+                        epoch: start,
+                        start,
+                        addr: addr.to_string(),
+                        model_name: model.demo.name.clone(),
+                        fingerprint: model.demo.fingerprint,
+                        compiled: Arc::clone(&model.demo.compiled),
+                        opts,
+                        rng_state,
+                        token: est.token,
+                        session_id: est.session_id,
+                        chunk_gates: est.chunk_gates,
+                        offline_s: start.elapsed().as_secs_f64(),
+                        retries,
+                        resumes: 0,
+                        fresh_reconnects: 0,
+                        busy_backoffs,
+                    });
+                }
+                Err(e) => {
+                    let e = ServeError::from(e);
+                    if !is_transport(&e) || attempt >= opts.max_retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    retries += 1;
+                    std::thread::sleep(jittered(Duration::from_millis(25), &mut rng_state));
+                }
+            }
+        }
+    }
+
+    /// Both directions of the current session's base-OT setup traffic
+    /// (the offline bytes; requests report everything else).
     pub fn setup_bytes(&self) -> u64 {
         self.setup.base_ot_bytes()
     }
 
-    /// Runs one online inference for dataset sample `sample`.
+    /// Base-OT traffic summed over every fresh setup this client ever
+    /// paid — a resumed reconnect adds **zero** here, which is exactly
+    /// what the resumption tests assert.
+    pub fn total_setup_bytes(&self) -> u64 {
+        self.setup_bytes_total
+    }
+
+    /// The fault-injection wrapper around this session's socket — tests
+    /// script precise drops (`set_drop_at`) and read the op counter
+    /// through it.
+    pub fn fault_channel_mut(&mut self) -> &mut FaultChannel<TcpChannel> {
+        &mut self.chan
+    }
+
+    /// Reconnects after a transport failure: resumes the OT-extension
+    /// state when it survived at a batch boundary, otherwise pays a
+    /// fresh base-OT setup.
+    fn reconnect(&mut self) -> Result<(), ServeError> {
+        // Kill the dead socket first: the server's blocked I/O on it must
+        // fail (so it parks the session for resumption) before our RESUME
+        // hello arrives on the new connection.
+        self.chan.inner_ref().shutdown();
+        let claim = if self.setup.resumable() {
+            Some((self.session_id, self.token))
+        } else {
+            None
+        };
+        let est = establish(
+            &self.addr,
+            &self.model_name,
+            self.fingerprint,
+            &self.opts,
+            &mut self.rng_state,
+            self.start,
+            claim,
+            &mut self.busy_backoffs,
+        )?;
+        self.chan = est.chan;
+        self.session_id = est.session_id;
+        self.token = est.token;
+        if est.resumed {
+            // The server re-attached the stashed sender state; the local
+            // receiver state picks up in lockstep. No base OT, no extra
+            // flights.
+            self.resumes += 1;
+        } else {
+            self.fresh_reconnects += 1;
+            let cfg = InferenceConfig {
+                // Fresh receiver randomness per fresh setup.
+                seed: self.opts.seed.wrapping_add(self.fresh_reconnects << 16),
+                chunk_gates: est.chunk_gates,
+                threads: self.opts.threads,
+                deadline: self.opts.deadline,
+                ..demo::inference_config()
+            };
+            self.chunk_gates = est.chunk_gates;
+            self.session = ServerSession::new(Arc::clone(&self.compiled), &cfg);
+            self.setup = self.session.setup(&mut self.chan)?;
+            self.setup_bytes_total += self.setup.base_ot_bytes();
+        }
+        Ok(())
+    }
+
+    /// Runs one online inference for dataset sample `sample`, re-issuing
+    /// the whole query on a new connection after a transport failure
+    /// (resuming the OT-extension state when possible). A retried query
+    /// never splits one garbling across attempts: every issue runs
+    /// against fresh server-side material from the sample index on.
     ///
     /// # Errors
     ///
-    /// Fails on channel/protocol failure.
+    /// Fails on a non-transport error, an exhausted retry budget, or a
+    /// blown session deadline.
     ///
     /// # Panics
     ///
@@ -174,6 +553,26 @@ impl ServeClient {
             self.samples
         );
         let t0 = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            match self.try_query(sample, t0) {
+                Ok(out) => return Ok(out),
+                Err(e) => {
+                    if !is_transport(&e) || attempt >= self.opts.max_retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.retries += 1;
+                    check_deadline(&self.opts, self.start)?;
+                    std::thread::sleep(jittered(Duration::from_millis(25), &mut self.rng_state));
+                    self.reconnect()?;
+                }
+            }
+        }
+    }
+
+    /// One issue of a query on the current connection.
+    fn try_query(&mut self, sample: usize, t0: Instant) -> Result<QueryOutcome, ServeError> {
         self.chan.send_u64(sample as u64)?;
         let out =
             self.session

@@ -66,6 +66,17 @@ pub enum ServeError {
     Io(std::io::Error),
     /// A model name the server does not host / cannot build.
     Model(String),
+    /// The server shed the connection with a `BUSY` frame; back off for
+    /// roughly the advertised hint before reconnecting.
+    Busy {
+        /// Server's backoff hint in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The client's session deadline expired before the work completed.
+    DeadlineExceeded {
+        /// The configured deadline that was blown.
+        deadline: std::time::Duration,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -76,6 +87,16 @@ impl std::fmt::Display for ServeError {
             ServeError::Handshake(m) => write!(f, "serve handshake failure: {m}"),
             ServeError::Io(e) => write!(f, "serve io failure: {e}"),
             ServeError::Model(m) => write!(f, "serve model failure: {m}"),
+            ServeError::Busy { retry_after_ms } => {
+                write!(f, "server busy: retry after {retry_after_ms} ms")
+            }
+            ServeError::DeadlineExceeded { deadline } => {
+                write!(
+                    f,
+                    "session deadline of {:.2} s exceeded",
+                    deadline.as_secs_f64()
+                )
+            }
         }
     }
 }
@@ -86,7 +107,10 @@ impl std::error::Error for ServeError {
             ServeError::Channel(e) => Some(e),
             ServeError::Protocol(e) => Some(e),
             ServeError::Io(e) => Some(e),
-            ServeError::Handshake(_) | ServeError::Model(_) => None,
+            ServeError::Handshake(_)
+            | ServeError::Model(_)
+            | ServeError::Busy { .. }
+            | ServeError::DeadlineExceeded { .. } => None,
         }
     }
 }

@@ -71,6 +71,16 @@ pub fn render(handle: &ServerHandle) -> String {
             *depth as f64,
         );
     }
+    w.family(
+        "deepsecure_resume_stash_depth",
+        "gauge",
+        "Disconnected sessions whose OT-extension state is stashed awaiting RESUME.",
+    );
+    w.sample(
+        "deepsecure_resume_stash_depth",
+        &[],
+        handle.resume_stash_depth() as f64,
+    );
     let (base_depth, model_depths) = handle.pool_depths();
     w.family(
         "deepsecure_pool_depth",

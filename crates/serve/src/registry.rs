@@ -60,6 +60,40 @@ impl SessionRegistry {
         id
     }
 
+    /// Re-registers a resumed session under its original ID, carrying the
+    /// served-request count forward across the reconnect. Returns `false`
+    /// (and registers nothing) if the ID is still live — a duplicate
+    /// resume claim must not hijack a session that never went away.
+    pub fn register_resumed(&self, id: u64, peer: SocketAddr, model: &str, requests: u64) -> bool {
+        let mut active = lock(&self.active);
+        if active.contains_key(&id) {
+            return false;
+        }
+        active.insert(
+            id,
+            SessionInfo {
+                peer,
+                model: model.to_string(),
+                requests,
+            },
+        );
+        true
+    }
+
+    /// Whether `id` is currently registered.
+    pub fn is_live(&self, id: u64) -> bool {
+        lock(&self.active).contains_key(&id)
+    }
+
+    /// Number of live sessions pinned to `model` — the admission-limit
+    /// denominator.
+    pub fn active_for_model(&self, model: &str) -> usize {
+        lock(&self.active)
+            .values()
+            .filter(|info| info.model == model)
+            .count()
+    }
+
     /// Bumps a session's served-request counter.
     pub fn note_request(&self, id: u64) {
         if let Some(info) = lock(&self.active).get_mut(&id) {
@@ -113,5 +147,25 @@ mod tests {
         assert_eq!(info.requests, 2);
         assert_eq!(reg.active(), 1);
         assert!(reg.deregister(a).is_none(), "double deregister is a no-op");
+    }
+
+    #[test]
+    fn resume_reuses_the_id_and_counts_per_model() {
+        let reg = SessionRegistry::new();
+        let a = reg.register(addr(2000), "tiny_mlp");
+        let _b = reg.register(addr(2001), "tiny_mlp");
+        assert_eq!(reg.active_for_model("tiny_mlp"), 2);
+        assert_eq!(reg.active_for_model("tiny_cnn"), 0);
+        // A resume claim against a still-live id must be refused.
+        assert!(!reg.register_resumed(a, addr(2002), "tiny_mlp", 5));
+        let info = reg.deregister(a).unwrap();
+        assert!(reg.register_resumed(a, addr(2002), "tiny_mlp", info.requests + 3));
+        let snap = reg.snapshot();
+        assert_eq!(snap[0].0, a);
+        assert_eq!(snap[0].1.requests, 3);
+        assert_eq!(reg.active_for_model("tiny_mlp"), 2);
+        // Fresh ids never collide with a resumed one.
+        let c = reg.register(addr(2003), "tiny_cnn");
+        assert!(c > a);
     }
 }

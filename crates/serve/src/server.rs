@@ -23,7 +23,7 @@
 //! stats lock. Shard stats are merged (see [`ServeStats::merge`]) into
 //! the totals that [`ServerHandle::stats`] and [`Server::run`] report.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -31,7 +31,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use deepsecure_core::protocol::InferenceConfig;
-use deepsecure_core::session::ClientSession;
+use deepsecure_core::session::{ClientSession, ClientSetup};
 use deepsecure_ot::{Channel, FramedChannel, TcpChannel};
 
 use crate::demo::{self, DemoModel};
@@ -74,6 +74,21 @@ pub struct ServeConfig {
     /// per available core). Defaults to the `DEEPSECURE_THREADS` env
     /// var, else `1`.
     pub threads: usize,
+    /// Max connections waiting in one shard's dispatch queue. Arrivals
+    /// beyond the cap are shed immediately with a `DSRV/2 BUSY` frame
+    /// (plus `retry_after_ms`) instead of piling up behind a saturated
+    /// garbler — bounded queues are what keep the p99 of *accepted*
+    /// requests flat under overload.
+    pub queue_cap: usize,
+    /// Max live sessions per hosted model; arrivals beyond it are shed
+    /// with `BUSY`. `None` = unlimited.
+    pub model_session_cap: Option<usize>,
+    /// Max concurrent sessions on live-garbling models (those above the
+    /// pool's material cap, which have no pooled stock to absorb bursts);
+    /// beyond it those arrivals are shed with `BUSY`. `None` = unlimited.
+    pub live_session_cap: Option<usize>,
+    /// Backoff hint carried in every `BUSY` frame, milliseconds.
+    pub retry_after_ms: u64,
 }
 
 impl ServeConfig {
@@ -98,6 +113,10 @@ impl Default for ServeConfig {
             seed: 7,
             chunk_gates: 0,
             threads: workpool::threads_from_env("DEEPSECURE_THREADS").unwrap_or(1),
+            queue_cap: 64,
+            model_session_cap: None,
+            live_session_cap: None,
+            retry_after_ms: 100,
         }
     }
 }
@@ -133,6 +152,27 @@ struct HostedModel {
     input_bits: Vec<Vec<bool>>,
 }
 
+/// OT-extension state stashed when a session dies at a resumable point
+/// (no extension batch mid-flight), waiting for the client's `RESUME`.
+struct StashedSession {
+    token: u64,
+    model: String,
+    requests: u64,
+    setup: ClientSetup,
+    epoch: Instant,
+}
+
+/// Most stashed sessions kept; beyond it the oldest (lowest session ID)
+/// is evicted — a bound, not an expiry, so a chaos storm of reconnects
+/// can't grow server memory without limit.
+const RESUME_STASH_CAP: usize = 256;
+
+/// How long a `RESUME` claim waits for the dying handler of its previous
+/// connection to park the session state and leave the registry. Bounds
+/// the reconnect race without letting a bogus claim camp on a handler
+/// thread.
+const RESUME_CLAIM_WAIT: Duration = Duration::from_millis(750);
+
 struct Shared {
     addr: SocketAddr,
     cfg: InferenceConfig,
@@ -142,11 +182,24 @@ struct Shared {
     shards: Vec<Arc<Shard>>,
     /// Sessions finished (completed + failed) across every shard — the
     /// global counter behind `max_sessions` auto-shutdown, kept atomic so
-    /// shards never serialize on it.
+    /// shards never serialize on it. Admission-shed connections never
+    /// count here: a shed is advice to come back, not a finished session.
     finished_sessions: AtomicU64,
     shutdown: AtomicBool,
     max_sessions: Option<u64>,
     idle_timeout: Option<Duration>,
+    queue_cap: usize,
+    model_session_cap: Option<usize>,
+    live_session_cap: Option<usize>,
+    retry_after_ms: u64,
+    /// Seed for deriving per-session resumption tokens.
+    token_seed: u64,
+    /// Resumable OT-extension state by session ID.
+    resume: Mutex<BTreeMap<u64, StashedSession>>,
+    /// Serializes the admission check-then-register sequence: without it
+    /// two concurrent handshakes could both pass a session cap and both
+    /// register, overshooting the limit.
+    admission: Mutex<()>,
 }
 
 impl Shared {
@@ -240,6 +293,13 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 max_sessions: config.max_sessions,
                 idle_timeout: config.idle_timeout,
+                queue_cap: config.queue_cap.max(1),
+                model_session_cap: config.model_session_cap,
+                live_session_cap: config.live_session_cap,
+                retry_after_ms: config.retry_after_ms,
+                token_seed: config.seed ^ 0x7e5e_7e5e_0000_70c4,
+                resume: Mutex::new(BTreeMap::new()),
+                admission: Mutex::new(()),
             }),
         })
     }
@@ -282,7 +342,16 @@ impl Server {
                     // same shard (its connections share that shard's
                     // dispatcher and stats).
                     let shard = &shared.shards[shard_index(&peer, shared.shards.len())];
-                    lock(&shard.queue).push_back((stream, peer));
+                    {
+                        let mut q = lock(&shard.queue);
+                        if q.len() >= shared.queue_cap {
+                            drop(q);
+                            lock(&shard.stats).shed_queue_full += 1;
+                            shed_busy(stream, shared.retry_after_ms);
+                            continue;
+                        }
+                        q.push_back((stream, peer));
+                    }
                     shard.cv.notify_all();
                 }
                 Err(e) => {
@@ -318,6 +387,61 @@ fn shard_index(peer: &SocketAddr, shards: usize) -> usize {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     peer.ip().hash(&mut h);
     (h.finish() % shards as u64) as usize
+}
+
+/// Best-effort `BUSY` reply on a connection the server will not serve.
+/// The write is bounded (a wedged client must not stall the accept loop)
+/// and every failure is ignored — the client treats a raw disconnect the
+/// same as a shed, just without the backoff hint.
+fn shed_busy(stream: TcpStream, retry_after_ms: u64) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    if let Ok(chan) = TcpChannel::from_stream(stream) {
+        let mut framed = FramedChannel::new(chan);
+        let _ = framed.send_frame(proto::busy(retry_after_ms).as_bytes());
+        let _ = framed.flush();
+    }
+}
+
+/// The resumption token for a session ID: a splitmix64-style mix of the
+/// server's token seed, so tokens are unguessable-without-the-seed yet
+/// deterministic (the same sid re-earns the same token across resumes,
+/// which is what lets a client survive repeated drops with one stored
+/// credential).
+fn session_token(seed: u64, sid: u64) -> u64 {
+    let mut z = seed ^ sid.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Whether an error bottoms out in an I/O timeout (`SO_RCVTIMEO`
+/// expiring surfaces as `WouldBlock` on Unix, `TimedOut` elsewhere) —
+/// the classifier behind the timeout counter family.
+fn is_timeout(e: &ServeError) -> bool {
+    let mut cur: Option<&(dyn std::error::Error + 'static)> = Some(e);
+    while let Some(err) = cur {
+        if let Some(io) = err.downcast_ref::<std::io::Error>() {
+            return matches!(
+                io.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            );
+        }
+        cur = err.source();
+    }
+    false
+}
+
+/// Parks a dead session's OT-extension state for a later `RESUME`,
+/// evicting the oldest stash beyond [`RESUME_STASH_CAP`].
+fn stash_for_resume(shared: &Shared, sid: u64, stash: StashedSession) {
+    let mut resume = lock(&shared.resume);
+    resume.insert(sid, stash);
+    while resume.len() > RESUME_STASH_CAP {
+        let Some((&oldest, _)) = resume.iter().next() else {
+            break;
+        };
+        resume.remove(&oldest);
+    }
 }
 
 /// One shard's dispatcher: pops queued connections, spawns a handler
@@ -415,6 +539,12 @@ impl ServerHandle {
         self.shared.registry.snapshot()
     }
 
+    /// Sessions currently stashed for `RESUME` (OT-extension state kept
+    /// across a disconnect, waiting for the client to come back).
+    pub fn resume_stash_depth(&self) -> usize {
+        lock(&self.shared.resume).len()
+    }
+
     /// Precompute pool counters.
     pub fn pool_stats(&self) -> PoolStats {
         self.shared.pool.stats()
@@ -440,11 +570,27 @@ impl Drop for RegistryGuard<'_> {
 }
 
 fn handle_connection(shared: &Shared, shard: &Shard, stream: TcpStream, peer: SocketAddr) {
-    lock(&shard.stats).open_session();
     match serve_session(shared, shard, stream, peer) {
-        Ok(()) => lock(&shard.stats).complete_session(),
+        Ok(()) => {
+            let mut st = lock(&shard.stats);
+            st.open_session();
+            st.complete_session();
+        }
+        // An admission shed never opened a session: the shed counter was
+        // bumped at the shed site, and a `BUSY` is advice to come back —
+        // it must not trip `max_sessions` auto-shutdown or the failure
+        // counters.
+        Err(ServeError::Busy { .. }) => return,
         Err(e) => {
-            lock(&shard.stats).fail_session();
+            {
+                let mut st = lock(&shard.stats);
+                st.open_session();
+                if is_timeout(&e) {
+                    st.timeout_session();
+                } else {
+                    st.fail_session();
+                }
+            }
             eprintln!("serve: session from {peer} failed: {e}");
         }
     }
@@ -453,6 +599,34 @@ fn handle_connection(shared: &Shared, shard: &Shard, stream: TcpStream, peer: So
     let finished = shared.finished_sessions.fetch_add(1, Ordering::SeqCst) + 1;
     if shared.max_sessions.is_some_and(|max| finished >= max) {
         shared.request_shutdown();
+    }
+}
+
+/// Why an arrival was refused with a `BUSY` frame.
+enum ShedReason {
+    ModelLimit,
+    LiveCapacity,
+}
+
+/// Counts the shed, sends the `BUSY` frame (best-effort), and surfaces
+/// the shed to the handler as [`ServeError::Busy`].
+fn shed(
+    shared: &Shared,
+    shard: &Shard,
+    framed: &mut FramedChannel<TcpChannel>,
+    reason: &ShedReason,
+) -> ServeError {
+    {
+        let mut st = lock(&shard.stats);
+        match reason {
+            ShedReason::ModelLimit => st.shed_model_limit += 1,
+            ShedReason::LiveCapacity => st.shed_live_capacity += 1,
+        }
+    }
+    let _ = framed.send_frame(proto::busy(shared.retry_after_ms).as_bytes());
+    let _ = framed.flush();
+    ServeError::Busy {
+        retry_after_ms: shared.retry_after_ms,
     }
 }
 
@@ -467,8 +641,8 @@ fn serve_session(
     stream.set_read_timeout(shared.idle_timeout)?;
     let chan = TcpChannel::from_stream(stream)?;
     let mut framed = FramedChannel::new(chan);
-    let hello = framed.recv_frame()?;
-    let (model_name, fingerprint) = match proto::parse_hello(&hello) {
+    let hello_frame = framed.recv_frame()?;
+    let hello = match proto::parse_hello(&hello_frame) {
         Ok(parsed) => parsed,
         Err(m) => {
             let _ = framed.send_frame(proto::err(&m).as_bytes());
@@ -476,40 +650,184 @@ fn serve_session(
             return Err(ServeError::Handshake(m));
         }
     };
-    let Some(hosted) = shared.models.get(&model_name) else {
-        let m = format!("model {model_name:?} not hosted");
+    let Some(hosted) = shared.models.get(&hello.model) else {
+        let m = format!("model {:?} not hosted", hello.model);
         let _ = framed.send_frame(proto::err(&m).as_bytes());
         let _ = framed.flush();
         return Err(ServeError::Handshake(m));
     };
-    if fingerprint != hosted.demo.fingerprint {
+    if hello.fingerprint != hosted.demo.fingerprint {
         let m = format!(
-            "circuit fingerprint mismatch for {model_name}: client {fingerprint:016x}, \
+            "circuit fingerprint mismatch for {}: client {:016x}, \
              server {:016x} (different code version?)",
-            hosted.demo.fingerprint
+            hello.model, hello.fingerprint, hosted.demo.fingerprint
         );
         let _ = framed.send_frame(proto::err(&m).as_bytes());
         let _ = framed.flush();
         return Err(ServeError::Handshake(m));
     }
-    let sid = shared.registry.register(peer, &model_name);
+
+    // A valid resume claim yields the stashed OT-extension state keyed by
+    // the original session ID; anything invalid (unknown sid, bad token,
+    // model mismatch) falls back to a fresh setup — the client learns
+    // which happened from whether the OK frame echoes its claimed sid.
+    let claimed = hello.resume.and_then(|(sid, token)| {
+        // The dying handler races this reconnect: its last write has to
+        // fail before it parks the extension state and leaves the
+        // registry. Poll briefly instead of falling straight back to a
+        // fresh (and pointlessly expensive) base-OT setup.
+        let wait = Instant::now();
+        loop {
+            let entry = {
+                let mut stash = lock(&shared.resume);
+                match stash.get(&sid) {
+                    Some(s) if s.token == token && s.model == hello.model => stash.remove(&sid),
+                    // Present but with the wrong credentials: a bad claim,
+                    // not a race — fall back to fresh immediately.
+                    Some(_) => return None,
+                    None => None,
+                }
+            };
+            if let Some(s) = entry {
+                // Parked, but the old handler may not have left the
+                // registry yet; wait it out within the same budget.
+                while shared.registry.is_live(sid) && wait.elapsed() < RESUME_CLAIM_WAIT {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                if shared.registry.is_live(sid) {
+                    lock(&shared.resume).insert(sid, s);
+                    return None;
+                }
+                return Some((sid, s));
+            }
+            if wait.elapsed() > RESUME_CLAIM_WAIT {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    });
+
+    // Admission control, atomic with registration (two concurrent
+    // handshakes must not both pass a cap and both register). A resume
+    // claim passes the same gates as a fresh arrival — resuming must not
+    // become a way to cut the admission line; a shed claim's state goes
+    // back in the stash so a later retry can still resume.
+    let admission = lock(&shared.admission);
+    let over_model_cap = shared
+        .model_session_cap
+        .is_some_and(|cap| shared.registry.active_for_model(&hello.model) >= cap);
+    let over_live_cap = !over_model_cap
+        && shared.live_session_cap.is_some()
+        && shared.pool.is_live(&hello.model) == Some(true)
+        && {
+            let live_now: usize = shared
+                .models
+                .keys()
+                .filter(|m| shared.pool.is_live(m) == Some(true))
+                .map(|m| shared.registry.active_for_model(m))
+                .sum();
+            shared.live_session_cap.is_some_and(|cap| live_now >= cap)
+        };
+    if over_model_cap || over_live_cap {
+        drop(admission);
+        if let Some((sid, s)) = claimed {
+            lock(&shared.resume).insert(sid, s);
+        }
+        let reason = if over_model_cap {
+            ShedReason::ModelLimit
+        } else {
+            ShedReason::LiveCapacity
+        };
+        return Err(shed(shared, shard, &mut framed, &reason));
+    }
+    let (sid, resumed_state) = match claimed {
+        Some((sid, s))
+            if shared
+                .registry
+                .register_resumed(sid, peer, &hello.model, s.requests) =>
+        {
+            lock(&shard.stats).resume_session();
+            (sid, Some(s))
+        }
+        // The claim's id re-entered the registry between the poll and
+        // here (should not happen; ids are never reused) — serve fresh.
+        _ => (shared.registry.register(peer, &hello.model), None),
+    };
+    drop(admission);
+    let token = session_token(shared.token_seed, sid);
     let _guard = RegistryGuard {
         registry: &shared.registry,
         id: sid,
     };
-    framed.send_frame(proto::ok(sid, shared.cfg.chunk_gates).as_bytes())?;
+    framed.send_frame(proto::ok(sid, shared.cfg.chunk_gates, token).as_bytes())?;
     let mut chan = framed.into_inner();
 
-    // One-time setup: the precomputed keypairs keep the offline modexp
-    // half off the wire path; only the three batched flights remain.
     let session = ClientSession::new(Arc::clone(&hosted.demo.compiled), &shared.cfg);
-    let epoch = Instant::now();
-    let pre = shared.pool.take_base();
-    let t_setup = Instant::now();
-    let mut setup = session.setup_with(&mut chan, pre, epoch)?;
-    lock(&shard.stats).record_setup(t_setup.elapsed().as_secs_f64(), setup.base_ot_bytes());
+    let (mut setup, epoch, mut served) = match resumed_state {
+        // Resumed: the stashed extension state picks up exactly where it
+        // left off — zero base-OT modexps, zero extra flights.
+        Some(s) => (s.setup, s.epoch, s.requests),
+        None => {
+            // One-time setup: the precomputed keypairs keep the offline
+            // modexp half off the wire path; only the three batched
+            // flights remain.
+            let epoch = Instant::now();
+            let pre = shared.pool.take_base();
+            let t_setup = Instant::now();
+            let setup = session.setup_with(&mut chan, pre, epoch)?;
+            lock(&shard.stats).record_setup(t_setup.elapsed().as_secs_f64(), setup.base_ot_bytes());
+            (setup, epoch, 0)
+        }
+    };
 
-    // Request loop: every inference is online-only.
+    let result = session_request_loop(
+        shared,
+        shard,
+        &mut chan,
+        &session,
+        &mut setup,
+        hosted,
+        &hello.model,
+        sid,
+        epoch,
+        &mut served,
+    );
+    if let Err(e) = result {
+        // A death at a batch boundary leaves the extension state intact;
+        // park it so the client's RESUME skips the base OTs entirely.
+        // Mid-batch deaths are not resumable — the streams have diverged.
+        if setup.resumable() {
+            stash_for_resume(
+                shared,
+                sid,
+                StashedSession {
+                    token,
+                    model: hello.model.clone(),
+                    requests: served,
+                    setup,
+                    epoch,
+                },
+            );
+        }
+        return Err(e);
+    }
+    Ok(())
+}
+
+/// The per-request loop of one session: every inference is online-only.
+#[allow(clippy::too_many_arguments)]
+fn session_request_loop(
+    shared: &Shared,
+    shard: &Shard,
+    chan: &mut TcpChannel,
+    session: &ClientSession,
+    setup: &mut ClientSetup,
+    hosted: &HostedModel,
+    model_name: &str,
+    sid: u64,
+    epoch: Instant,
+    served: &mut u64,
+) -> Result<(), ServeError> {
     loop {
         let req = chan.recv_u64()?;
         if req == proto::DONE {
@@ -524,25 +842,20 @@ fn serve_session(
                     hosted.input_bits.len()
                 ))
             })?;
-        let material = shared.pool.take_material(&model_name).ok_or_else(|| {
+        let material = shared.pool.take_material(model_name).ok_or_else(|| {
             ServeError::Model(format!(
                 "model {model_name:?} disappeared from the precompute pool mid-session"
             ))
         })?;
         let g_bits = &hosted.input_bits[idx];
         let t_online = Instant::now();
-        let out = session.run_online(
-            &mut chan,
-            &mut setup,
-            material,
-            std::slice::from_ref(g_bits),
-            epoch,
-        )?;
+        let out = session.run_online(chan, setup, material, std::slice::from_ref(g_bits), epoch)?;
         chan.send_u64(out.label as u64)?;
         chan.flush()?;
         shared.registry.note_request(sid);
+        *served += 1;
         lock(&shard.stats).record_request(
-            &model_name,
+            model_name,
             t_online.elapsed().as_secs_f64(),
             out.wire,
             out.peak_material_bytes,

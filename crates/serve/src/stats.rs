@@ -27,6 +27,21 @@ pub struct ServeStats {
     pub sessions_completed: u64,
     /// Sessions that ended in an error (bad handshake, disconnect, …).
     pub sessions_failed: u64,
+    /// Sessions re-attached to stashed OT-extension state via a `RESUME`
+    /// hello (each also counts in `sessions_opened`).
+    pub sessions_resumed: u64,
+    /// Sessions that died on an I/O timeout (idle client or blown
+    /// per-phase deadline) — a subset of `sessions_failed`.
+    pub sessions_timed_out: u64,
+    /// Connections shed with a `BUSY` frame because the shard's accept
+    /// queue was full.
+    pub shed_queue_full: u64,
+    /// Connections shed with a `BUSY` frame because the model's admission
+    /// limit was reached.
+    pub shed_model_limit: u64,
+    /// Connections shed with a `BUSY` frame because an over-cap model
+    /// missed the pool and live-garble capacity was saturated.
+    pub shed_live_capacity: u64,
     /// Requests served across all sessions.
     pub requests: u64,
     /// Sum of every request's online-phase wire traffic (`base_ot` stays
@@ -72,6 +87,22 @@ impl ServeStats {
         self.sessions_failed += 1;
     }
 
+    /// A session re-attached to stashed OT-extension state.
+    pub fn resume_session(&mut self) {
+        self.sessions_resumed += 1;
+    }
+
+    /// A session died on an I/O timeout (also counts as failed).
+    pub fn timeout_session(&mut self) {
+        self.sessions_timed_out += 1;
+        self.sessions_failed += 1;
+    }
+
+    /// Total connections shed with a `BUSY` frame, all reasons.
+    pub fn sheds(&self) -> u64 {
+        self.shed_queue_full + self.shed_model_limit + self.shed_live_capacity
+    }
+
     /// A session finished its base-OT setup.
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     pub fn record_setup(&mut self, setup_s: f64, bytes: u64) {
@@ -105,6 +136,11 @@ impl ServeStats {
         self.sessions_opened += other.sessions_opened;
         self.sessions_completed += other.sessions_completed;
         self.sessions_failed += other.sessions_failed;
+        self.sessions_resumed += other.sessions_resumed;
+        self.sessions_timed_out += other.sessions_timed_out;
+        self.shed_queue_full += other.shed_queue_full;
+        self.shed_model_limit += other.shed_model_limit;
+        self.shed_live_capacity += other.shed_live_capacity;
         self.requests += other.requests;
         self.wire += other.wire;
         self.setup_bytes += other.setup_bytes;
@@ -144,6 +180,16 @@ impl ServeStats {
             format!(
                 "sessions     {} opened, {} completed, {} failed",
                 self.sessions_opened, self.sessions_completed, self.sessions_failed
+            ),
+            format!(
+                "resilience   {} resumed, {} timed out, shed {} \
+                 (queue {}, model-limit {}, live-capacity {})",
+                self.sessions_resumed,
+                self.sessions_timed_out,
+                self.sheds(),
+                self.shed_queue_full,
+                self.shed_model_limit,
+                self.shed_live_capacity
             ),
             format!(
                 "requests     {} total (mean online {:.3} s; mean session setup {:.3} s)",
@@ -207,6 +253,40 @@ impl ServeStats {
             let mut l = labels.to_vec();
             l.push(("state", state));
             w.sample("deepsecure_sessions_total", &l, n as f64);
+        }
+        w.family(
+            "deepsecure_sessions_resumed_total",
+            "counter",
+            "Sessions re-attached to stashed OT-extension state via RESUME.",
+        );
+        w.sample(
+            "deepsecure_sessions_resumed_total",
+            labels,
+            self.sessions_resumed as f64,
+        );
+        w.family(
+            "deepsecure_session_timeouts_total",
+            "counter",
+            "Sessions that died on an I/O timeout (subset of failed).",
+        );
+        w.sample(
+            "deepsecure_session_timeouts_total",
+            labels,
+            self.sessions_timed_out as f64,
+        );
+        w.family(
+            "deepsecure_shed_total",
+            "counter",
+            "Connections shed with a BUSY frame, by admission-control reason.",
+        );
+        for (reason, n) in [
+            ("queue_full", self.shed_queue_full),
+            ("model_limit", self.shed_model_limit),
+            ("live_capacity", self.shed_live_capacity),
+        ] {
+            let mut l = labels.to_vec();
+            l.push(("reason", reason));
+            w.sample("deepsecure_shed_total", &l, n as f64);
         }
         w.family(
             "deepsecure_requests_total",
@@ -339,6 +419,7 @@ mod tests {
         );
         let text = stats.summary();
         assert!(text.contains("2 total"), "{text}");
+        assert!(text.contains("resilience   0 resumed"), "{text}");
         assert!(text.contains("tiny_mlp: 2 requests"), "{text}");
         assert!(text.contains("peak tables  640 B"), "{text}");
         assert!(text.contains("p95"), "{text}");
@@ -437,6 +518,46 @@ mod tests {
         assert!(
             text.contains("deepsecure_pool_events_total{shard=\"0\",kind=\"base_hit\"} 1"),
             "{text}"
+        );
+    }
+
+    #[test]
+    fn resilience_counters_merge_and_render() {
+        let mut a = ServeStats::default();
+        a.open_session();
+        a.resume_session();
+        a.shed_queue_full += 1;
+        a.shed_live_capacity += 2;
+        let mut b = ServeStats::default();
+        b.open_session();
+        b.timeout_session();
+        b.shed_model_limit += 3;
+        a.merge(&b);
+        assert_eq!(a.sessions_resumed, 1);
+        assert_eq!(a.sessions_timed_out, 1);
+        assert_eq!(a.sessions_failed, 1, "a timeout is also a failure");
+        assert_eq!(a.sheds(), 6);
+        let text = a.summary();
+        assert!(
+            text.contains("resilience   1 resumed, 1 timed out, shed 6"),
+            "{text}"
+        );
+        let mut w = PromWriter::new();
+        a.write_prometheus(&mut w, &[]);
+        let doc = w.finish();
+        assert!(doc.contains("deepsecure_sessions_resumed_total 1"), "{doc}");
+        assert!(doc.contains("deepsecure_session_timeouts_total 1"), "{doc}");
+        assert!(
+            doc.contains("deepsecure_shed_total{reason=\"queue_full\"} 1"),
+            "{doc}"
+        );
+        assert!(
+            doc.contains("deepsecure_shed_total{reason=\"model_limit\"} 3"),
+            "{doc}"
+        );
+        assert!(
+            doc.contains("deepsecure_shed_total{reason=\"live_capacity\"} 2"),
+            "{doc}"
         );
     }
 }

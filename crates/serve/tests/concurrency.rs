@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use deepsecure_core::compile::plain_label;
 use deepsecure_core::protocol::run_compiled;
-use deepsecure_serve::client::{ClientModel, QueryOutcome, ServeClient};
+use deepsecure_serve::client::{ClientModel, ClientOptions, QueryOutcome, ServeClient};
 use deepsecure_serve::demo;
 use deepsecure_serve::server::{ServeConfig, Server, ServerHandle};
 use deepsecure_serve::stats::ServeStats;
@@ -351,6 +351,61 @@ fn mid_handshake_disconnects_leave_the_server_serving_others() {
         "expected the three broken sessions to be counted: {stats:?}"
     );
     assert_eq!(stats.requests, 1);
+}
+
+#[test]
+fn abrupt_mid_query_disconnect_drains_the_registry_and_serving_continues() {
+    // Regression: a client that dies mid-online-phase (no DONE, no
+    // reconnect) must not leave its SessionRegistry entry behind — the
+    // guard deregisters on the handler's error path, and the shard keeps
+    // serving fresh clients afterwards.
+    let (handle, join) = start_server(1);
+    let addr = handle.local_addr().to_string();
+    let model = ClientModel::load("tiny_mlp").expect("model");
+
+    {
+        let mut client = ServeClient::connect_opts(
+            &addr,
+            &model,
+            ClientOptions {
+                seed: 3,
+                max_retries: 0,
+                ..ClientOptions::default()
+            },
+        )
+        .expect("connect");
+        assert_eq!(handle.active_sessions(), 1);
+        // Kill the connection a few operations into the query; with no
+        // retry budget the error surfaces and the client just dies.
+        let drop_op = client.fault_channel_mut().ops() + 4;
+        client.fault_channel_mut().set_drop_at(drop_op);
+        client.query(0).expect_err("the injected drop must surface");
+    } // client dropped here: the socket closes with the session mid-flight
+
+    // The handler must notice the dead peer and deregister promptly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while handle.active_sessions() != 0 && std::time::Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(handle.active_sessions(), 0, "leaked registry entry");
+
+    // A fresh client is still served correctly on the same shard.
+    let mut client =
+        ServeClient::connect(&addr, &model, 4, Duration::from_secs(10)).expect("connect");
+    let out = client.query(0).expect("query");
+    let oracle = plain_label(
+        &model.demo.compiled,
+        &model.demo.net,
+        &model.demo.dataset.inputs[0],
+    );
+    assert_eq!(out.label, oracle);
+    client.finish().expect("finish");
+
+    handle.shutdown();
+    let stats = join.join().unwrap();
+    assert_eq!(stats.sessions_opened, 2);
+    assert_eq!(stats.sessions_completed, 1);
+    assert_eq!(stats.sessions_failed, 1);
 }
 
 #[test]

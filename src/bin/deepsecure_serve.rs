@@ -23,6 +23,8 @@ const USAGE: &str = "\
 usage:
   deepsecure_serve --listen HOST:PORT [--models NAME[,NAME…]] [--pool N]
                    [--chunk-gates N] [--sessions N] [--seed S] [--threads N]
+                   [--queue-cap N] [--model-session-cap N]
+                   [--live-session-cap N] [--retry-after-ms MS]
                    [--metrics-addr HOST:PORT] [--trace-out FILE]
   deepsecure_serve --lint [--models NAME[,NAME…]] [--chunk-gates N]
 
@@ -43,6 +45,18 @@ usage:
                  garbling/modexp pool width (0 = one per core; default
                  from DEEPSECURE_THREADS, else 1). A pure perf knob:
                  wire bytes are identical at any width.
+  --queue-cap    per-shard accept-queue bound (default 64): connections
+                 beyond it are shed immediately with `DSRV/2 BUSY`
+                 instead of queuing into unbounded latency
+  --model-session-cap
+                 at most N live sessions per hosted model; excess
+                 handshakes are shed with BUSY (default: unlimited)
+  --live-session-cap
+                 at most N live sessions across the models that garble
+                 live (above the pool's material cap), whose per-session
+                 CPU cost is the heavy one (default: unlimited)
+  --retry-after-ms
+                 backoff hint carried in every BUSY frame (default 100)
   --metrics-addr serve Prometheus text metrics over HTTP at this address
                  (GET /metrics; port 0 picks an ephemeral port): request
                  and session counters, online/setup latency histograms,
@@ -127,6 +141,34 @@ fn parse(args: &[String]) -> Result<ServeCli, String> {
                 config.threads = v
                     .parse()
                     .map_err(|_| format!("--threads takes a count (0 = auto), got {v:?}"))?;
+            }
+            "--queue-cap" => {
+                let v = value("--queue-cap")?;
+                config.queue_cap = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--queue-cap takes a positive count, got {v:?}"))?;
+            }
+            "--model-session-cap" => {
+                let v = value("--model-session-cap")?;
+                config.model_session_cap = Some(
+                    v.parse()
+                        .map_err(|_| format!("--model-session-cap takes a count, got {v:?}"))?,
+                );
+            }
+            "--live-session-cap" => {
+                let v = value("--live-session-cap")?;
+                config.live_session_cap = Some(
+                    v.parse()
+                        .map_err(|_| format!("--live-session-cap takes a count, got {v:?}"))?,
+                );
+            }
+            "--retry-after-ms" => {
+                let v = value("--retry-after-ms")?;
+                config.retry_after_ms = v
+                    .parse()
+                    .map_err(|_| format!("--retry-after-ms takes milliseconds, got {v:?}"))?;
             }
             "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")?),
             "--trace-out" => trace_out = Some(value("--trace-out")?),

@@ -8,6 +8,23 @@
 //! wire breakdown plus the session's base-OT bytes must match the replay
 //! bit for bit — the same discipline as `two_party --check`, across
 //! concurrent sessions.
+//!
+//! Two load shapes:
+//!
+//! * **Closed loop** (default): each client issues its next request only
+//!   after the previous one returns — throughput self-limits to the
+//!   server's speed, so it measures capacity, not overload.
+//! * **Open loop** (`--open-loop --rate R`): session arrivals follow a
+//!   seeded Poisson process that does *not* slow down when the server
+//!   does — the only honest way to drive a server past saturation. Each
+//!   arrival is one session (handshake + setup + one query); a `BUSY`
+//!   shed is recorded as shed, never retried into queueing delay, and
+//!   the run asserts `arrivals == completed + shed + failed` — no silent
+//!   drops.
+//!
+//! `--chaos SEED:PROFILE` wraps every client socket in the deterministic
+//! fault injector; clients survive via capped-jittered retry and base-OT
+//! session resumption.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -16,28 +33,46 @@ use std::time::{Duration, Instant};
 
 use deepsecure::core::compile::plain_label;
 use deepsecure::core::protocol::{run_compiled, InferenceReport};
-use deepsecure::serve::client::{ClientModel, QueryOutcome, ServeClient};
+use deepsecure::ot::ChaosSpec;
+use deepsecure::serve::client::{ClientModel, ClientOptions, QueryOutcome, ServeClient};
 use deepsecure::serve::demo;
+use deepsecure::serve::ServeError;
 use deepsecure::trace;
 use telemetry::HistSnapshot;
 
 const USAGE: &str = "\
 usage:
   loadgen --connect HOST:PORT [--model NAME] [--clients K] [--requests R]
-          [--check] [--seed S] [--threads N] [--trace-out FILE]
+          [--check] [--seed S] [--threads N] [--chaos SEED:PROFILE]
+          [--deadline-s SECS] [--io-timeout-ms MS] [--trace-out FILE]
+  loadgen --connect HOST:PORT --open-loop --rate R [--duration-s SECS]
+          [--model NAME] [--check] [--json] [--seed S] [--threads N]
+          [--chaos SEED:PROFILE] [--deadline-s SECS] [--io-timeout-ms MS]
 
-  --connect   the deepsecure_serve address
-  --model     zoo model to query (default tiny_mlp)
-  --clients   concurrent client connections (default 4)
-  --requests  requests per client on one connection (default 2)
-  --check     replay each queried sample in-memory and fail on any label
-              or wire-byte divergence
-  --seed      base OT-randomness seed, varied per client (default 1000)
-  --threads   evaluator-side worker threads per client (0 = one per
-              core; default from DEEPSECURE_THREADS, else 1)
-  --trace-out record wall-time spans of every client's protocol phases
-              and write a Chrome trace-event JSON file (Perfetto shows
-              the K clients' sessions overlapping)";
+  --connect     the deepsecure_serve address
+  --model       zoo model to query (default tiny_mlp)
+  --clients     concurrent client connections (default 4)
+  --requests    requests per client on one connection (default 2)
+  --check       replay each queried sample in-memory and fail on any label
+                or wire-byte divergence
+  --seed        base OT-randomness seed, varied per client (default 1000)
+  --threads     evaluator-side worker threads per client (0 = one per
+                core; default from DEEPSECURE_THREADS, else 1)
+  --chaos       inject deterministic faults (delays, short I/O, drops)
+                into every client socket; PROFILE is one of off, delays,
+                short, drops, mixed. Clients retry and resume.
+  --deadline-s  per-session wall-clock budget; retry loops stop at it
+  --io-timeout-ms
+                per-read/per-write socket timeout (turns a wedged peer
+                into a retryable failure)
+  --open-loop   Poisson session arrivals instead of closed-loop clients;
+                requires --rate
+  --rate        mean arrivals per second for --open-loop
+  --duration-s  how long to generate arrivals for (default 10)
+  --json        also print one machine-readable summary line (open loop)
+  --trace-out   record wall-time spans of every client's protocol phases
+                and write a Chrome trace-event JSON file (Perfetto shows
+                the K clients' sessions overlapping)";
 
 struct Cli {
     addr: String,
@@ -47,6 +82,13 @@ struct Cli {
     check: bool,
     seed: u64,
     threads: usize,
+    chaos: Option<ChaosSpec>,
+    deadline: Option<Duration>,
+    io_timeout: Option<Duration>,
+    open_loop: bool,
+    rate: f64,
+    duration: Duration,
+    json: bool,
     trace_out: Option<String>,
 }
 
@@ -59,6 +101,13 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         check: false,
         seed: 1000,
         threads: deepsecure::serve::demo::inference_config().threads,
+        chaos: None,
+        deadline: None,
+        io_timeout: None,
+        open_loop: false,
+        rate: 0.0,
+        duration: Duration::from_secs(10),
+        json: false,
         trace_out: None,
     };
     let mut it = args.iter();
@@ -88,6 +137,46 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                     .ok_or_else(|| format!("--requests takes a positive count, got {v:?}"))?;
             }
             "--check" => cli.check = true,
+            "--json" => cli.json = true,
+            "--open-loop" => cli.open_loop = true,
+            "--rate" => {
+                let v = value("--rate")?;
+                cli.rate = v
+                    .parse()
+                    .ok()
+                    .filter(|&r: &f64| r > 0.0 && r.is_finite())
+                    .ok_or_else(|| format!("--rate takes arrivals/s > 0, got {v:?}"))?;
+            }
+            "--duration-s" => {
+                let v = value("--duration-s")?;
+                let secs: f64 = v
+                    .parse()
+                    .ok()
+                    .filter(|&s: &f64| s > 0.0 && s.is_finite())
+                    .ok_or_else(|| format!("--duration-s takes seconds > 0, got {v:?}"))?;
+                cli.duration = Duration::from_secs_f64(secs);
+            }
+            "--chaos" => {
+                let v = value("--chaos")?;
+                cli.chaos = Some(ChaosSpec::parse(&v)?);
+            }
+            "--deadline-s" => {
+                let v = value("--deadline-s")?;
+                let secs: f64 = v
+                    .parse()
+                    .ok()
+                    .filter(|&s: &f64| s > 0.0 && s.is_finite())
+                    .ok_or_else(|| format!("--deadline-s takes seconds > 0, got {v:?}"))?;
+                cli.deadline = Some(Duration::from_secs_f64(secs));
+            }
+            "--io-timeout-ms" => {
+                let v = value("--io-timeout-ms")?;
+                let ms: u64 =
+                    v.parse().ok().filter(|&m| m > 0).ok_or_else(|| {
+                        format!("--io-timeout-ms takes milliseconds > 0, got {v:?}")
+                    })?;
+                cli.io_timeout = Some(Duration::from_millis(ms));
+            }
             "--trace-out" => cli.trace_out = Some(value("--trace-out")?),
             "--seed" => {
                 let v = value("--seed")?;
@@ -107,19 +196,43 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     if cli.addr.is_empty() {
         return Err(format!("--connect HOST:PORT is required\n{USAGE}"));
     }
+    if cli.open_loop && cli.rate <= 0.0 {
+        return Err(format!("--open-loop requires --rate R\n{USAGE}"));
+    }
     Ok(cli)
+}
+
+/// Client options for worker `tid`: the chaos seed varies per worker so
+/// two clients never replay the same fault schedule, while the whole run
+/// stays reproducible from the CLI seeds.
+fn client_options(cli: &Cli, tid: u64) -> ClientOptions {
+    ClientOptions {
+        seed: cli.seed + tid,
+        connect_timeout: Duration::from_secs(15),
+        threads: cli.threads,
+        chaos: cli.chaos.map(|spec| ChaosSpec {
+            seed: spec.seed.wrapping_add(tid),
+            ..spec
+        }),
+        deadline: cli.deadline,
+        io_timeout: cli.io_timeout,
+        ..ClientOptions::default()
+    }
 }
 
 /// One client thread's record.
 struct ClientRun {
     /// Connect + handshake + base-OT setup, seconds.
     offline_s: f64,
-    /// Base-OT setup traffic, both directions.
+    /// Base-OT setup traffic, both directions (current session).
     setup_bytes: u64,
     /// Whole-session wall clock (offline + all requests), seconds.
     total_s: f64,
     /// Per-request `(sample, outcome)`.
     queries: Vec<(usize, QueryOutcome)>,
+    /// Resilience counters: query re-issues, resumed reconnects, fresh
+    /// reconnects, busy backoffs.
+    resilience: [u64; 4],
 }
 
 fn main() -> ExitCode {
@@ -140,6 +253,13 @@ fn run(args: &[String]) -> Result<(), String> {
         cli.model
     );
     let model = Arc::new(ClientModel::load(&cli.model)?);
+    if cli.open_loop {
+        return open_loop(&cli, &model);
+    }
+    closed_loop(&cli, &model)
+}
+
+fn closed_loop(cli: &Cli, model: &Arc<ClientModel>) -> Result<(), String> {
     let samples = model.demo.dataset.len();
     println!(
         "loadgen: model {}, {} clients x {} requests ({} dataset samples)",
@@ -152,23 +272,15 @@ fn run(args: &[String]) -> Result<(), String> {
     let wall = Instant::now();
     let workers: Vec<_> = (0..cli.clients)
         .map(|tid| {
-            let model = Arc::clone(&model);
+            let model = Arc::clone(model);
             let addr = cli.addr.clone();
             let requests = cli.requests;
-            let seed = cli.seed + tid as u64;
-            let threads = cli.threads;
+            let opts = client_options(cli, tid as u64);
             std::thread::spawn(move || -> Result<ClientRun, String> {
                 let t0 = Instant::now();
-                let mut client = ServeClient::connect_with_threads(
-                    &addr,
-                    &model,
-                    seed,
-                    Duration::from_secs(15),
-                    threads,
-                )
-                .map_err(|e| format!("client {tid}: connect: {e}"))?;
+                let mut client = ServeClient::connect_opts(&addr, &model, opts)
+                    .map_err(|e| format!("client {tid}: connect: {e}"))?;
                 let offline_s = client.offline_s;
-                let setup_bytes = client.setup_bytes();
                 let mut queries = Vec::with_capacity(requests);
                 for q in 0..requests {
                     let sample = (tid * requests + q) % model.demo.dataset.len();
@@ -177,15 +289,22 @@ fn run(args: &[String]) -> Result<(), String> {
                         .map_err(|e| format!("client {tid}: query {q}: {e}"))?;
                     queries.push((sample, out));
                 }
+                let run = ClientRun {
+                    offline_s,
+                    setup_bytes: client.setup_bytes(),
+                    total_s: t0.elapsed().as_secs_f64(),
+                    queries,
+                    resilience: [
+                        client.retries,
+                        client.resumes,
+                        client.fresh_reconnects,
+                        client.busy_backoffs,
+                    ],
+                };
                 client
                     .finish()
                     .map_err(|e| format!("client {tid}: finish: {e}"))?;
-                Ok(ClientRun {
-                    offline_s,
-                    setup_bytes,
-                    total_s: t0.elapsed().as_secs_f64(),
-                    queries,
-                })
+                Ok(run)
             })
         })
         .collect();
@@ -244,12 +363,201 @@ fn run(args: &[String]) -> Result<(), String> {
         "  session end-to-end                                   mean {total_mean:.3} s ({:.0}% spent online)",
         100.0 * (cli.requests as f64 * online_mean) / total_mean
     );
+    let [retries, resumes, fresh, busy]: [u64; 4] = runs.iter().fold([0; 4], |mut acc, r| {
+        for (a, b) in acc.iter_mut().zip(r.resilience) {
+            *a += b;
+        }
+        acc
+    });
+    if cli.chaos.is_some() || retries + resumes + fresh + busy > 0 {
+        println!(
+            "  resilience: {retries} query retries, {resumes} resumed reconnects, \
+             {fresh} fresh reconnects, {busy} busy backoffs"
+        );
+    }
     print_histogram(&online_us);
 
     if cli.check {
-        check(&model, &runs)?;
+        check(model, &runs)?;
     }
     Ok(())
+}
+
+/// How one open-loop arrival ended.
+enum Arrival {
+    /// Accepted and served; carries the session record.
+    Completed(Box<ClientRun>),
+    /// Shed by the server with `BUSY`.
+    Shed,
+    /// Anything else (handshake refusal, exhausted retries, deadline).
+    Failed(String),
+}
+
+/// Open-loop mode: sessions arrive by a seeded Poisson process for
+/// `--duration-s`, one query each, regardless of how fast the server
+/// drains them. Every arrival is accounted: completed, shed, or failed.
+#[allow(clippy::too_many_lines)]
+fn open_loop(cli: &Cli, model: &Arc<ClientModel>) -> Result<(), String> {
+    let samples = model.demo.dataset.len();
+    println!(
+        "loadgen: open loop, model {}, {:.1} arrivals/s for {:.1} s ({} dataset samples)",
+        cli.model,
+        cli.rate,
+        cli.duration.as_secs_f64(),
+        samples
+    );
+    let mut rng = cli.seed ^ 0x0abc_1007_ab21_7a15;
+    let wall = Instant::now();
+    let mut workers = Vec::new();
+    let mut next_arrival = Duration::ZERO;
+    let mut arrivals = 0u64;
+    while next_arrival < cli.duration {
+        if let Some(sleep) = next_arrival.checked_sub(wall.elapsed()) {
+            std::thread::sleep(sleep);
+        }
+        let tid = arrivals;
+        arrivals += 1;
+        let model = Arc::clone(model);
+        let addr = cli.addr.clone();
+        let opts = ClientOptions {
+            // A shed must surface as shed, not melt into retry delay.
+            busy_attempt_cap: 0,
+            ..client_options(cli, tid)
+        };
+        workers.push(std::thread::spawn(move || -> Arrival {
+            let t0 = Instant::now();
+            let mut client = match ServeClient::connect_opts(&addr, &model, opts) {
+                Ok(c) => c,
+                Err(ServeError::Busy { .. }) => return Arrival::Shed,
+                Err(e) => return Arrival::Failed(format!("arrival {tid}: connect: {e}")),
+            };
+            let sample = usize::try_from(tid).unwrap_or(0) % model.demo.dataset.len();
+            let out = match client.query(sample) {
+                Ok(out) => out,
+                Err(ServeError::Busy { .. }) => return Arrival::Shed,
+                Err(e) => return Arrival::Failed(format!("arrival {tid}: query: {e}")),
+            };
+            let run = ClientRun {
+                offline_s: client.offline_s,
+                setup_bytes: client.setup_bytes(),
+                total_s: t0.elapsed().as_secs_f64(),
+                queries: vec![(sample, out)],
+                resilience: [
+                    client.retries,
+                    client.resumes,
+                    client.fresh_reconnects,
+                    client.busy_backoffs,
+                ],
+            };
+            match client.finish() {
+                Ok(()) => Arrival::Completed(Box::new(run)),
+                Err(e) => Arrival::Failed(format!("arrival {tid}: finish: {e}")),
+            }
+        }));
+        next_arrival += exp_interval(&mut rng, cli.rate);
+    }
+    let mut completed = Vec::new();
+    let mut shed = 0u64;
+    let mut failures = Vec::new();
+    for w in workers {
+        match w.join() {
+            Ok(Arrival::Completed(run)) => completed.push(*run),
+            Ok(Arrival::Shed) => shed += 1,
+            Ok(Arrival::Failed(why)) => failures.push(why),
+            Err(_) => failures.push("arrival thread panicked".to_string()),
+        }
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    let failed = failures.len() as u64;
+    let done = completed.len() as u64;
+    // The no-silent-drops invariant: every arrival is exactly one of
+    // completed / shed / failed.
+    if done + shed + failed != arrivals {
+        return Err(format!(
+            "accounting violated: {arrivals} arrivals != {done} completed + {shed} shed + \
+             {failed} failed"
+        ));
+    }
+    let mut online_us = HistSnapshot::new();
+    for r in &completed {
+        for (_, o) in &r.queries {
+            online_us.record(to_us(o.online_s));
+        }
+    }
+    let offline_mean = if completed.is_empty() {
+        0.0
+    } else {
+        completed.iter().map(|r| r.offline_s).sum::<f64>() / completed.len() as f64
+    };
+    let [retries, resumes, fresh, busy]: [u64; 4] = completed.iter().fold([0; 4], |mut acc, r| {
+        for (a, b) in acc.iter_mut().zip(r.resilience) {
+            *a += b;
+        }
+        acc
+    });
+    println!(
+        "loadgen: {arrivals} arrivals in {wall_s:.2} s -> {done} completed ({:.2} req/s), \
+         {shed} shed, {failed} failed",
+        done as f64 / wall_s
+    );
+    println!("  per-session offline (connect + handshake + base OT)  mean {offline_mean:.3} s");
+    println!(
+        "  accepted online latency                              p50 {:.3} s  p95 {:.3} s  \
+         p99 {:.3} s",
+        online_us.quantile(0.50) as f64 / 1e6,
+        online_us.quantile(0.95) as f64 / 1e6,
+        online_us.quantile(0.99) as f64 / 1e6,
+    );
+    println!(
+        "  resilience: {retries} query retries, {resumes} resumed reconnects, \
+         {fresh} fresh reconnects, {busy} busy backoffs"
+    );
+    for why in failures.iter().take(5) {
+        eprintln!("  failure: {why}");
+    }
+    if cli.json {
+        println!(
+            "{{\"schema\":\"deepsecure-loadgen-openloop/1\",\"model\":\"{}\",\"rate\":{},\
+             \"duration_s\":{},\"arrivals\":{arrivals},\"completed\":{done},\"shed\":{shed},\
+             \"failed\":{failed},\"req_per_s\":{:.3},\"online_p50_s\":{:.6},\
+             \"online_p95_s\":{:.6},\"online_p99_s\":{:.6},\"offline_mean_s\":{:.6},\
+             \"retries\":{retries},\"resumes\":{resumes},\"fresh_reconnects\":{fresh},\
+             \"busy_backoffs\":{busy}}}",
+            cli.model,
+            cli.rate,
+            cli.duration.as_secs_f64(),
+            done as f64 / wall_s,
+            online_us.quantile(0.50) as f64 / 1e6,
+            online_us.quantile(0.95) as f64 / 1e6,
+            online_us.quantile(0.99) as f64 / 1e6,
+            offline_mean,
+        );
+    }
+    if cli.check {
+        check(model, &completed)?;
+    }
+    if !failures.is_empty() {
+        return Err(format!("{failed} arrivals failed (first: {})", failures[0]));
+    }
+    Ok(())
+}
+
+/// One splitmix64 step.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded exponential inter-arrival draw: `-ln(U)/rate`, the gap
+/// between events of a Poisson process at `rate` per second.
+#[allow(clippy::cast_precision_loss)]
+fn exp_interval(state: &mut u64, rate: f64) -> Duration {
+    // 53 uniform bits in (0, 1]: never 0, so ln() is finite.
+    let u = ((splitmix(state) >> 11) + 1) as f64 / (1u64 << 53) as f64;
+    Duration::from_secs_f64((-u.ln() / rate).min(60.0))
 }
 
 /// Seconds to histogram microseconds.

@@ -25,17 +25,19 @@ use deepsecure::core::protocol::{run_compiled, InferenceConfig};
 use deepsecure::core::session::{
     ClientOutcome, ClientSession, ServerOutcome, ServerSession, WireBreakdown,
 };
-use deepsecure::ot::{Channel, FramedChannel, NetModel, SimChannel, TcpChannel};
+use deepsecure::ot::{
+    Channel, ChaosSpec, FaultChannel, FramedChannel, NetModel, SimChannel, TcpChannel,
+};
 use deepsecure::serve::demo::{self, DemoModel};
 use deepsecure::trace;
 
 const USAGE: &str = "\
 usage:
   two_party evaluator --listen HOST:PORT [--model NAME] [--threads N]
-                      [--sim lan|wan] [--trace-out FILE]
+                      [--sim lan|wan] [--chaos SEED:PROFILE] [--trace-out FILE]
   two_party garbler --connect HOST:PORT [--model NAME] [--input N]
                     [--chunk-gates N] [--threads N] [--check]
-                    [--sim lan|wan] [--trace-out FILE]
+                    [--sim lan|wan] [--chaos SEED:PROFILE] [--trace-out FILE]
   two_party lint [--model NAME] [--chunk-gates N]
 
 models: tiny_mlp (default), tiny_cnn, mnist_mlp, mnist_mlp_c
@@ -79,6 +81,13 @@ model after the handshake (LAN: 1 Gbps, 1 ms one-way; WAN: 40 Mbps,
 the link rate. A local observability knob — wire bytes are untouched,
 so --check still passes.
 
+--chaos SEED:PROFILE wraps this endpoint's post-handshake channel in the
+deterministic fault injector (PROFILE: off, delays, short, drops,
+mixed). delays and short perturb timing and I/O boundaries without
+changing wire bytes, so --check still passes; drops/mixed kill the
+connection mid-protocol — the way to watch a one-shot run fail loudly
+(the serving stack is what retries and resumes; see loadgen --chaos).
+
 --trace-out FILE records wall-time spans for every protocol phase
 (including per-chunk garbling/transfer/evaluation) and writes a
 Chrome trace-event JSON file viewable at https://ui.perfetto.dev.
@@ -110,6 +119,7 @@ struct Cli {
     threads: usize,
     check: bool,
     sim: Option<NetModel>,
+    chaos: Option<ChaosSpec>,
     trace_out: Option<String>,
 }
 
@@ -129,6 +139,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         threads: demo::inference_config().threads,
         check: false,
         sim: None,
+        chaos: None,
         trace_out: None,
     };
     let addr_flag = if role == "garbler" {
@@ -172,6 +183,10 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                     "wan" => NetModel::wan(),
                     _ => return Err(format!("--sim takes lan or wan, got {v:?}")),
                 });
+            }
+            "--chaos" if role != "lint" => {
+                let v = value("--chaos")?;
+                cli.chaos = Some(ChaosSpec::parse(&v)?);
             }
             "--trace-out" if role != "lint" => cli.trace_out = Some(value("--trace-out")?),
             other => return Err(format!("unknown flag {other:?} for {role}\n{USAGE}")),
@@ -257,7 +272,7 @@ fn run_garbler(cli: &Cli, model: &DemoModel) -> Result<(), String> {
     if reply != format!("OK {fingerprint:016x}") {
         return Err(format!("evaluator rejected the handshake: {reply}"));
     }
-    let mut chan = framed.into_inner();
+    let mut chan = wrap_chaos(framed.into_inner(), cli.chaos, "garbler");
 
     let client = ClientSession::new(Arc::clone(&compiled), &cfg);
     let (epoch, trace_offset_us) = protocol_epoch(cli.trace_out.is_some());
@@ -425,7 +440,7 @@ fn run_evaluator(cli: &Cli, model: &DemoModel) -> Result<(), String> {
     framed
         .send_frame(format!("OK {fingerprint:016x}").as_bytes())
         .map_err(|e| format!("handshake ack: {e}"))?;
-    let mut chan = framed.into_inner();
+    let mut chan = wrap_chaos(framed.into_inner(), cli.chaos, "evaluator");
     if chunk_gates > 0 {
         eprintln!("evaluator: streaming tables in chunks of {chunk_gates} non-free gates");
     }
@@ -473,6 +488,19 @@ fn run_evaluator(cli: &Cli, model: &DemoModel) -> Result<(), String> {
     );
     print_breakdown(&out.wire);
     Ok(())
+}
+
+/// Wraps the post-handshake channel in the fault injector (a no-op
+/// passthrough when `--chaos` was not given, so both paths share one
+/// channel type).
+fn wrap_chaos(chan: TcpChannel, chaos: Option<ChaosSpec>, who: &str) -> FaultChannel<TcpChannel> {
+    match chaos {
+        Some(spec) => {
+            eprintln!("{who}: chaos on: {spec:?}");
+            FaultChannel::new(chan, spec)
+        }
+        None => FaultChannel::transparent(chan),
+    }
 }
 
 /// The protocol epoch: telemetry-aligned when a trace is requested (so
